@@ -1,0 +1,123 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic dataset stand-ins.
+//
+// Usage:
+//
+//	experiments                      # run everything at full Table I scale
+//	experiments -run tableII         # one experiment
+//	experiments -run tableII,figure7 # several
+//	experiments -scale 0.05          # quick pass at 5% of dataset sizes
+//	experiments -plots out/          # also write SVG renderings
+//	experiments -format markdown     # markdown instead of aligned text
+//
+// Full-scale runs build multi-million-edge graphs and take minutes on a
+// laptop; -scale 0.05 exercises every code path in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"trikcore/internal/expt"
+	"trikcore/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	runFlag := flag.String("run", "all", "comma-separated experiment ids, or 'all': "+strings.Join(expt.IDs(), ", "))
+	scale := flag.Float64("scale", 1.0, "fraction of the paper's dataset sizes to build (0 < scale <= 1)")
+	runs := flag.Int("runs", 5, "repetitions for timing experiments")
+	plots := flag.String("plots", "", "directory for SVG figure renderings (optional)")
+	format := flag.String("format", "text", "output format: text or markdown")
+	htmlOut := flag.String("html", "", "also write a standalone HTML report to this file")
+	extras := flag.Bool("extras", false, "with -run all, also run the non-paper extra experiments")
+	csvLimit := flag.Int("csv-limit", 950_000, "max edges for the CSV baseline (default skips the three largest datasets, as in the paper)")
+	dnLimit := flag.Int("dn-limit", 950_000, "max edges for the DN-Graph baselines (same cut)")
+	flag.Parse()
+
+	cfg := expt.Config{
+		Scale:        *scale,
+		Runs:         *runs,
+		PlotDir:      *plots,
+		Log:          os.Stderr,
+		CSVEdgeLimit: *csvLimit,
+		DNEdgeLimit:  *dnLimit,
+	}
+
+	var ids []string
+	if *runFlag == "all" {
+		ids = expt.IDs()
+		if *extras {
+			for _, r := range expt.Extras() {
+				ids = append(ids, r.ID)
+			}
+		}
+	} else {
+		ids = strings.Split(*runFlag, ",")
+	}
+	rep := report.Report{
+		Title:    "Triangle K-Core reproduction",
+		Subtitle: fmt.Sprintf("scale %.3g, %d timing runs", cfg.Scale, cfg.Runs),
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		r, ok := expt.RunnerByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have: %s)", id, strings.Join(expt.IDs(), ", "))
+		}
+		tab, err := r.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		switch *format {
+		case "markdown":
+			fmt.Println(tab.Markdown())
+		case "text":
+			fmt.Println(tab.Text())
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+		rep.Sections = append(rep.Sections, report.Section{
+			ID: id, Caption: r.Caption, Table: tab, SVGs: plotSVGs(*plots, id),
+		})
+	}
+	if *htmlOut != "" {
+		html, err := report.Render(rep)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*htmlOut, []byte(html), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *htmlOut)
+	}
+	return nil
+}
+
+// plotSVGs loads the SVG figures the given experiment wrote into the
+// plots directory (files named "<id>_*.svg").
+func plotSVGs(dir, id string) []string {
+	if dir == "" {
+		return nil
+	}
+	paths, _ := filepath.Glob(filepath.Join(dir, id+"_*.svg"))
+	sort.Strings(paths)
+	var out []string
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err == nil {
+			out = append(out, string(data))
+		}
+	}
+	return out
+}

@@ -1,0 +1,467 @@
+// Command trikcore is the command-line interface to the Triangle K-Core
+// library: decomposition, density plots, incremental updates and template
+// pattern detection over edge-list files.
+//
+// Usage:
+//
+//	trikcore stats     -in graph.txt
+//	trikcore decompose -in graph.txt [-top 10] [-k 3]
+//	trikcore plot      -in graph.txt [-format ascii|svg] [-out plot.svg]
+//	trikcore update    -in graph.txt -ops ops.txt
+//	trikcore template  -old old.txt -new new.txt -pattern new-form|bridge|new-join
+//	trikcore hierarchy -in graph.txt [-min-edges 3]
+//	trikcore dualview  -old old.txt -new new.txt [-svg outdir]
+//	trikcore events    -old old.txt -new new.txt -k 3
+//	trikcore convert   -in graph.txt -out graph.tkcg
+//	trikcore serve     -in graph.txt -addr :8080
+//
+// Edge-list files hold one "u v" pair per line ('#' comments allowed).
+// Ops files hold one "+ u v" or "- u v" per line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"trikcore"
+	"trikcore/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trikcore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: trikcore <stats|decompose|plot|update|template|hierarchy|dualview|events|convert|serve> [flags]")
+	}
+	switch args[0] {
+	case "stats":
+		return cmdStats(args[1:])
+	case "decompose":
+		return cmdDecompose(args[1:])
+	case "plot":
+		return cmdPlot(args[1:])
+	case "update":
+		return cmdUpdate(args[1:])
+	case "template":
+		return cmdTemplate(args[1:])
+	case "hierarchy":
+		return cmdHierarchy(args[1:])
+	case "dualview":
+		return cmdDualView(args[1:])
+	case "events":
+		return cmdEvents(args[1:])
+	case "convert":
+		return cmdConvert(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	in := fs.String("in", "", "input edge-list file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := trikcore.LoadEdgeListFile(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("vertices:  %d\n", g.NumVertices())
+	fmt.Printf("edges:     %d\n", g.NumEdges())
+	fmt.Printf("triangles: %d\n", trikcore.TriangleCount(g))
+	d := trikcore.Decompose(g)
+	fmt.Printf("max κ:     %d (max clique proxy %d)\n", d.MaxKappa, d.MaxKappa+2)
+	kc := trikcore.VertexKCore(g)
+	fmt.Printf("degeneracy: %d\n", kc.MaxCore)
+	return nil
+}
+
+func cmdDecompose(args []string) error {
+	fs := flag.NewFlagSet("decompose", flag.ContinueOnError)
+	in := fs.String("in", "", "input edge-list file")
+	top := fs.Int("top", 10, "print the top-N edges by κ")
+	k := fs.Int("k", -1, "also list triangle-connected communities at level k")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := trikcore.LoadEdgeListFile(*in)
+	if err != nil {
+		return err
+	}
+	d := trikcore.Decompose(g)
+	hist := d.KappaHistogram()
+	var ks []int32
+	for kv := range hist {
+		ks = append(ks, kv)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	fmt.Println("κ distribution:")
+	for _, kv := range ks {
+		fmt.Printf("  κ=%-4d %d edges\n", kv, hist[kv])
+	}
+	type ek struct {
+		e trikcore.Edge
+		k int
+	}
+	var all []ek
+	for e, kv := range d.EdgeKappas() {
+		all = append(all, ek{e, kv})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].k != all[j].k {
+			return all[i].k > all[j].k
+		}
+		return all[i].e.Less(all[j].e)
+	})
+	if *top > len(all) {
+		*top = len(all)
+	}
+	fmt.Printf("top %d edges:\n", *top)
+	for _, x := range all[:*top] {
+		fmt.Printf("  %-12s κ=%d\n", x.e, x.k)
+	}
+	if *k >= 0 {
+		comms := d.Communities(int32(*k))
+		fmt.Printf("communities at k=%d: %d\n", *k, len(comms))
+		for i, c := range comms {
+			fmt.Printf("  community %d: %d edges\n", i+1, len(c))
+		}
+	}
+	return nil
+}
+
+func cmdPlot(args []string) error {
+	fs := flag.NewFlagSet("plot", flag.ContinueOnError)
+	in := fs.String("in", "", "input edge-list file")
+	format := fs.String("format", "ascii", "ascii, svg or csv")
+	out := fs.String("out", "", "output file (default stdout)")
+	width := fs.Int("width", 100, "ascii plot width")
+	height := fs.Int("height", 20, "ascii plot height")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := trikcore.LoadEdgeListFile(*in)
+	if err != nil {
+		return err
+	}
+	s := trikcore.DensityPlot(g, trikcore.Decompose(g))
+	var rendered string
+	switch *format {
+	case "ascii":
+		rendered = trikcore.RenderASCII(s, *width, *height)
+	case "svg":
+		rendered = trikcore.RenderSVG(s, trikcore.SVGOptions{Title: *in})
+	case "csv":
+		var sb strings.Builder
+		if err := s.WriteCSV(&sb); err != nil {
+			return err
+		}
+		rendered = sb.String()
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if *out == "" {
+		fmt.Print(rendered)
+		return nil
+	}
+	return os.WriteFile(*out, []byte(rendered), 0o644)
+}
+
+func cmdUpdate(args []string) error {
+	fs := flag.NewFlagSet("update", flag.ContinueOnError)
+	in := fs.String("in", "", "input edge-list file")
+	ops := fs.String("ops", "", "operations file: '+ u v' inserts, '- u v' deletes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := trikcore.LoadEdgeListFile(*in)
+	if err != nil {
+		return err
+	}
+	en := trikcore.NewEngine(g)
+	f, err := os.Open(*ops)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return fmt.Errorf("ops line %d: want '<+|-> u v'", line)
+		}
+		u, err1 := strconv.ParseInt(fields[1], 10, 32)
+		v, err2 := strconv.ParseInt(fields[2], 10, 32)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("ops line %d: bad vertex", line)
+		}
+		switch fields[0] {
+		case "+":
+			en.InsertEdge(trikcore.Vertex(u), trikcore.Vertex(v))
+		case "-":
+			en.DeleteEdge(trikcore.Vertex(u), trikcore.Vertex(v))
+		default:
+			return fmt.Errorf("ops line %d: unknown op %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	st := en.Stats()
+	fmt.Printf("applied %d insertions, %d deletions\n", st.Insertions, st.Deletions)
+	fmt.Printf("triangles processed: %d, edges visited: %d\n", st.TrianglesProcessed, st.EdgesVisited)
+	fmt.Printf("promotions: %d, demotions: %d\n", st.Promotions, st.Demotions)
+	fmt.Printf("edges now: %d, max κ: %d\n", en.Graph().NumEdges(), en.MaxKappa())
+	return nil
+}
+
+func cmdTemplate(args []string) error {
+	fs := flag.NewFlagSet("template", flag.ContinueOnError)
+	oldPath := fs.String("old", "", "old snapshot edge-list file")
+	newPath := fs.String("new", "", "new snapshot edge-list file")
+	pattern := fs.String("pattern", "new-form", "new-form, bridge or new-join")
+	top := fs.Int("top", 3, "report the top-N pattern cliques")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	old, err := trikcore.LoadEdgeListFile(*oldPath)
+	if err != nil {
+		return err
+	}
+	new, err := trikcore.LoadEdgeListFile(*newPath)
+	if err != nil {
+		return err
+	}
+	nov := trikcore.EvolvingNovelty(old, new)
+	var spec trikcore.TemplateSpec
+	switch *pattern {
+	case "new-form":
+		spec = trikcore.NewFormPattern(nov)
+	case "bridge":
+		spec = trikcore.BridgePattern(nov)
+	case "new-join":
+		spec = trikcore.NewJoinPattern(nov)
+	default:
+		return fmt.Errorf("unknown pattern %q", *pattern)
+	}
+	res := trikcore.DetectTemplate(new, spec)
+	fmt.Printf("characteristic triangles: %d\n", len(res.Characteristic))
+	fmt.Printf("possible triangles:       %d\n", len(res.Possible))
+	fmt.Printf("special subgraph:         %d vertices, %d edges\n",
+		res.Special.NumVertices(), res.Special.NumEdges())
+	for i, pk := range res.TopCliques(*top, 3) {
+		fmt.Printf("pattern clique %d: %d vertices at co_clique_size %d: %v\n",
+			i+1, pk.Width(), pk.Height, pk.Vertices)
+	}
+	return nil
+}
+
+func cmdHierarchy(args []string) error {
+	fs := flag.NewFlagSet("hierarchy", flag.ContinueOnError)
+	in := fs.String("in", "", "input edge-list file")
+	minEdges := fs.Int("min-edges", 1, "hide communities with fewer edges")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := trikcore.LoadEdgeListFile(*in)
+	if err != nil {
+		return err
+	}
+	d := trikcore.Decompose(g)
+	roots := d.Hierarchy()
+	if len(roots) == 0 {
+		fmt.Println("no triangles: empty hierarchy")
+		return nil
+	}
+	var render func(n *trikcore.HierarchyNode, indent string)
+	render = func(n *trikcore.HierarchyNode, indent string) {
+		if n.Size() < *minEdges {
+			return
+		}
+		verts := n.Vertices()
+		fmt.Printf("%sk=%d: %d edges, %d vertices", indent, n.K, n.Size(), len(verts))
+		if len(verts) <= 12 {
+			fmt.Printf(" %v", verts)
+		}
+		fmt.Println()
+		for _, c := range n.Children {
+			render(c, indent+"  ")
+		}
+	}
+	for _, r := range roots {
+		render(r, "")
+	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	in := fs.String("in", "", "input edge-list file (optional; empty graph if omitted)")
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := buildServer(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trikcore: serving on %s\n", *addr)
+	return http.ListenAndServe(*addr, srv.Handler())
+}
+
+// buildServer loads the optional initial graph and wraps it in the HTTP
+// service.
+func buildServer(in string) (*server.Server, error) {
+	g := trikcore.NewGraph()
+	if in != "" {
+		loaded, err := trikcore.LoadEdgeListFile(in)
+		if err != nil {
+			return nil, err
+		}
+		g = loaded
+	}
+	return server.New(g), nil
+}
+
+// cmdConvert translates between the text edge-list format and the
+// compact binary snapshot format, inferring direction from extensions
+// unless -to is given.
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+	in := fs.String("in", "", "input file (.txt edge list or .tkcg binary)")
+	out := fs.String("out", "", "output file")
+	to := fs.String("to", "", "output format: text or binary (default: by extension)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("convert needs -in and -out")
+	}
+	var g *trikcore.Graph
+	var err error
+	if strings.HasSuffix(*in, ".tkcg") {
+		g, err = trikcore.LoadBinaryFile(*in)
+	} else {
+		g, err = trikcore.LoadEdgeListFile(*in)
+	}
+	if err != nil {
+		return err
+	}
+	format := *to
+	if format == "" {
+		if strings.HasSuffix(*out, ".tkcg") {
+			format = "binary"
+		} else {
+			format = "text"
+		}
+	}
+	switch format {
+	case "binary":
+		err = trikcore.SaveBinaryFile(*out, g)
+	case "text":
+		err = trikcore.SaveEdgeListFile(*out, g)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %d vertices, %d edges to %s (%s)\n", g.NumVertices(), g.NumEdges(), *out, format)
+	return nil
+}
+
+// cmdEvents classifies community evolution between two snapshots.
+func cmdEvents(args []string) error {
+	fs := flag.NewFlagSet("events", flag.ContinueOnError)
+	oldPath := fs.String("old", "", "old snapshot edge-list file")
+	newPath := fs.String("new", "", "new snapshot edge-list file")
+	k := fs.Int("k", 2, "community level (κ ≥ k)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	old, err := trikcore.LoadEdgeListFile(*oldPath)
+	if err != nil {
+		return err
+	}
+	new, err := trikcore.LoadEdgeListFile(*newPath)
+	if err != nil {
+		return err
+	}
+	oldC, newC, evs := trikcore.DetectEvents(old, new, int32(*k), trikcore.EventOptions{})
+	fmt.Printf("communities at k=%d: %d old, %d new\n", *k, len(oldC), len(newC))
+	for _, e := range evs {
+		fmt.Printf("  %-9s", e.Type)
+		for _, i := range e.Before {
+			fmt.Printf(" old#%d(%dv)", i, len(oldC[i].Vertices))
+		}
+		if len(e.Before) > 0 && len(e.After) > 0 {
+			fmt.Print(" →")
+		}
+		for _, j := range e.After {
+			fmt.Printf(" new#%d(%dv)", j, len(newC[j].Vertices))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// cmdDualView builds the Algorithm 3 dual-view plots between two
+// snapshots and reports the correspondence markers.
+func cmdDualView(args []string) error {
+	fs := flag.NewFlagSet("dualview", flag.ContinueOnError)
+	oldPath := fs.String("old", "", "old snapshot edge-list file")
+	newPath := fs.String("new", "", "new snapshot edge-list file")
+	top := fs.Int("top", 3, "number of changed structures to mark")
+	outDir := fs.String("svg", "", "directory for before/after SVG plots (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	old, err := trikcore.LoadEdgeListFile(*oldPath)
+	if err != nil {
+		return err
+	}
+	new, err := trikcore.LoadEdgeListFile(*newPath)
+	if err != nil {
+		return err
+	}
+	dv := trikcore.BuildDualView(old, new, trikcore.DualViewOptions{TopK: *top})
+	fmt.Print(dv.Summary())
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		before := trikcore.RenderSVG(dv.Before, trikcore.SVGOptions{
+			Title: "before (all cliques)", Markers: dv.BeforeMarkersForSVG()})
+		after := trikcore.RenderSVG(dv.After, trikcore.SVGOptions{
+			Title: "after (changed cliques)", Markers: dv.MarkersForSVG()})
+		if err := os.WriteFile(filepath.Join(*outDir, "before.svg"), []byte(before), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, "after.svg"), []byte(after), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s and %s\n", filepath.Join(*outDir, "before.svg"), filepath.Join(*outDir, "after.svg"))
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// PPI case study: find near-cliques in a protein-interaction network
+// (Figure 7) and bridge cliques spanning protein complexes (Figure 12),
+// on the synthetic PPI stand-in with known planted structures.
+//
+//	go run ./examples/ppi
+package main
+
+import (
+	"fmt"
+
+	"trikcore"
+	"trikcore/internal/dataset"
+)
+
+func main() {
+	study := dataset.PPIStudy()
+	g := study.G
+	fmt.Printf("PPI stand-in: %d proteins, %d interactions\n\n", g.NumVertices(), g.NumEdges())
+
+	// Figure 7: the density plot's top peaks are the planted structures.
+	d := trikcore.Decompose(g)
+	series := trikcore.DensityPlot(g, d)
+	fmt.Println("top clique-like structures (density plot peaks):")
+	for i, pk := range series.TopPeaks(3, 5) {
+		exact := ""
+		if trikcore.MaxClique(subgraphOf(g, pk.Vertices)) != nil &&
+			len(trikcore.MaxClique(subgraphOf(g, pk.Vertices))) == pk.Width() {
+			exact = " (an exact clique)"
+		}
+		fmt.Printf("  peak %d: %d proteins at co_clique_size %d%s\n", i+1, pk.Width(), pk.Height, exact)
+	}
+	fmt.Printf("\nplanted: a 9-clique, an exact 10-clique, and 10 proteins missing the single\n"+
+		"interaction %v — which therefore plot as a 9-clique, exactly as in the paper.\n\n",
+		study.MissingEdge)
+
+	// Figure 12: bridge cliques across complexes via the static template
+	// variant — an edge is "new" when it connects different complexes.
+	res := trikcore.DetectTemplate(g, trikcore.BridgePattern(trikcore.InterComplexNovelty(study.Complex)))
+	fmt.Println("bridge cliques across protein complexes:")
+	for i, pk := range res.TopCliques(3, 3) {
+		complexes := map[string]int{}
+		for _, v := range pk.Vertices {
+			complexes[study.Complex[v]]++
+		}
+		fmt.Printf("  bridge %d: %d proteins at co_clique_size %d spanning %v\n",
+			i+1, pk.Width(), pk.Height, complexes)
+	}
+	fmt.Printf("\nplanted bridges 2 and 3 overlap on %d proteins — the paper's indication that\n"+
+		"the bridged proteins are closely related in function.\n",
+		overlap(study.BridgeCliques[1], study.BridgeCliques[2]))
+}
+
+func subgraphOf(g *trikcore.Graph, verts []trikcore.Vertex) *trikcore.Graph {
+	sub := trikcore.NewGraph()
+	in := map[trikcore.Vertex]bool{}
+	for _, v := range verts {
+		in[v] = true
+		sub.AddVertex(v)
+	}
+	for _, v := range verts {
+		g.ForEachNeighbor(v, func(w trikcore.Vertex) bool {
+			if in[w] && v < w {
+				sub.AddEdge(v, w)
+			}
+			return true
+		})
+	}
+	return sub
+}
+
+func overlap(a, b []trikcore.Vertex) int {
+	in := map[trikcore.Vertex]bool{}
+	for _, v := range a {
+		in[v] = true
+	}
+	n := 0
+	for _, v := range b {
+		if in[v] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,68 @@
+// Service: run the Triangle K-Core analytics server over a live graph
+// and drive it with HTTP requests — ingest edges, watch κ respond, pull
+// the density plot.
+//
+//	go run ./examples/service
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+
+	"trikcore"
+	"trikcore/internal/gen"
+	"trikcore/internal/server"
+)
+
+func main() {
+	// Seed the service with a small social graph.
+	g := gen.PowerLawCluster(500, 4, 0.5, 7)
+	srv := httptest.NewServer(server.New(g).Handler())
+	defer srv.Close()
+	fmt.Println("service listening on", srv.URL)
+
+	get := func(path string) []byte {
+		resp, err := http.Get(srv.URL + path)
+		must(err)
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		must(err)
+		return body
+	}
+
+	fmt.Printf("\n--> GET /stats\n%s", get("/stats"))
+
+	// A new community of six members forms, one edge at a time.
+	var payload struct {
+		Add [][2]trikcore.Vertex `json:"add"`
+	}
+	members := []trikcore.Vertex{600, 601, 602, 603, 604, 605}
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			payload.Add = append(payload.Add, [2]trikcore.Vertex{members[i], members[j]})
+		}
+	}
+	body, _ := json.Marshal(payload)
+	resp, err := http.Post(srv.URL+"/edges", "application/json", bytes.NewReader(body))
+	must(err)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	fmt.Printf("\n--> POST /edges (%d new links)\n", len(payload.Add))
+
+	fmt.Printf("\n--> GET /kappa?u=600&v=601\n%s", get("/kappa?u=600&v=601"))
+	fmt.Printf("\n--> GET /core?u=600&v=601\n%s", get("/core?u=600&v=601"))
+	fmt.Printf("\n--> GET /communities?k=4\n%s", get("/communities?k=4"))
+	fmt.Printf("\n--> GET /stats (after ingest)\n%s", get("/stats"))
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// Template pattern cliques: probe two snapshots of an evolving
+// collaboration network for New Form, Bridge and New Join cliques — the
+// paper's DBLP case studies (Figures 9–11) on a synthetic stand-in with
+// known planted events.
+//
+//	go run ./examples/templates
+package main
+
+import (
+	"fmt"
+
+	"trikcore"
+	"trikcore/internal/gen"
+)
+
+func main() {
+	// Two consecutive "publication years" with three planted events.
+	pair := gen.CollabSnapshots(2000, 1200, 99)
+	fmt.Printf("year 1: %d authors, %d collaborations\n",
+		pair.Old.NumVertices(), pair.Old.NumEdges())
+	fmt.Printf("year 2: %d authors, %d collaborations\n\n",
+		pair.New.NumVertices(), pair.New.NumEdges())
+
+	nov := trikcore.EvolvingNovelty(pair.Old, pair.New)
+	patterns := []struct {
+		spec    trikcore.TemplateSpec
+		planted []trikcore.Vertex
+		story   string
+	}{
+		{trikcore.NewFormPattern(nov), pair.NewFormClique,
+			"authors collaborating together for the first time"},
+		{trikcore.BridgePattern(nov), pair.BridgeClique,
+			"two previously disconnected groups merging"},
+		{trikcore.NewJoinPattern(nov), pair.NewJoinClique,
+			"an existing team joined by newcomers"},
+	}
+
+	for _, p := range patterns {
+		res := trikcore.DetectTemplate(pair.New, p.spec)
+		fmt.Printf("pattern %q (%s):\n", res.Spec.Name, p.story)
+		fmt.Printf("  characteristic triangles: %d, possible: %d, special edges: %d\n",
+			len(res.Characteristic), len(res.Possible), res.Special.NumEdges())
+		peaks := res.TopCliques(1, 3)
+		if len(peaks) == 0 {
+			fmt.Println("  no pattern cliques found")
+			continue
+		}
+		pk := peaks[0]
+		fmt.Printf("  densest pattern clique: %d vertices at co_clique_size %d\n",
+			pk.Width(), pk.Height)
+		hit := 0
+		in := map[trikcore.Vertex]bool{}
+		for _, v := range pk.Vertices {
+			in[v] = true
+		}
+		for _, v := range p.planted {
+			if in[v] {
+				hit++
+			}
+		}
+		fmt.Printf("  planted event recovered: %d/%d vertices\n\n", hit, len(p.planted))
+	}
+}

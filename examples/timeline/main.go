@@ -1,0 +1,57 @@
+// Timeline: follow dense communities through a stream of snapshots with
+// stable identities — watch one community form, grow, absorb another and
+// finally dissolve.
+//
+//	go run ./examples/timeline
+package main
+
+import (
+	"fmt"
+
+	"trikcore"
+)
+
+func addClique(g *trikcore.Graph, verts ...trikcore.Vertex) {
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			g.AddEdge(verts[i], verts[j])
+		}
+	}
+}
+
+func main() {
+	tl := trikcore.NewTimeline(2) // follow Triangle 2-Core communities
+
+	// Snapshot 0: two separate research groups.
+	s0 := trikcore.NewGraph()
+	addClique(s0, 1, 2, 3, 4)
+	addClique(s0, 10, 11, 12, 13, 14)
+	tl.Observe(s0, trikcore.EventOptions{})
+
+	// Snapshot 1: the first group recruits three members.
+	s1 := s0.Clone()
+	addClique(s1, 1, 2, 3, 4, 5, 6, 7)
+	tl.Observe(s1, trikcore.EventOptions{})
+
+	// Snapshot 2: the groups merge into one team.
+	s2 := s1.Clone()
+	for _, u := range []trikcore.Vertex{1, 2, 3, 4, 5, 6, 7} {
+		for _, v := range []trikcore.Vertex{10, 11, 12, 13, 14} {
+			s2.AddEdge(u, v)
+		}
+	}
+	tl.Observe(s2, trikcore.EventOptions{})
+
+	// Snapshot 3: the collaboration winds down to a rump of three.
+	s3 := trikcore.NewGraph()
+	addClique(s3, 1, 2, 3)
+	tl.Observe(s3, trikcore.EventOptions{})
+
+	fmt.Print(tl.Summary())
+	fmt.Println("\ntransitions:")
+	for _, step := range tl.Steps {
+		for _, e := range step.Events {
+			fmt.Printf("  snapshot %d: %v\n", step.Snapshot, e)
+		}
+	}
+}

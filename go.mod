@@ -1,0 +1,3 @@
+module trikcore
+
+go 1.22

@@ -1,0 +1,194 @@
+// Package clique implements maximal-clique enumeration and maximum-clique
+// search via the Bron–Kerbosch algorithm with pivoting, with an optional
+// degeneracy-ordered outer loop for sparse graphs.
+//
+// In this repository cliques serve two roles: they power the CSV baseline
+// (which must compute, per edge, the largest clique the edge participates
+// in — the expensive step the Triangle K-Core proxy replaces), and they
+// verify case-study claims (e.g. the planted 10-vertex clique in the PPI
+// stand-in of Figure 7 is an exact clique).
+package clique
+
+import (
+	"sort"
+
+	"trikcore/internal/graph"
+	"trikcore/internal/kcore"
+)
+
+// ForEachMaximal calls fn once per maximal clique of g. Cliques are
+// reported as sorted vertex slices; the slice is reused across calls, so
+// callers must copy it to retain it. If fn returns false enumeration
+// stops early.
+//
+// The outer loop follows a degeneracy ordering, which bounds the depth of
+// the pivoted Bron–Kerbosch recursion and makes the enumeration practical
+// on sparse graphs.
+func ForEachMaximal(g *graph.Graph, fn func(clique []graph.Vertex) bool) {
+	order := kcore.DegeneracyOrder(g)
+	pos := make(map[graph.Vertex]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	e := &enumerator{g: g, fn: fn}
+	for _, v := range order {
+		if e.stopped {
+			return
+		}
+		var p, x []graph.Vertex
+		g.ForEachNeighbor(v, func(w graph.Vertex) bool {
+			if pos[w] > pos[v] {
+				p = append(p, w)
+			} else {
+				x = append(x, w)
+			}
+			return true
+		})
+		e.r = e.r[:0]
+		e.r = append(e.r, v)
+		e.expand(p, x)
+	}
+}
+
+type enumerator struct {
+	g       *graph.Graph
+	fn      func([]graph.Vertex) bool
+	r       []graph.Vertex
+	stopped bool
+	scratch []graph.Vertex
+}
+
+// expand is Bron–Kerbosch with pivoting on R = e.r, candidates p and
+// excluded set x.
+func (e *enumerator) expand(p, x []graph.Vertex) {
+	if e.stopped {
+		return
+	}
+	if len(p) == 0 && len(x) == 0 {
+		e.scratch = append(e.scratch[:0], e.r...)
+		sort.Slice(e.scratch, func(i, j int) bool { return e.scratch[i] < e.scratch[j] })
+		if !e.fn(e.scratch) {
+			e.stopped = true
+		}
+		return
+	}
+	// Pivot: the vertex of P ∪ X with the most neighbors in P minimizes
+	// the branching set P \ N(pivot).
+	pivot := graph.Vertex(-1)
+	best := -1
+	for _, cand := range [][]graph.Vertex{p, x} {
+		for _, u := range cand {
+			n := 0
+			for _, w := range p {
+				if e.g.HasEdge(u, w) {
+					n++
+				}
+			}
+			if n > best {
+				best, pivot = n, u
+			}
+		}
+	}
+	// Branch on candidates not adjacent to the pivot. Iterate over a copy
+	// because p is mutated as vertices move to x.
+	var branch []graph.Vertex
+	for _, v := range p {
+		if !e.g.HasEdge(pivot, v) {
+			branch = append(branch, v)
+		}
+	}
+	for _, v := range branch {
+		var np, nx []graph.Vertex
+		for _, w := range p {
+			if e.g.HasEdge(v, w) {
+				np = append(np, w)
+			}
+		}
+		for _, w := range x {
+			if e.g.HasEdge(v, w) {
+				nx = append(nx, w)
+			}
+		}
+		e.r = append(e.r, v)
+		e.expand(np, nx)
+		e.r = e.r[:len(e.r)-1]
+		if e.stopped {
+			return
+		}
+		// Move v from P to X.
+		for i, w := range p {
+			if w == v {
+				p = append(p[:i], p[i+1:]...)
+				break
+			}
+		}
+		x = append(x, v)
+	}
+}
+
+// Maximal returns all maximal cliques of g, each sorted ascending, the
+// list ordered lexicographically.
+func Maximal(g *graph.Graph) [][]graph.Vertex {
+	var out [][]graph.Vertex
+	ForEachMaximal(g, func(c []graph.Vertex) bool {
+		out = append(out, append([]graph.Vertex(nil), c...))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// Max returns one maximum clique of g (nil for an empty graph).
+func Max(g *graph.Graph) []graph.Vertex {
+	var best []graph.Vertex
+	ForEachMaximal(g, func(c []graph.Vertex) bool {
+		if len(c) > len(best) {
+			best = append(best[:0:0], c...)
+		}
+		return true
+	})
+	return best
+}
+
+// MaxSize returns the order of the largest clique in g (0 for an empty
+// graph). If cap > 0, enumeration stops as soon as a clique of at least
+// cap vertices is seen and cap is returned; this keeps the CSV baseline's
+// per-edge searches bounded.
+func MaxSize(g *graph.Graph, cap int) int {
+	best := 0
+	ForEachMaximal(g, func(c []graph.Vertex) bool {
+		if len(c) > best {
+			best = len(c)
+		}
+		return cap <= 0 || best < cap
+	})
+	if cap > 0 && best > cap {
+		best = cap
+	}
+	return best
+}
+
+// CoCliqueSize returns the order of the largest clique of g containing the
+// edge e: 2 plus the maximum clique order within the subgraph induced by
+// the common neighborhood of e's endpoints. It returns 0 if e is not an
+// edge of g. This is exactly the quantity the CSV baseline computes per
+// edge.
+func CoCliqueSize(g *graph.Graph, e graph.Edge) int {
+	if !g.HasEdgeE(e) {
+		return 0
+	}
+	common := g.CommonNeighbors(e.U, e.V)
+	if len(common) == 0 {
+		return 2
+	}
+	sub := graph.InducedSubgraph(g, common)
+	return 2 + MaxSize(sub, 0)
+}

@@ -1,0 +1,174 @@
+package clique
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"trikcore/internal/graph"
+	"trikcore/internal/reference"
+)
+
+func randomGraph(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Vertex(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(graph.Vertex(i), graph.Vertex(j))
+			}
+		}
+	}
+	return g
+}
+
+func TestMaximalSmall(t *testing.T) {
+	// Two triangles sharing edge 2-3, plus pendant 5.
+	g := graph.FromPairs(1, 2, 1, 3, 2, 3, 2, 4, 3, 4, 4, 5)
+	got := Maximal(g)
+	want := [][]graph.Vertex{{1, 2, 3}, {2, 3, 4}, {4, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Maximal = %v, want %v", got, want)
+	}
+}
+
+func TestMaximalIsolatedVertex(t *testing.T) {
+	g := graph.New()
+	g.AddVertex(9)
+	got := Maximal(g)
+	if !reflect.DeepEqual(got, [][]graph.Vertex{{9}}) {
+		t.Fatalf("Maximal = %v, want [[9]]", got)
+	}
+}
+
+func TestMaximalEmpty(t *testing.T) {
+	if got := Maximal(graph.New()); len(got) != 0 {
+		t.Fatalf("Maximal(empty) = %v", got)
+	}
+	if Max(graph.New()) != nil {
+		t.Fatal("Max(empty) should be nil")
+	}
+	if MaxSize(graph.New(), 0) != 0 {
+		t.Fatal("MaxSize(empty) should be 0")
+	}
+}
+
+func TestQuickMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(12, 0.4, seed)
+		got := Maximal(g)
+		want := reference.MaximalCliques(g)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxOnPlantedClique(t *testing.T) {
+	g := randomGraph(40, 0.1, 5)
+	// Plant a 7-clique on vertices 100..106.
+	for i := graph.Vertex(100); i < 107; i++ {
+		for j := i + 1; j < 107; j++ {
+			g.AddEdge(i, j)
+		}
+		g.AddEdge(i, graph.Vertex(int(i)-100)) // attach to the noise graph
+	}
+	best := Max(g)
+	if len(best) != 7 {
+		t.Fatalf("max clique size %d, want 7 (clique %v)", len(best), best)
+	}
+	if !graph.IsClique(g, best) {
+		t.Fatal("reported max clique is not a clique")
+	}
+}
+
+func TestMaxSizeWithCap(t *testing.T) {
+	g := graph.New()
+	for i := graph.Vertex(0); i < 9; i++ {
+		for j := i + 1; j < 9; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	if got := MaxSize(g, 4); got != 4 {
+		t.Fatalf("MaxSize cap=4 on K9 = %d, want 4", got)
+	}
+	if got := MaxSize(g, 0); got != 9 {
+		t.Fatalf("MaxSize cap=0 on K9 = %d, want 9", got)
+	}
+}
+
+func TestQuickCoCliqueSizeMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(13, 0.45, seed)
+		ok := true
+		g.ForEachEdge(func(e graph.Edge) bool {
+			if CoCliqueSize(g, e) != reference.CoCliqueSize(g, e) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoCliqueSizeAbsentEdge(t *testing.T) {
+	g := graph.FromPairs(1, 2)
+	if got := CoCliqueSize(g, graph.NewEdge(1, 3)); got != 0 {
+		t.Fatalf("CoCliqueSize(absent) = %d, want 0", got)
+	}
+	if got := CoCliqueSize(g, graph.NewEdge(1, 2)); got != 2 {
+		t.Fatalf("CoCliqueSize(bare edge) = %d, want 2", got)
+	}
+}
+
+func TestEveryReportedCliqueIsMaximal(t *testing.T) {
+	g := randomGraph(20, 0.3, 17)
+	ForEachMaximal(g, func(c []graph.Vertex) bool {
+		if !graph.IsClique(g, c) {
+			t.Fatalf("%v is not a clique", c)
+		}
+		// No vertex outside c is adjacent to all of c.
+		g.ForEachVertex(func(v graph.Vertex) bool {
+			in := false
+			for _, w := range c {
+				if w == v {
+					in = true
+					break
+				}
+			}
+			if in {
+				return true
+			}
+			all := true
+			for _, w := range c {
+				if !g.HasEdge(v, w) {
+					all = false
+					break
+				}
+			}
+			if all {
+				t.Fatalf("clique %v is not maximal: %d extends it", c, v)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+func TestForEachMaximalEarlyStop(t *testing.T) {
+	g := randomGraph(15, 0.4, 2)
+	n := 0
+	ForEachMaximal(g, func([]graph.Vertex) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d cliques", n)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	cliquepkg "trikcore/internal/clique"
+	"trikcore/internal/graph"
+	"trikcore/internal/kcore"
+)
+
+// TestKappaBoundedByVertexCore checks the structural relationship between
+// the two decompositions: an edge of a Triangle K-Core with number k has
+// both endpoints with degree ≥ k+1 inside that subgraph, so each
+// endpoint's vertex K-Core number is at least k+1. Hence
+// κ(e) ≤ min(core(u), core(v)) − 1 whenever κ(e) ≥ 1.
+func TestKappaBoundedByVertexCore(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(25, 0.3, seed)
+		d := Decompose(g)
+		vc := kcore.Decompose(g).Core
+		for i, k := range d.Kappa {
+			if k < 1 {
+				continue
+			}
+			e := d.S.EdgeAt(int32(i))
+			min := vc[e.U]
+			if vc[e.V] < min {
+				min = vc[e.V]
+			}
+			if int(k) > min-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxCliqueSandwich checks the two-sided relationship with cliques:
+// ω(e) − 2 ≤ κ(e) (a clique containing e forces support within it), and
+// the graph's maximum clique order ω satisfies ω ≤ MaxKappa + 2.
+func TestMaxCliqueSandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(16, 0.45, seed)
+		d := Decompose(g)
+		// Per-edge lower bound.
+		for _, e := range g.Edges() {
+			omega := cliquepkg.CoCliqueSize(g, e)
+			k, _ := d.KappaOf(e)
+			if int32(omega)-2 > k {
+				return false
+			}
+		}
+		// Global upper bound.
+		maxClique := cliquepkg.MaxSize(g, 0)
+		return maxClique <= int(d.MaxKappa)+2 || g.NumEdges() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKappaMonotoneUnderEdgeAddition checks monotonicity: adding an edge
+// never decreases any existing edge's κ.
+func TestKappaMonotoneUnderEdgeAddition(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(15, 0.3, seed)
+		before := Decompose(g).EdgeKappas()
+		// Add the first absent pair.
+		done := false
+		for u := graph.Vertex(0); u < 15 && !done; u++ {
+			for v := u + 1; v < 15 && !done; v++ {
+				if !g.HasEdge(u, v) {
+					g.AddEdge(u, v)
+					done = true
+				}
+			}
+		}
+		after := Decompose(g).EdgeKappas()
+		for e, k := range before {
+			if after[e] < k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sort"
+
+	"trikcore/internal/graph"
+)
+
+// CoreSubgraph returns the subgraph formed by all edges with κ ≥ k. By
+// Claim 2 of the paper this subgraph is a Triangle K-Core with Triangle
+// K-Core number at least k (every surviving edge keeps at least k
+// triangles whose other edges also survive).
+func (d *Decomposition) CoreSubgraph(k int32) *graph.Graph {
+	sub := graph.New()
+	for i, kv := range d.Kappa {
+		if kv >= k {
+			sub.AddEdgeE(d.S.EdgeAt(int32(i)))
+		}
+	}
+	return sub
+}
+
+// MaxCoreOf returns the maximum Triangle K-Core associated with edge e
+// (Definition 4) as the triangle-connected component of e within the
+// subgraph of edges with κ ≥ κ(e). The boolean is false if e is not an
+// edge of the decomposed graph.
+//
+// Restricting to the triangle-connected component keeps the result a
+// coherent community around e rather than the union of all equally dense
+// regions of the graph; the component is still a Triangle K-Core with
+// number κ(e) and contains e, hence maximal for e.
+func (d *Decomposition) MaxCoreOf(e graph.Edge) (*graph.Graph, bool) {
+	u, okU := d.S.Pos[e.U]
+	v, okV := d.S.Pos[e.V]
+	if !okU || !okV {
+		return nil, false
+	}
+	start := d.S.EdgeIndex(u, v)
+	if start < 0 {
+		return nil, false
+	}
+	k := d.Kappa[start]
+	comp := d.triangleComponent(start, k)
+	sub := graph.New()
+	for _, i := range comp {
+		sub.AddEdgeE(d.S.EdgeAt(i))
+	}
+	return sub, true
+}
+
+// triangleComponent returns the edge indices reachable from start through
+// triangles whose three edges all have κ ≥ k.
+func (d *Decomposition) triangleComponent(start int32, k int32) []int32 {
+	seen := map[int32]bool{start: true}
+	queue := []int32{start}
+	for len(queue) > 0 {
+		ei := queue[0]
+		queue = queue[1:]
+		u, v := d.S.EdgeU[ei], d.S.EdgeV[ei]
+		d.S.ForEachCommonNeighbor(u, v, func(w int32) bool {
+			e1 := d.S.EdgeIndex(u, w)
+			e2 := d.S.EdgeIndex(v, w)
+			if d.Kappa[e1] < k || d.Kappa[e2] < k {
+				return true
+			}
+			for _, nxt := range [2]int32{e1, e2} {
+				if !seen[nxt] {
+					seen[nxt] = true
+					queue = append(queue, nxt)
+				}
+			}
+			return true
+		})
+	}
+	out := make([]int32, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Communities returns the triangle-connected components of the κ ≥ k
+// subgraph, each as a sorted list of edges, ordered by first edge. These
+// are the clique-like communities the density plots expose as plateaus.
+func (d *Decomposition) Communities(k int32) [][]graph.Edge {
+	seen := make(map[int32]bool)
+	var comms [][]graph.Edge
+	for i := int32(0); i < int32(len(d.Kappa)); i++ {
+		if d.Kappa[i] < k || seen[i] {
+			continue
+		}
+		comp := d.triangleComponent(i, k)
+		edges := make([]graph.Edge, 0, len(comp))
+		for _, ei := range comp {
+			seen[ei] = true
+			edges = append(edges, d.S.EdgeAt(ei))
+		}
+		sort.Slice(edges, func(a, b int) bool { return edges[a].Less(edges[b]) })
+		comms = append(comms, edges)
+	}
+	return comms
+}
+
+// CoreTriangles implements the paper's Rule 1: given the processing order
+// of Algorithm 1, the triangles belonging to e's maximum Triangle K-Core
+// are the last κ(e) triangles on e in increasing order of "process time"
+// (the smallest order value among a triangle's edges). It returns those
+// triangles; the boolean is false if e is absent.
+//
+// This is the mechanism by which the paper avoids storing per-edge core
+// membership (AddToCore / DelFromCore bookkeeping) explicitly.
+func (d *Decomposition) CoreTriangles(e graph.Edge) ([]graph.Triangle, bool) {
+	u, okU := d.S.Pos[e.U]
+	v, okV := d.S.Pos[e.V]
+	if !okU || !okV {
+		return nil, false
+	}
+	ei := d.S.EdgeIndex(u, v)
+	if ei < 0 {
+		return nil, false
+	}
+	type timed struct {
+		t    graph.Triangle
+		when int32
+	}
+	var tris []timed
+	d.S.ForEachCommonNeighbor(u, v, func(w int32) bool {
+		e1 := d.S.EdgeIndex(u, w)
+		e2 := d.S.EdgeIndex(v, w)
+		when := d.OrderOf[ei]
+		if d.OrderOf[e1] < when {
+			when = d.OrderOf[e1]
+		}
+		if d.OrderOf[e2] < when {
+			when = d.OrderOf[e2]
+		}
+		tris = append(tris, timed{
+			t:    graph.NewTriangle(d.S.OrigID[u], d.S.OrigID[v], d.S.OrigID[w]),
+			when: when,
+		})
+		return true
+	})
+	sort.Slice(tris, func(a, b int) bool { return tris[a].when < tris[b].when })
+	k := int(d.Kappa[ei])
+	if k > len(tris) {
+		k = len(tris) // cannot happen for a correct decomposition
+	}
+	out := make([]graph.Triangle, 0, k)
+	for _, tt := range tris[len(tris)-k:] {
+		out = append(out, tt.t)
+	}
+	return out, true
+}

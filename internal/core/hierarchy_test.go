@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"trikcore/internal/graph"
+)
+
+func TestHierarchyNestedCliques(t *testing.T) {
+	// A 6-clique sharing a triangle with a separate sparse triangle ring,
+	// producing levels 1..4 nested around the clique.
+	g := clique(6)
+	g.AddEdge(0, 10)
+	g.AddEdge(1, 10) // triangle (0,1,10) hangs off the clique
+	d := Decompose(g)
+	roots := d.Hierarchy()
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1 connected level-1 community", len(roots))
+	}
+	root := roots[0]
+	if root.K != 1 {
+		t.Fatalf("root level %d", root.K)
+	}
+	// Every edge is in some triangle here: the root holds all 17 edges.
+	if root.Size() != g.NumEdges() {
+		t.Fatalf("root has %d edges, want %d", root.Size(), g.NumEdges())
+	}
+	// Depth: the 6-clique has κ=4 edges, so the chain goes 1→2→3→4.
+	depth := 0
+	for n := root; ; {
+		depth++
+		if len(n.Children) == 0 {
+			break
+		}
+		if len(n.Children) != 1 {
+			t.Fatalf("level %d has %d children, want 1", n.K, len(n.Children))
+		}
+		n = n.Children[0]
+	}
+	if depth != 4 {
+		t.Fatalf("hierarchy depth %d, want 4", depth)
+	}
+	leaves := root.Leaves()
+	if len(leaves) != 1 || leaves[0].K != 4 {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	// The densest leaf is exactly the 6-clique.
+	verts := leaves[0].Vertices()
+	if len(verts) != 6 || verts[0] != 0 || verts[5] != 5 {
+		t.Fatalf("leaf vertices = %v, want the clique", verts)
+	}
+	if leaves[0].Size() != 15 {
+		t.Fatalf("leaf has %d edges, want 15", leaves[0].Size())
+	}
+}
+
+func TestHierarchyTwoComponents(t *testing.T) {
+	// Two disjoint K4s: two roots, each with one level-2 child.
+	g := clique(4)
+	for i := graph.Vertex(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(i+10, j+10)
+		}
+	}
+	d := Decompose(g)
+	roots := d.Hierarchy()
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots, want 2", len(roots))
+	}
+	for _, r := range roots {
+		if r.Size() != 6 || len(r.Children) != 1 || r.Children[0].K != 2 {
+			t.Fatalf("root malformed: %+v", r)
+		}
+	}
+}
+
+func TestHierarchyNestingInvariant(t *testing.T) {
+	// Property: every child's edge set is a subset of its parent's.
+	g := randomGraph(40, 0.3, 12)
+	d := Decompose(g)
+	var check func(n *HierarchyNode)
+	check = func(n *HierarchyNode) {
+		in := make(map[graph.Edge]bool, len(n.Edges))
+		for _, e := range n.Edges {
+			in[e] = true
+		}
+		for _, c := range n.Children {
+			if c.K != n.K+1 {
+				t.Fatalf("child level %d under parent level %d", c.K, n.K)
+			}
+			for _, e := range c.Edges {
+				if !in[e] {
+					t.Fatalf("child edge %v not in parent", e)
+				}
+			}
+			check(c)
+		}
+	}
+	total := 0
+	for _, r := range d.Hierarchy() {
+		check(r)
+		total += r.Size()
+	}
+	// Roots partition the κ ≥ 1 edges.
+	want := 0
+	for _, k := range d.Kappa {
+		if k >= 1 {
+			want++
+		}
+	}
+	if total != want {
+		t.Fatalf("roots cover %d edges, want %d", total, want)
+	}
+}
+
+func TestHierarchyTriangleFree(t *testing.T) {
+	g := graph.FromPairs(1, 2, 2, 3, 3, 4)
+	if got := Decompose(g).Hierarchy(); got != nil {
+		t.Fatalf("triangle-free hierarchy = %v, want nil", got)
+	}
+}

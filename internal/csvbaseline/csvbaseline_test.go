@@ -1,0 +1,108 @@
+package csvbaseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trikcore/internal/core"
+	"trikcore/internal/graph"
+	"trikcore/internal/reference"
+)
+
+func randomGraph(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Vertex(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(graph.Vertex(i), graph.Vertex(j))
+			}
+		}
+	}
+	return g
+}
+
+func TestQuickMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(13, 0.45, seed)
+		got := CoCliqueSizes(g)
+		for _, e := range g.Edges() {
+			if got[e] != reference.CoCliqueSize(g, e) {
+				return false
+			}
+		}
+		return len(got) == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	g := randomGraph(40, 0.25, 9)
+	serial := CoCliqueSizesWith(g, Options{Parallelism: 1})
+	parallel := CoCliqueSizesWith(g, Options{Parallelism: 8})
+	for e, s := range serial {
+		if parallel[e] != s {
+			t.Fatalf("edge %v: serial %d, parallel %d", e, s, parallel[e])
+		}
+	}
+}
+
+func TestCap(t *testing.T) {
+	g := graph.New()
+	for i := graph.Vertex(0); i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	capped := CoCliqueSizesWith(g, Options{Cap: 5})
+	for e, s := range capped {
+		if s != 5 {
+			t.Fatalf("capped co_clique_size(%v) = %d, want 5", e, s)
+		}
+	}
+	exact := CoCliqueSizes(g)
+	for e, s := range exact {
+		if s != 10 {
+			t.Fatalf("exact co_clique_size(%v) = %d, want 10", e, s)
+		}
+	}
+}
+
+// TestKappaLowerBoundsCoClique verifies the relaxation direction stated in
+// Section III: a clique of order c forces κ ≥ c-2 on its edges, so
+// co_clique_size(e) ≤ κ(e)+2 — the Triangle K-Core proxy never
+// underestimates the true maximum clique containing an edge.
+func TestKappaLowerBoundsCoClique(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(16, 0.4, seed)
+		cs := CoCliqueSizes(g)
+		d := core.Decompose(g)
+		for e, c := range cs {
+			k, _ := d.KappaOf(e)
+			if c > int(k)+2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	if got := CoCliqueSizes(graph.New()); len(got) != 0 {
+		t.Fatalf("empty graph: %v", got)
+	}
+	g := graph.FromPairs(1, 2)
+	got := CoCliqueSizes(g)
+	if got[graph.NewEdge(1, 2)] != 2 {
+		t.Fatalf("bare edge co_clique_size = %d, want 2", got[graph.NewEdge(1, 2)])
+	}
+}

@@ -1,0 +1,272 @@
+// Package dataset is the registry of evaluation graphs reproducing
+// Table I of the paper. The original datasets (Stocks, PPI, DBLP,
+// Astro-Author, Epinions, Amazon, Wiki, Flickr, LiveJournal) are not
+// redistributable, so each entry builds a deterministic synthetic
+// stand-in of the same order and size and of matching structural
+// character (see DESIGN.md §3.1). Flickr and LiveJournal are scaled down
+// (1/10 and 1/16) to stay laptop-sized; every entry records its scale so
+// reports can state it.
+package dataset
+
+import (
+	"fmt"
+	"sync"
+
+	"trikcore/internal/gen"
+	"trikcore/internal/graph"
+)
+
+// Dataset is one Table I row.
+type Dataset struct {
+	// Name matches the paper's dataset name.
+	Name string
+	// PaperV and PaperE are the sizes reported in Table I.
+	PaperV, PaperE int
+	// Scale is the fraction of the paper's size this stand-in realizes
+	// (1.0 for everything except Flickr and LiveJournal).
+	Scale float64
+	// Description summarizes the generator used.
+	Description string
+
+	build func(v, e int, seed int64) *graph.Graph
+	seed  int64
+
+	once sync.Once
+	g    *graph.Graph
+}
+
+// TargetV returns the stand-in's vertex count (paper size × scale).
+func (d *Dataset) TargetV() int { return int(float64(d.PaperV)*d.Scale + 0.5) }
+
+// TargetE returns the stand-in's edge count (paper size × scale).
+func (d *Dataset) TargetE() int { return int(float64(d.PaperE)*d.Scale + 0.5) }
+
+// Graph builds (once) and returns the stand-in graph. The result is
+// shared; callers must not mutate it — Clone first.
+func (d *Dataset) Graph() *graph.Graph {
+	d.once.Do(func() {
+		d.g = d.build(d.TargetV(), d.TargetE(), d.seed)
+		if got := d.g.NumEdges(); got != d.TargetE() {
+			panic(fmt.Sprintf("dataset %s: built %d edges, want %d", d.Name, got, d.TargetE()))
+		}
+	})
+	return d.g
+}
+
+// GenerateAt builds an uncached instance at the given fraction of the
+// stand-in's size (useful for quick tests and sweeps). The edge count is
+// exact at every scale.
+func (d *Dataset) GenerateAt(fraction float64) *graph.Graph {
+	v := int(float64(d.TargetV())*fraction + 0.5)
+	e := int(float64(d.TargetE())*fraction + 0.5)
+	if v < 10 {
+		v = 10
+	}
+	maxE := v * (v - 1) / 2
+	if e > maxE {
+		e = maxE
+	}
+	return d.build(v, e, d.seed)
+}
+
+// exact wraps a generator so the produced graph has exactly v vertices
+// (ids 0..v-1, possibly isolated) and e edges.
+func exact(build func(v, e int, seed int64) *graph.Graph) func(v, e int, seed int64) *graph.Graph {
+	return func(v, e int, seed int64) *graph.Graph {
+		g := build(v, e, seed)
+		for i := 0; i < v; i++ {
+			g.AddVertex(graph.Vertex(i))
+		}
+		if g.NumEdges() < e {
+			gen.TopUpEdges(g, e, seed^0x7f4a7c15)
+		} else if g.NumEdges() > e {
+			gen.TrimEdges(g, e, nil, seed^0x7f4a7c15)
+		}
+		return g
+	}
+}
+
+// fitCliqueSizes shrinks a planted-clique size list so the cliques fit
+// within v vertices and e edges (used when a dataset is instantiated
+// below its natural size). Cliques smaller than 3 are dropped.
+func fitCliqueSizes(sizes []int, v, e int) []int {
+	var out []int
+	usedV, usedE := 0, 0
+	for _, s := range sizes {
+		if v < 60 {
+			s = s * v / 60
+		}
+		if s < 3 {
+			continue
+		}
+		for s >= 3 && (usedV+s > v || usedE+s*(s-1)/2 > e) {
+			s--
+		}
+		if s < 3 {
+			continue
+		}
+		out = append(out, s)
+		usedV += s
+		usedE += s * (s - 1) / 2
+	}
+	return out
+}
+
+// plc returns an exact-size Holme–Kim builder with the given attachment
+// count heuristic and triad probability, plus planted dense communities
+// (one per ~700 vertices, orders 5–22 at density 0.9, and a handful of
+// larger looser ones) — the clique-like groups real collaboration and
+// social graphs carry, without which the stand-ins would be unrealistically
+// easy for the per-edge clique searches of the CSV baseline.
+func plc(p float64) func(v, e int, seed int64) *graph.Graph {
+	return exact(func(v, e int, seed int64) *graph.Graph {
+		m := e / v
+		if m < 1 {
+			m = 1
+		}
+		g := gen.PowerLawCluster(v, m, p, seed)
+		if n := v / 700; n > 0 {
+			gen.AddCommunities(g, n, 5, 22, 0.9, seed^0xC0)
+			gen.AddCommunities(g, n/10+1, 25, 40, 0.8, seed^0xC1)
+		}
+		return g
+	})
+}
+
+var registry = []*Dataset{
+	{
+		Name: "Synthetic", PaperV: 60, PaperE: 308, Scale: 1, seed: 1001,
+		Description: "planted cliques (8,7,6,5,5) in uniform noise",
+		build: exact(func(v, e int, seed int64) *graph.Graph {
+			return gen.PlantedCliques(v, e, fitCliqueSizes([]int{8, 7, 6, 5, 5}, v, e), seed).G
+		}),
+	},
+	{
+		Name: "Stocks", PaperV: 275, PaperE: 1680, Scale: 1, seed: 1002,
+		Description: "sector factor-model correlation graph, top-E pairs",
+		build: exact(func(v, e int, seed int64) *graph.Graph {
+			return gen.Stocks(v, 12, 250, e, seed)
+		}),
+	},
+	{
+		Name: "PPI", PaperV: 4741, PaperE: 15147, Scale: 1, seed: 1003,
+		Description: "protein complexes with planted case-study cliques",
+		build: exact(func(v, e int, seed int64) *graph.Graph {
+			return gen.PPI(v, e, seed).G
+		}),
+	},
+	{
+		Name: "DBLP", PaperV: 6445, PaperE: 11848, Scale: 1, seed: 1004,
+		Description: "one-year collaboration graph (papers as cliques)",
+		build: exact(func(v, e int, seed int64) *graph.Graph {
+			// Papers average ~2.5 edges each; trim/top-up fixes the rest.
+			return gen.CollabSnapshots(v-21, e*2/5, seed).New
+		}),
+	},
+	{
+		Name: "Astro-Author", PaperV: 17903, PaperE: 190972, Scale: 1, seed: 1005,
+		Description: "Holme–Kim scale-free with strong triadic closure",
+		build:       plc(0.7),
+	},
+	{
+		Name: "Epinions", PaperV: 75879, PaperE: 405741, Scale: 1, seed: 1006,
+		Description: "Holme–Kim scale-free trust-network shape",
+		build:       plc(0.35),
+	},
+	{
+		Name: "Amazon", PaperV: 262111, PaperE: 899792, Scale: 1, seed: 1007,
+		Description: "low-clustering co-purchase shape",
+		build:       plc(0.15),
+	},
+	{
+		Name: "Wiki", PaperV: 176265, PaperE: 1010204, Scale: 1, seed: 1008,
+		Description: "scale-free link graph with planted topic cliques",
+		build: exact(func(v, e int, seed int64) *graph.Graph {
+			return gen.WikiSnapshots(v, e, 0, seed).Snap1
+		}),
+	},
+	{
+		Name: "Flickr", PaperV: 1715255, PaperE: 15555041, Scale: 0.10, seed: 1009,
+		Description: "dense social graph shape (1/10 scale)",
+		build:       plc(0.6),
+	},
+	{
+		Name: "LiveJournal", PaperV: 4887571, PaperE: 32851237, Scale: 0.0625, seed: 1010,
+		Description: "large social graph shape (1/16 scale)",
+		build:       plc(0.5),
+	},
+}
+
+// All returns the Table I datasets in paper order.
+func All() []*Dataset { return registry }
+
+// ByName returns the dataset with the given name.
+func ByName(name string) (*Dataset, bool) {
+	for _, d := range registry {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// Names returns all dataset names in paper order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, d := range registry {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// LargestFive returns the five datasets Table III uses for the dynamic
+// update experiment: Astro-Author, Epinions, Amazon, Flickr, LiveJournal.
+func LargestFive() []*Dataset {
+	var out []*Dataset
+	for _, name := range []string{"Astro-Author", "Epinions", "Amazon", "Flickr", "LiveJournal"} {
+		d, _ := ByName(name)
+		out = append(out, d)
+	}
+	return out
+}
+
+// FigureSix returns the datasets whose density plots Figure 6 compares
+// qualitatively against CSV: the small-to-medium ones where CSV is
+// feasible.
+func FigureSix() []*Dataset {
+	var out []*Dataset
+	for _, name := range []string{"Synthetic", "Stocks", "PPI", "DBLP"} {
+		d, _ := ByName(name)
+		out = append(out, d)
+	}
+	return out
+}
+
+// PPIStudy returns the full PPI stand-in with its ground truth (Figure 7
+// cliques, complexes, Figure 12 bridges). The graph is rebuilt on each
+// call; it is the same graph the "PPI" registry entry wraps, before
+// exact-size adjustment.
+func PPIStudy() gen.PPIResult {
+	d, _ := ByName("PPI")
+	return gen.PPI(d.TargetV(), d.TargetE(), d.seed)
+}
+
+// WikiStudy returns the wiki snapshot pair with ground truth for the
+// Figure 8 dual-view case study, at the given fraction of the dataset's
+// full size (1.0 = Table I size), with churn newEdges.
+func WikiStudy(fraction float64, newEdges int) gen.WikiPair {
+	d, _ := ByName("Wiki")
+	v := int(float64(d.TargetV())*fraction + 0.5)
+	e := int(float64(d.TargetE())*fraction + 0.5)
+	return gen.WikiSnapshots(v, e, newEdges, d.seed)
+}
+
+// CollabStudy returns the collaboration snapshot pair with ground truth
+// for the Figures 9–11 template studies, at the given fraction of the
+// DBLP dataset's size.
+func CollabStudy(fraction float64) gen.CollabPair {
+	d, _ := ByName("DBLP")
+	v := int(float64(d.TargetV())*fraction + 0.5)
+	papers := int(float64(d.TargetE())*fraction*2/5 + 0.5)
+	return gen.CollabSnapshots(v, papers, d.seed)
+}

@@ -1,0 +1,151 @@
+package dataset
+
+import (
+	"testing"
+
+	"trikcore/internal/graph"
+)
+
+func TestRegistryShape(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("registry has %d datasets, want 10 (Table I)", len(all))
+	}
+	wantOrder := []string{"Synthetic", "Stocks", "PPI", "DBLP", "Astro-Author",
+		"Epinions", "Amazon", "Wiki", "Flickr", "LiveJournal"}
+	for i, name := range Names() {
+		if name != wantOrder[i] {
+			t.Fatalf("dataset %d is %s, want %s", i, name, wantOrder[i])
+		}
+	}
+	for _, d := range all {
+		if d.Scale <= 0 || d.Scale > 1 {
+			t.Fatalf("%s: scale %v out of range", d.Name, d.Scale)
+		}
+		if d.Description == "" {
+			t.Fatalf("%s: missing description", d.Name)
+		}
+	}
+	// Only the two giants are scaled down.
+	for _, d := range all[:8] {
+		if d.Scale != 1 {
+			t.Fatalf("%s should be full scale", d.Name)
+		}
+	}
+	f, _ := ByName("Flickr")
+	lj, _ := ByName("LiveJournal")
+	if f.Scale != 0.10 || lj.Scale != 0.0625 {
+		t.Fatal("giant dataset scales wrong")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("PPI"); !ok {
+		t.Fatal("PPI missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown dataset found")
+	}
+}
+
+func TestSelections(t *testing.T) {
+	l5 := LargestFive()
+	if len(l5) != 5 || l5[0].Name != "Astro-Author" || l5[4].Name != "LiveJournal" {
+		t.Fatalf("LargestFive = %v", names(l5))
+	}
+	f6 := FigureSix()
+	if len(f6) != 4 || f6[0].Name != "Synthetic" || f6[3].Name != "DBLP" {
+		t.Fatalf("FigureSix = %v", names(f6))
+	}
+}
+
+func names(ds []*Dataset) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Name
+	}
+	return out
+}
+
+func TestSmallDatasetsBuildExactly(t *testing.T) {
+	for _, name := range []string{"Synthetic", "Stocks", "PPI", "DBLP"} {
+		d, _ := ByName(name)
+		g := d.Graph()
+		if g.NumVertices() != d.TargetV() {
+			t.Fatalf("%s: %d vertices, want %d", name, g.NumVertices(), d.TargetV())
+		}
+		if g.NumEdges() != d.TargetE() {
+			t.Fatalf("%s: %d edges, want %d", name, g.NumEdges(), d.TargetE())
+		}
+		if d.Graph() != g {
+			t.Fatalf("%s: Graph() not cached", name)
+		}
+	}
+}
+
+func TestGenerateAtScalesLargeDatasets(t *testing.T) {
+	// Build tiny instances of every large dataset to exercise their
+	// generators without paying full-size costs.
+	for _, name := range []string{"Astro-Author", "Epinions", "Amazon", "Wiki", "Flickr", "LiveJournal"} {
+		d, _ := ByName(name)
+		g := d.GenerateAt(0.01)
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s: empty mini instance", name)
+		}
+		wantE := int(float64(d.TargetE())*0.01 + 0.5)
+		maxE := g.NumVertices() * (g.NumVertices() - 1) / 2
+		if wantE > maxE {
+			wantE = maxE
+		}
+		if g.NumEdges() != wantE {
+			t.Fatalf("%s: mini has %d edges, want %d", name, g.NumEdges(), wantE)
+		}
+	}
+}
+
+func TestStudies(t *testing.T) {
+	ppi := PPIStudy()
+	if ppi.G.NumEdges() != 15147 {
+		t.Fatalf("PPI study has %d edges", ppi.G.NumEdges())
+	}
+	wiki := WikiStudy(0.01, 20)
+	if wiki.Snap1.NumEdges() == 0 || wiki.Snap2.NumEdges() <= wiki.Snap1.NumEdges() {
+		t.Fatal("wiki study snapshots malformed")
+	}
+	collab := CollabStudy(0.05)
+	if collab.Old.NumEdges() == 0 || collab.New.NumEdges() == 0 {
+		t.Fatal("collab study snapshots malformed")
+	}
+	if !graph.IsClique(collab.New, collab.NewFormClique) {
+		t.Fatal("collab study missing planted event")
+	}
+}
+
+func TestFitCliqueSizes(t *testing.T) {
+	// Full size: unchanged.
+	if got := fitCliqueSizes([]int{8, 7, 6, 5, 5}, 60, 308); len(got) != 5 || got[0] != 8 {
+		t.Fatalf("full size = %v", got)
+	}
+	// Tiny vertex budget: scaled down, undersized cliques dropped.
+	got := fitCliqueSizes([]int{8, 7, 6, 5, 5}, 10, 45)
+	usedV, usedE := 0, 0
+	for _, s := range got {
+		if s < 3 {
+			t.Fatalf("clique of size %d emitted", s)
+		}
+		usedV += s
+		usedE += s * (s - 1) / 2
+	}
+	if usedV > 10 || usedE > 45 {
+		t.Fatalf("scaled sizes %v exceed budgets", got)
+	}
+	// Tiny edge budget forces shrinking even when vertices fit.
+	got = fitCliqueSizes([]int{8}, 60, 10)
+	if len(got) != 1 || got[0]*(got[0]-1)/2 > 10 {
+		t.Fatalf("edge-budget fit = %v", got)
+	}
+	// Impossible budgets yield nothing.
+	if got := fitCliqueSizes([]int{8}, 2, 1); got != nil {
+		t.Fatalf("impossible fit = %v", got)
+	}
+}

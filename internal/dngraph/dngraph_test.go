@@ -1,0 +1,183 @@
+package dngraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trikcore/internal/core"
+	"trikcore/internal/gen"
+	"trikcore/internal/graph"
+)
+
+func randomGraph(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Vertex(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(graph.Vertex(i), graph.Vertex(j))
+			}
+		}
+	}
+	return g
+}
+
+// TestFigure5Example mirrors the paper's Figure 5 discussion: a K4 on
+// B,C,D,E with a vertex A attached to B and C. The dense region carries
+// λ̄ = 2 while A's edges carry λ̄ = 1.
+func TestFigure5Example(t *testing.T) {
+	// A=1, B=2, C=3, D=4, E=5.
+	g := graph.FromPairs(2, 3, 2, 4, 2, 5, 3, 4, 3, 5, 4, 5, 1, 2, 1, 3)
+	r := TriDN(g, Options{})
+	for _, e := range []graph.Edge{graph.NewEdge(2, 3), graph.NewEdge(4, 5)} {
+		if l, _ := r.LambdaOf(e); l != 2 {
+			t.Fatalf("λ̄(%v) = %d, want 2", e, l)
+		}
+	}
+	for _, e := range []graph.Edge{graph.NewEdge(1, 2), graph.NewEdge(1, 3)} {
+		if l, _ := r.LambdaOf(e); l != 1 {
+			t.Fatalf("λ̄(%v) = %d, want 1", e, l)
+		}
+	}
+	if !r.Converged {
+		t.Fatal("TriDN did not converge")
+	}
+}
+
+// TestClaim3KappaIsValidLambda verifies the paper's central Section VI
+// result on random graphs: the converged valid λ̄(e) of TriDN equals κ(e)
+// from Algorithm 1, for every edge.
+func TestClaim3KappaIsValidLambda(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(18, 0.35, seed)
+		r := TriDN(g, Options{})
+		d := core.Decompose(g)
+		for e, l := range r.EdgeLambdas() {
+			k, ok := d.KappaOf(e)
+			if !ok || int(k) != l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBiTriDNMatchesTriDN(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(16, 0.4, seed)
+		a := TriDN(g, Options{})
+		b := BiTriDN(g, Options{})
+		if len(a.Lambda) != len(b.Lambda) {
+			return false
+		}
+		for i := range a.Lambda {
+			if a.Lambda[i] != b.Lambda[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestSupportedHelpers(t *testing.T) {
+	cases := []struct {
+		mins []int32
+		cur  int32
+		want int32
+	}{
+		{nil, 0, 0},
+		{nil, 3, 0},
+		{[]int32{5, 5, 5}, 3, 3},
+		{[]int32{1, 1, 1}, 3, 1},
+		{[]int32{2, 2, 1}, 3, 2},
+		{[]int32{0, 0}, 2, 0},
+		{[]int32{4, 3, 2, 1}, 4, 2},
+	}
+	for _, tc := range cases {
+		if got := bestSupportedLinear(tc.mins, tc.cur); got != tc.want {
+			t.Errorf("linear(%v, %d) = %d, want %d", tc.mins, tc.cur, got, tc.want)
+		}
+		if got := bestSupportedBinary(tc.mins, tc.cur); got != tc.want {
+			t.Errorf("binary(%v, %d) = %d, want %d", tc.mins, tc.cur, got, tc.want)
+		}
+	}
+}
+
+func TestQuickBestSupportedAgree(t *testing.T) {
+	f := func(raw []uint8, cur uint8) bool {
+		mins := make([]int32, len(raw))
+		for i, r := range raw {
+			mins[i] = int32(r % 16)
+		}
+		c := int32(cur % 16)
+		return bestSupportedLinear(mins, c) == bestSupportedBinary(mins, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxIterationsStopsEarly(t *testing.T) {
+	// A long "staircase" graph needs several passes; a cap of 1 must
+	// report non-convergence.
+	g := graph.New()
+	for i := graph.Vertex(0); i < 30; i++ {
+		g.AddEdge(i, i+1)
+		g.AddEdge(i, i+2)
+	}
+	r := TriDN(g, Options{MaxIterations: 1})
+	if r.Converged {
+		t.Fatal("capped run claims convergence")
+	}
+	full := TriDN(g, Options{})
+	if !full.Converged || full.Iterations <= 1 {
+		t.Fatalf("full run: converged=%v iterations=%d", full.Converged, full.Iterations)
+	}
+}
+
+func TestLambdaOfAbsentEdge(t *testing.T) {
+	g := graph.FromPairs(1, 2)
+	r := TriDN(g, Options{})
+	if _, ok := r.LambdaOf(graph.NewEdge(1, 3)); ok {
+		t.Fatal("LambdaOf(absent) returned ok")
+	}
+	if _, ok := r.LambdaOf(graph.NewEdge(99, 100)); ok {
+		t.Fatal("LambdaOf(absent vertices) returned ok")
+	}
+}
+
+// TestIterationsGrowWithPropagationDistance checks the cost
+// characteristic the paper exploits (Section VI, Table II footnote: 66
+// iterations for Flickr): iterative DN-Graph refinement needs one pass per
+// hop that density deficiency must travel, while κ peeling handles any
+// graph in a single pass. Removing one edge from a triangulated torus
+// collapses its 2-core, and the collapse propagates around the ring.
+func TestIterationsGrowWithPropagationDistance(t *testing.T) {
+	short := gen.TriangulatedTorus(6, 5)
+	short.RemoveEdge(0, 5)
+	long := gen.TriangulatedTorus(24, 5)
+	long.RemoveEdge(0, 5)
+	rs := TriDN(short, Options{})
+	rl := TriDN(long, Options{})
+	if rs.Iterations < 3 || rl.Iterations <= rs.Iterations {
+		t.Fatalf("iterations: short torus %d, long torus %d; want multi-pass and growing",
+			rs.Iterations, rl.Iterations)
+	}
+	d := core.Decompose(long)
+	for e, l := range rl.EdgeLambdas() {
+		k, _ := d.KappaOf(e)
+		if int(k) != l {
+			t.Fatalf("torus: λ̄(%v)=%d, κ=%d", e, l, k)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package dynamic maintains Triangle K-Core numbers incrementally as edges
+// are inserted into and deleted from a graph (the paper's Algorithm 2,
+// detailed in its Appendix as Algorithms 5–7).
+//
+// The engine follows the paper's update discipline exactly: an edge change
+// is decomposed into the set of triangles it creates or destroys, and those
+// triangles are processed one at a time. For a single triangle change,
+// Rule 0 of the paper guarantees that only edges whose κ equals μ — the
+// minimum κ among the triangle's three edges — can change, and only by 1.
+// Each per-triangle step therefore:
+//
+//   - insertion: collects the κ=μ edges triangle-connected to the new
+//     triangle (the paper's PotentialList), computes each one's effective
+//     support toward level μ+1, evicts candidates that fall short
+//     (cascading), and promotes the survivors to μ+1;
+//   - deletion: rechecks the κ=μ edges of the lost triangle and demotes
+//     those whose level-μ support no longer holds, cascading the recheck
+//     to κ=μ neighbors through shared triangles.
+//
+// This is the traversal formulation of the paper's "simulate Algorithm 1
+// locally" procedure; it produces identical κ values (property-tested
+// against full recomputation) without maintaining the sorted edge list and
+// fractional order timestamps of Algorithms 5–7. See DESIGN.md §3.2.
+package dynamic
+
+import (
+	"fmt"
+
+	"trikcore/internal/core"
+	"trikcore/internal/graph"
+)
+
+// Engine owns a graph and keeps κ(e) correct for every edge across
+// arbitrary interleaved insertions and deletions. It is not safe for
+// concurrent use.
+type Engine struct {
+	g     *graph.Graph
+	kappa map[graph.Edge]int32
+	// off marks triangles that exist combinatorially in g but are
+	// excluded from the active set during a multi-triangle update: not
+	// yet activated (mid-insertion) or already deactivated (mid-deletion).
+	off map[graph.Triangle]bool
+
+	// onKappaChange, when set, observes every κ transition: promotions
+	// and demotions (old≥0, new≥0), new edges (old=-1) and removed edges
+	// (new=-1). TrackedEngine uses it to maintain explicit core
+	// membership.
+	onKappaChange func(e graph.Edge, old, new int32)
+
+	stats Stats
+}
+
+// notifyKappa invokes the change observer if installed.
+func (en *Engine) notifyKappa(e graph.Edge, old, new int32) {
+	if en.onKappaChange != nil {
+		en.onKappaChange(e, old, new)
+	}
+}
+
+// Stats aggregates work counters across all updates, exposing the locality
+// the incremental algorithm achieves (the quantity Table III measures as
+// time).
+type Stats struct {
+	// Insertions and Deletions count edge-level updates applied.
+	Insertions, Deletions int
+	// TrianglesProcessed counts per-triangle update steps.
+	TrianglesProcessed int
+	// EdgesVisited counts edges touched by candidate collection,
+	// support recomputation and cascades.
+	EdgesVisited int
+	// Promotions and Demotions count κ changes (±1 each).
+	Promotions, Demotions int
+}
+
+// NewEngine builds an engine over a copy of g, initializing κ with the
+// static decomposition (Algorithm 1). The caller's graph is not retained.
+func NewEngine(g *graph.Graph) *Engine {
+	en := &Engine{
+		g:     g.Clone(),
+		kappa: make(map[graph.Edge]int32, g.NumEdges()),
+		off:   make(map[graph.Triangle]bool),
+	}
+	d := core.Decompose(en.g)
+	for i, k := range d.Kappa {
+		en.kappa[d.S.EdgeAt(int32(i))] = k
+	}
+	return en
+}
+
+// Graph returns the engine's current graph. Callers must not mutate it;
+// use InsertEdge/DeleteEdge so κ stays consistent.
+func (en *Engine) Graph() *graph.Graph { return en.g }
+
+// Stats returns cumulative work counters.
+func (en *Engine) Stats() Stats { return en.stats }
+
+// Kappa returns κ(e) and whether e is an edge of the current graph.
+func (en *Engine) Kappa(e graph.Edge) (int32, bool) {
+	k, ok := en.kappa[e]
+	return k, ok
+}
+
+// EdgeKappas returns a copy of the current κ assignment.
+func (en *Engine) EdgeKappas() map[graph.Edge]int {
+	out := make(map[graph.Edge]int, len(en.kappa))
+	for e, k := range en.kappa {
+		out[e] = int(k)
+	}
+	return out
+}
+
+// MaxKappa returns the largest κ value in the current graph.
+func (en *Engine) MaxKappa() int32 {
+	var max int32
+	for _, k := range en.kappa {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+// AddVertex inserts an isolated vertex.
+func (en *Engine) AddVertex(v graph.Vertex) bool { return en.g.AddVertex(v) }
+
+// RemoveVertex deletes v and all incident edges, maintaining κ through
+// each edge deletion. It reports whether v was present.
+func (en *Engine) RemoveVertex(v graph.Vertex) bool {
+	if !en.g.HasVertex(v) {
+		return false
+	}
+	for _, w := range en.g.NeighborsSorted(v) {
+		en.DeleteEdge(v, w)
+	}
+	return en.g.RemoveVertex(v)
+}
+
+// InsertEdge adds the edge {u, v}, creating endpoints as needed, and
+// updates κ for every affected edge. It reports whether the edge was new.
+func (en *Engine) InsertEdge(u, v graph.Vertex) bool {
+	if u == v {
+		panic(fmt.Sprintf("dynamic: self-loop on vertex %d", u))
+	}
+	e := graph.NewEdge(u, v)
+	if en.g.HasEdgeE(e) {
+		return false
+	}
+	en.g.AddEdgeE(e)
+	en.kappa[e] = 0
+	en.notifyKappa(e, -1, 0)
+	en.stats.Insertions++
+
+	// The new edge forms one triangle per common neighbor. Activate them
+	// one at a time (Algorithm 2 step 1 / Algorithm 5 outer loop): all
+	// start excluded, then each is switched on and processed.
+	tris := en.trianglesOn(e)
+	for _, t := range tris {
+		en.off[t] = true
+	}
+	for _, t := range tris {
+		delete(en.off, t)
+		en.processTriangleInsert(t)
+	}
+	return true
+}
+
+// DeleteEdge removes the edge {u, v} and updates κ for every affected
+// edge. Endpoints are kept. It reports whether the edge existed.
+func (en *Engine) DeleteEdge(u, v graph.Vertex) bool {
+	e := graph.NewEdge(u, v)
+	if !en.g.HasEdgeE(e) {
+		return false
+	}
+	en.stats.Deletions++
+	tris := en.trianglesOn(e)
+	for _, t := range tris {
+		en.off[t] = true
+		en.processTriangleDelete(t)
+	}
+	if k := en.kappa[e]; k != 0 {
+		// Every triangle on e has been deactivated, so a correct update
+		// must have driven κ(e) to zero.
+		panic(fmt.Sprintf("dynamic: κ(%v)=%d after deactivating all its triangles", e, k))
+	}
+	en.g.RemoveEdgeE(e)
+	delete(en.kappa, e)
+	en.notifyKappa(e, 0, -1)
+	for _, t := range tris {
+		delete(en.off, t)
+	}
+	return true
+}
+
+// InsertEdgeE and DeleteEdgeE are the Edge-value forms.
+func (en *Engine) InsertEdgeE(e graph.Edge) bool { return en.InsertEdge(e.U, e.V) }
+
+// DeleteEdgeE removes a canonical edge; see DeleteEdge.
+func (en *Engine) DeleteEdgeE(e graph.Edge) bool { return en.DeleteEdge(e.U, e.V) }
+
+// ApplyDiff applies a snapshot diff: removed edges, removed vertices,
+// added vertices, then added edges, maintaining κ throughout.
+func (en *Engine) ApplyDiff(d graph.Diff) {
+	for _, e := range d.RemovedEdges {
+		en.DeleteEdgeE(e)
+	}
+	for _, v := range d.RemovedVertices {
+		en.RemoveVertex(v)
+	}
+	for _, v := range d.AddedVertices {
+		en.AddVertex(v)
+	}
+	for _, e := range d.AddedEdges {
+		en.InsertEdgeE(e)
+	}
+}
+
+// trianglesOn returns the triangles of the current graph containing e, in
+// deterministic (ascending third-vertex) order.
+func (en *Engine) trianglesOn(e graph.Edge) []graph.Triangle {
+	var out []graph.Triangle
+	for _, w := range en.g.CommonNeighbors(e.U, e.V) {
+		out = append(out, graph.NewTriangle(e.U, e.V, w))
+	}
+	return out
+}
+
+// active reports whether triangle t is in the active triangle set.
+func (en *Engine) active(t graph.Triangle) bool { return !en.off[t] }
+
+// forEachActiveTriangleOn iterates the active triangles containing e,
+// passing the other two edges of each.
+func (en *Engine) forEachActiveTriangleOn(e graph.Edge, fn func(t graph.Triangle, e1, e2 graph.Edge) bool) {
+	en.g.ForEachCommonNeighbor(e.U, e.V, func(w graph.Vertex) bool {
+		t := graph.NewTriangle(e.U, e.V, w)
+		if !en.active(t) {
+			return true
+		}
+		return fn(t, graph.NewEdge(e.U, w), graph.NewEdge(e.V, w))
+	})
+}

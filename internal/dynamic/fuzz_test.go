@@ -1,0 +1,53 @@
+package dynamic
+
+import (
+	"testing"
+
+	"trikcore/internal/core"
+	"trikcore/internal/graph"
+)
+
+// FuzzEngineOps interprets fuzz bytes as a sequence of edge toggles over
+// a small vertex universe and verifies the engine's κ against a full
+// recomputation at the end (and invariants throughout via the
+// DeleteEdge consistency panic built into the engine).
+func FuzzEngineOps(f *testing.F) {
+	f.Add([]byte{0x12, 0x34, 0x56})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 64 {
+			ops = ops[:64] // keep each case cheap
+		}
+		en := NewEngine(graph.New())
+		te := NewTrackedEngine(graph.New())
+		const n = 10
+		for _, b := range ops {
+			u := graph.Vertex(b % n)
+			v := graph.Vertex((b / n) % n)
+			if u == v {
+				continue
+			}
+			if en.Graph().HasEdge(u, v) {
+				en.DeleteEdge(u, v)
+				te.DeleteEdge(u, v)
+			} else {
+				en.InsertEdge(u, v)
+				te.InsertEdge(u, v)
+			}
+		}
+		want := core.Decompose(en.Graph()).EdgeKappas()
+		got := en.EdgeKappas()
+		if len(got) != len(want) {
+			t.Fatalf("edge count drift: %d vs %d", len(got), len(want))
+		}
+		for e, k := range want {
+			if got[e] != k {
+				t.Fatalf("κ(%v) = %d, recompute says %d (ops %v)", e, got[e], k, ops)
+			}
+		}
+		if err := te.CheckInvariants(); err != nil {
+			t.Fatalf("tracked invariants: %v (ops %v)", err, ops)
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+
+	"trikcore/internal/core"
+	"trikcore/internal/graph"
+)
+
+// MaxCoreOf returns the maximum Triangle K-Core of edge e in the current
+// graph — the triangle-connected component of e among edges with
+// κ ≥ κ(e) — computed from the engine's live κ values without re-running
+// Algorithm 1. The boolean is false if e is not a current edge.
+func (en *Engine) MaxCoreOf(e graph.Edge) (*graph.Graph, bool) {
+	k, ok := en.kappa[e]
+	if !ok {
+		return nil, false
+	}
+	sub := graph.New()
+	for _, ce := range en.triangleComponent(e, k) {
+		sub.AddEdgeE(ce)
+	}
+	return sub, true
+}
+
+// Communities returns the triangle-connected components of the κ ≥ k
+// subgraph under the engine's live κ values, each as a sorted edge list
+// ordered by first edge — the dynamic counterpart of
+// core.Decomposition.Communities.
+func (en *Engine) Communities(k int32) [][]graph.Edge {
+	seen := make(map[graph.Edge]bool)
+	var starts []graph.Edge
+	for e, kv := range en.kappa {
+		if kv >= k {
+			starts = append(starts, e)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i].Less(starts[j]) })
+	var comms [][]graph.Edge
+	for _, s := range starts {
+		if seen[s] {
+			continue
+		}
+		comp := en.triangleComponent(s, k)
+		for _, e := range comp {
+			seen[e] = true
+		}
+		comms = append(comms, comp)
+	}
+	return comms
+}
+
+// triangleComponent returns the edges reachable from start through
+// triangles whose three edges all carry κ ≥ k, sorted.
+func (en *Engine) triangleComponent(start graph.Edge, k int32) []graph.Edge {
+	seen := map[graph.Edge]bool{start: true}
+	queue := []graph.Edge{start}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		en.g.ForEachCommonNeighbor(e.U, e.V, func(w graph.Vertex) bool {
+			e1 := graph.NewEdge(e.U, w)
+			e2 := graph.NewEdge(e.V, w)
+			if en.kappa[e1] < k || en.kappa[e2] < k {
+				return true
+			}
+			for _, nxt := range [2]graph.Edge{e1, e2} {
+				if !seen[nxt] {
+					seen[nxt] = true
+					queue = append(queue, nxt)
+				}
+			}
+			return true
+		})
+	}
+	out := make([]graph.Edge, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// RuleOneWitness reconstructs a maximum Triangle K-Core witness for e —
+// κ(e) triangles satisfying Theorem 1 — from nothing but the live κ
+// values, the dynamic counterpart of the paper's Rule 1 ("if we do not
+// store triangles...").
+//
+// The paper derives Rule 1 from processing-order timestamps and spends
+// Algorithms 5–7's bookkeeping keeping them consistent. The timestamps
+// are, however, redundant: Algorithm 1 processes edges in non-decreasing
+// κ order, so any triangle containing an edge with κ < κ(e) is "processed
+// early" and excluded, while among the remaining triangles — those whose
+// other edges all carry κ ≥ κ(e) — any κ(e) of them form a valid witness
+// (they are exactly the triangles of e inside the κ(e)-core subgraph).
+// Selecting the first κ(e) such triangles by third vertex therefore
+// implements Rule 1 without any maintained order state; see DESIGN.md
+// §3.2. TrackedEngine additionally keeps these sets materialized.
+func (en *Engine) RuleOneWitness(e graph.Edge) ([]graph.Triangle, bool) {
+	k, ok := en.kappa[e]
+	if !ok {
+		return nil, false
+	}
+	out := make([]graph.Triangle, 0, k)
+	for _, w := range en.g.CommonNeighbors(e.U, e.V) {
+		if int32(len(out)) == k {
+			break
+		}
+		if en.kappa[graph.NewEdge(e.U, w)] >= k && en.kappa[graph.NewEdge(e.V, w)] >= k {
+			out = append(out, graph.NewTriangle(e.U, e.V, w))
+		}
+	}
+	return out, true
+}
+
+// CoCliqueSizes returns the plotting quantity κ(e)+2 for every live edge
+// (Algorithm 3 step 2, over maintained values).
+func (en *Engine) CoCliqueSizes() map[graph.Edge]int {
+	out := make(map[graph.Edge]int, len(en.kappa))
+	for e, k := range en.kappa {
+		out[e] = int(k) + 2
+	}
+	return out
+}
+
+// KappaHistogram returns, for each live κ value, the number of edges
+// carrying it.
+func (en *Engine) KappaHistogram() map[int32]int {
+	h := make(map[int32]int)
+	for _, k := range en.kappa {
+		h[k]++
+	}
+	return h
+}
+
+// VerifyConsistency recomputes the decomposition from scratch on the
+// current graph and returns an error describing the first disagreement
+// with the maintained κ values (nil when fully consistent). It is a
+// diagnostic for embedders; the test suite uses full recomputation
+// externally in the same way.
+func (en *Engine) VerifyConsistency() error {
+	d := core.Decompose(en.g)
+	want := d.EdgeKappas()
+	if len(want) != len(en.kappa) {
+		return fmt.Errorf("dynamic: engine tracks %d edges, graph has %d", len(en.kappa), len(want))
+	}
+	for e, k := range want {
+		if got := en.kappa[e]; int(got) != k {
+			return fmt.Errorf("dynamic: κ(%v) = %d, recompute says %d", e, got, k)
+		}
+	}
+	return nil
+}

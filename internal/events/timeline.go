@@ -1,0 +1,164 @@
+package events
+
+import (
+	"fmt"
+	"sort"
+
+	"trikcore/internal/graph"
+)
+
+// Timeline tracks Triangle K-Core communities across a whole sequence of
+// snapshots, assigning stable identifiers so a community can be followed
+// through growth, shrinkage and merges — the longitudinal view behind
+// the paper's "developing generic models for evolving networks"
+// motivation.
+type Timeline struct {
+	// K is the community level tracked.
+	K int32
+	// Steps holds one entry per snapshot transition.
+	Steps []TimelineStep
+	// Tracks maps stable community ids to their per-snapshot appearances.
+	Tracks map[int][]TrackPoint
+
+	nextID int
+	// last maps community index in the latest snapshot to its stable id.
+	last map[int]int
+	// lastComms are the latest snapshot's communities.
+	lastComms []Community
+	snapshots int
+}
+
+// TimelineStep is one snapshot transition.
+type TimelineStep struct {
+	// Snapshot is the index of the arriving snapshot (1-based: snapshot
+	// 0 seeds the timeline without a step).
+	Snapshot int
+	// Events are the detected transitions.
+	Events []Event
+}
+
+// TrackPoint is one appearance of a tracked community.
+type TrackPoint struct {
+	// Snapshot index (0-based).
+	Snapshot int
+	// Size is the community's vertex count there.
+	Size int
+	// Edges is the community's edge count there.
+	Edges int
+}
+
+// NewTimeline starts a timeline at community level k.
+func NewTimeline(k int32) *Timeline {
+	return &Timeline{K: k, Tracks: map[int][]TrackPoint{}, last: map[int]int{}}
+}
+
+// Observe ingests the next snapshot, detecting events against the
+// previous one and extending the community tracks. Identity rules:
+// a Continue/Grow/Shrink event keeps the old community's id; a Merge
+// result inherits the id of its largest constituent; a Split's largest
+// part keeps the id and the rest get fresh ids; Form gets a fresh id.
+func (tl *Timeline) Observe(g *graph.Graph, opts Options) {
+	comms := CommunitiesAt(g, tl.K)
+	idx := tl.snapshots
+	tl.snapshots++
+	newIDs := map[int]int{}
+	if idx == 0 {
+		for j := range comms {
+			newIDs[j] = tl.newTrack()
+		}
+	} else {
+		evs := Detect(tl.lastComms, comms, opts)
+		tl.Steps = append(tl.Steps, TimelineStep{Snapshot: idx, Events: evs})
+		for _, e := range evs {
+			switch e.Type {
+			case Dissolve:
+				// Track simply ends.
+			case Form:
+				for _, j := range e.After {
+					newIDs[j] = tl.newTrack()
+				}
+			case Continue, Grow, Shrink:
+				newIDs[e.After[0]] = tl.last[e.Before[0]]
+			case Merge, Split:
+				tl.assignGroup(e, comms, newIDs)
+			}
+		}
+	}
+	for j, id := range newIDs {
+		tl.Tracks[id] = append(tl.Tracks[id], TrackPoint{
+			Snapshot: idx,
+			Size:     len(comms[j].Vertices),
+			Edges:    comms[j].Edges,
+		})
+	}
+	tl.last = newIDs
+	tl.lastComms = comms
+}
+
+// assignGroup gives ids to the After communities of a merge/split (or
+// many-to-many) event: the largest new community inherits the id of the
+// largest old constituent; the others get fresh ids.
+func (tl *Timeline) assignGroup(e Event, comms []Community, newIDs map[int]int) {
+	if len(e.Before) == 0 || len(e.After) == 0 {
+		return
+	}
+	bigOld := e.Before[0]
+	for _, i := range e.Before[1:] {
+		if len(tl.lastComms[i].Vertices) > len(tl.lastComms[bigOld].Vertices) {
+			bigOld = i
+		}
+	}
+	bigNew := e.After[0]
+	for _, j := range e.After[1:] {
+		if len(comms[j].Vertices) > len(comms[bigNew].Vertices) {
+			bigNew = j
+		}
+	}
+	for _, j := range e.After {
+		if j == bigNew {
+			newIDs[j] = tl.last[bigOld]
+		} else {
+			newIDs[j] = tl.newTrack()
+		}
+	}
+}
+
+func (tl *Timeline) newTrack() int {
+	id := tl.nextID
+	tl.nextID++
+	return id
+}
+
+// ActiveTracks returns the ids alive in the latest snapshot, sorted.
+func (tl *Timeline) ActiveTracks() []int {
+	ids := make([]int, 0, len(tl.last))
+	seen := map[int]bool{}
+	for _, id := range tl.last {
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Summary renders the timeline as text: one line per track with its size
+// trajectory.
+func (tl *Timeline) Summary() string {
+	ids := make([]int, 0, len(tl.Tracks))
+	for id := range tl.Tracks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := fmt.Sprintf("timeline: %d snapshots, %d tracks, level k=%d\n",
+		tl.snapshots, len(ids), tl.K)
+	for _, id := range ids {
+		out += fmt.Sprintf("  track %d:", id)
+		for _, p := range tl.Tracks[id] {
+			out += fmt.Sprintf(" s%d:%dv", p.Snapshot, p.Size)
+		}
+		out += "\n"
+	}
+	return out
+}

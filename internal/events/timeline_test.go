@@ -1,0 +1,164 @@
+package events
+
+import (
+	"strings"
+	"testing"
+
+	"trikcore/internal/gen"
+	"trikcore/internal/graph"
+)
+
+func addClique(g *graph.Graph, verts ...graph.Vertex) {
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			g.AddEdge(verts[i], verts[j])
+		}
+	}
+}
+
+func TestTimelineGrowthKeepsIdentity(t *testing.T) {
+	tl := NewTimeline(2)
+
+	s0 := graph.New()
+	addClique(s0, 1, 2, 3, 4)
+	tl.Observe(s0, Options{})
+
+	s1 := s0.Clone()
+	addClique(s1, 1, 2, 3, 4, 5, 6) // the community doubles
+	tl.Observe(s1, Options{})
+
+	s2 := s1.Clone()
+	addClique(s2, 10, 11, 12, 13) // an unrelated community forms
+	tl.Observe(s2, Options{})
+
+	if len(tl.Steps) != 2 {
+		t.Fatalf("%d steps", len(tl.Steps))
+	}
+	active := tl.ActiveTracks()
+	if len(active) != 2 {
+		t.Fatalf("active tracks = %v", active)
+	}
+	// Track 0 spans all three snapshots, growing 4 → 6 → 6.
+	track := tl.Tracks[0]
+	if len(track) != 3 || track[0].Size != 4 || track[1].Size != 6 || track[2].Size != 6 {
+		t.Fatalf("track 0 = %+v", track)
+	}
+	// The new community's track starts at snapshot 2.
+	track1 := tl.Tracks[1]
+	if len(track1) != 1 || track1[0].Snapshot != 2 || track1[0].Size != 4 {
+		t.Fatalf("track 1 = %+v", track1)
+	}
+	if !strings.Contains(tl.Summary(), "track 0: s0:4v s1:6v s2:6v") {
+		t.Fatalf("summary:\n%s", tl.Summary())
+	}
+}
+
+func TestTimelineMergeInheritsLargestId(t *testing.T) {
+	tl := NewTimeline(2)
+	s0 := graph.New()
+	addClique(s0, 1, 2, 3, 4, 5, 6) // big: gets id 0 or 1 (order by first edge: vertices 1.. → id 0)
+	addClique(s0, 10, 11, 12, 13)   // small
+	tl.Observe(s0, Options{})
+
+	s1 := s0.Clone()
+	// Merge: connect everything into one community.
+	for _, u := range []graph.Vertex{1, 2, 3, 4, 5, 6} {
+		for _, v := range []graph.Vertex{10, 11, 12, 13} {
+			s1.AddEdge(u, v)
+		}
+	}
+	tl.Observe(s1, Options{})
+
+	active := tl.ActiveTracks()
+	if len(active) != 1 {
+		t.Fatalf("active = %v", active)
+	}
+	// The surviving id is the big community's (whichever id it had).
+	surviving := active[0]
+	pts := tl.Tracks[surviving]
+	if pts[0].Size != 6 {
+		t.Fatalf("merged track inherited the smaller constituent: %+v", pts)
+	}
+	if pts[len(pts)-1].Size != 10 {
+		t.Fatalf("merged size = %d, want 10", pts[len(pts)-1].Size)
+	}
+}
+
+func TestTimelineSplitAndDissolve(t *testing.T) {
+	tl := NewTimeline(2)
+	s0 := graph.New()
+	// Two K4s bridged by a shared K4 interface → one level-2 community.
+	addClique(s0, 1, 2, 3, 4, 5)
+	addClique(s0, 4, 5, 6, 7, 8)
+	addClique(s0, 20, 21, 22, 23) // separate community that will dissolve
+	tl.Observe(s0, Options{})
+
+	s1 := s0.Clone()
+	// Split: cut the bridge between the two halves.
+	s1.RemoveEdge(4, 5)
+	for _, v := range []graph.Vertex{1, 2, 3} {
+		s1.RemoveEdge(v, 5)
+	}
+	for _, v := range []graph.Vertex{6, 7, 8} {
+		s1.RemoveEdge(4, v)
+	}
+	// Dissolve: destroy the separate clique.
+	for _, e := range [][2]graph.Vertex{{20, 21}, {22, 23}} {
+		s1.RemoveEdge(e[0], e[1])
+	}
+	tl.Observe(s1, Options{})
+
+	step := tl.Steps[0]
+	var haveSplit, haveDissolve bool
+	for _, e := range step.Events {
+		switch e.Type {
+		case Split:
+			haveSplit = true
+		case Dissolve:
+			haveDissolve = true
+		case Shrink, Continue:
+			// acceptable companion events
+		}
+	}
+	if !haveSplit || !haveDissolve {
+		t.Fatalf("events = %v, want split and dissolve", step.Events)
+	}
+	// After the split, two tracks are active; one keeps an old id.
+	if len(tl.ActiveTracks()) != 2 {
+		t.Fatalf("active = %v", tl.ActiveTracks())
+	}
+}
+
+func TestTimelineOnWikiStream(t *testing.T) {
+	// Feed the wiki pair as a two-snapshot stream plus a third snapshot
+	// with extra churn; the timeline must remain internally consistent.
+	pair := gen.WikiSnapshots(1000, 5000, 40, 31)
+	tl := NewTimeline(3)
+	tl.Observe(pair.Snap1, Options{})
+	tl.Observe(pair.Snap2, Options{})
+	s3 := pair.Snap2.Clone()
+	addClique(s3, 2001, 2002, 2003, 2004, 2005)
+	tl.Observe(s3, Options{})
+
+	if len(tl.Steps) != 2 {
+		t.Fatalf("%d steps", len(tl.Steps))
+	}
+	// Every active track has points ending at snapshot 2.
+	for _, id := range tl.ActiveTracks() {
+		pts := tl.Tracks[id]
+		if pts[len(pts)-1].Snapshot != 2 {
+			t.Fatalf("active track %d ends at snapshot %d", id, pts[len(pts)-1].Snapshot)
+		}
+	}
+	// The planted brand-new clique formed a fresh track at snapshot 2.
+	foundNew := false
+	for _, id := range tl.ActiveTracks() {
+		pts := tl.Tracks[id]
+		if len(pts) == 1 && pts[0].Snapshot == 2 && pts[0].Size == 5 {
+			foundNew = true
+		}
+	}
+	if !foundNew {
+		t.Fatal("planted 5-clique did not open a fresh track")
+	}
+}

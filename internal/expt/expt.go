@@ -1,0 +1,159 @@
+// Package expt is the experiment harness: one runner per table and figure
+// of the paper's evaluation section (Tables I–III, Figures 6–12). Each
+// runner builds its workload from the dataset registry, executes the
+// algorithms under test, and returns a table.Table whose rows mirror the
+// paper's reporting. cmd/experiments and the repository-root benchmarks
+// drive these runners.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"trikcore/internal/dataset"
+	"trikcore/internal/graph"
+	"trikcore/internal/table"
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// Scale multiplies every dataset's stand-in size (1.0 reproduces the
+	// Table I sizes; smaller values give quick smoke runs). Values are
+	// clamped to (0, 1].
+	Scale float64
+	// Runs is the number of repetitions for timing experiments
+	// (Table III averages over 5 runs in the paper).
+	Runs int
+	// PlotDir, when non-empty, receives SVG renderings of every figure.
+	PlotDir string
+	// Log receives progress lines (defaults to io.Discard).
+	Log io.Writer
+	// CSVEdgeLimit bounds the graphs on which the CSV baseline runs.
+	// The paper could not run CSV or TriDN on its three largest datasets
+	// (Wiki, Flickr, LiveJournal); the default limit of 950 000 edges
+	// reproduces exactly that cut at full scale. Zero means 950 000.
+	CSVEdgeLimit int
+	// DNEdgeLimit bounds the graphs on which TriDN/BiTriDN run to
+	// convergence. Zero means 950 000 (the same three-largest cut).
+	DNEdgeLimit int
+}
+
+func (c Config) normalized() Config {
+	if c.Scale <= 0 || c.Scale > 1 {
+		c.Scale = 1
+	}
+	if c.Runs <= 0 {
+		c.Runs = 5
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+	if c.CSVEdgeLimit == 0 {
+		c.CSVEdgeLimit = 950_000
+	}
+	if c.DNEdgeLimit == 0 {
+		c.DNEdgeLimit = 950_000
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	fmt.Fprintf(c.Log, format+"\n", args...)
+}
+
+// instance builds a dataset at the configured scale (using the cached
+// full-size graph when Scale == 1; callers must not mutate that one).
+func (c Config) instance(d *dataset.Dataset) *graph.Graph {
+	if c.Scale == 1 {
+		return d.Graph()
+	}
+	return d.GenerateAt(c.Scale)
+}
+
+// savePlot writes an SVG document into PlotDir (no-op when unset).
+func (c Config) savePlot(name, svg string) error {
+	if c.PlotDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.PlotDir, 0o755); err != nil {
+		return fmt.Errorf("expt: %w", err)
+	}
+	path := filepath.Join(c.PlotDir, name)
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		return fmt.Errorf("expt: %w", err)
+	}
+	c.logf("wrote %s", path)
+	return nil
+}
+
+// Runner is a named experiment.
+type Runner struct {
+	// ID matches the paper artifact ("tableI", "figure7", ...).
+	ID string
+	// Caption describes what the paper artifact shows.
+	Caption string
+	// Run executes the experiment.
+	Run func(Config) (*table.Table, error)
+}
+
+// Runners returns all experiments in paper order.
+func Runners() []Runner {
+	return []Runner{
+		{"tableI", "Data sets", TableI},
+		{"tableII", "Execution time: Triangle K-Core vs CSV vs TriDN vs BiTriDN", TableII},
+		{"figure6", "Qualitative comparison between CSV and Triangle K-Core plots", Figure6},
+		{"figure7", "Cliques in PPI dataset", Figure7},
+		{"tableIII", "Update vs re-compute time under 1% edge churn", TableIII},
+		{"figure8", "Dual view plots: Wiki case study", Figure8},
+		{"figure9", "New Form cliques: DBLP study", Figure9},
+		{"figure10", "Bridge cliques: DBLP study", Figure10},
+		{"figure11", "New Join cliques: DBLP study", Figure11},
+		{"figure12", "Static Bridge cliques: PPI case study", Figure12},
+	}
+}
+
+// RunnerByID returns the runner with the given id, searching the paper
+// artifacts first and then the extras.
+func RunnerByID(id string) (Runner, bool) {
+	for _, r := range append(Runners(), Extras()...) {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// IDs returns all runner ids in paper order.
+func IDs() []string {
+	rs := Runners()
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// overlap returns |a ∩ b| for vertex slices.
+func overlap[T comparable](a, b []T) int {
+	in := make(map[T]bool, len(a))
+	for _, x := range a {
+		in[x] = true
+	}
+	n := 0
+	for _, x := range b {
+		if in[x] {
+			n++
+		}
+	}
+	return n
+}
+
+// sortedCopy returns a sorted copy of xs.
+func sortedCopy[T ~int32](xs []T) []T {
+	out := append([]T(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,192 @@
+package expt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smokeCfg runs every experiment at a small fraction of the paper's
+// dataset sizes so the full harness is exercised in seconds.
+func smokeCfg(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Scale:        0.02,
+		Runs:         2,
+		CSVEdgeLimit: 5_000,
+		DNEdgeLimit:  25_000,
+	}
+}
+
+func TestRunnersRegistry(t *testing.T) {
+	rs := Runners()
+	if len(rs) != 10 {
+		t.Fatalf("%d runners, want 10", len(rs))
+	}
+	if rs[0].ID != "tableI" || rs[4].ID != "tableIII" || rs[9].ID != "figure12" {
+		t.Fatalf("runner order wrong: %v", IDs())
+	}
+	if _, ok := RunnerByID("figure7"); !ok {
+		t.Fatal("figure7 missing")
+	}
+	if _, ok := RunnerByID("nope"); ok {
+		t.Fatal("unknown runner found")
+	}
+	for _, r := range rs {
+		if r.Caption == "" {
+			t.Fatalf("%s: empty caption", r.ID)
+		}
+	}
+}
+
+func TestTableISmoke(t *testing.T) {
+	tab, err := TableI(smokeCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("Table I has %d rows", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Text(), "LiveJournal") {
+		t.Fatal("Table I text missing dataset")
+	}
+	if !strings.Contains(tab.Markdown(), "| Synthetic |") {
+		t.Fatal("Table I markdown malformed")
+	}
+}
+
+func TestTableIISmoke(t *testing.T) {
+	tab, err := TableII(smokeCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("Table II has %d rows", len(tab.Rows))
+	}
+	// The small datasets must have CSV numbers; the large ones dashes.
+	for _, row := range tab.Rows {
+		if row[0] == "Synthetic" && row[4] == "-" {
+			t.Fatal("CSV skipped on Synthetic")
+		}
+		if row[0] == "LiveJournal" && row[4] != "-" {
+			t.Fatal("CSV ran on scaled LiveJournal despite the limit")
+		}
+	}
+}
+
+func TestTableIIISmoke(t *testing.T) {
+	tab, err := TableIII(smokeCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("Table III has %d rows", len(tab.Rows))
+	}
+}
+
+func TestFigure6Smoke(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smokeCfg(t)
+	cfg.PlotDir = dir
+	tab, err := Figure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Figure 6 has %d rows", len(tab.Rows))
+	}
+	svgs, _ := filepath.Glob(filepath.Join(dir, "figure6_*.svg"))
+	if len(svgs) != 8 {
+		t.Fatalf("Figure 6 wrote %d SVGs, want 8", len(svgs))
+	}
+	data, err := os.ReadFile(svgs[0])
+	if err != nil || !strings.Contains(string(data), "<svg") {
+		t.Fatal("SVG output malformed")
+	}
+}
+
+func TestFigure7FullPPI(t *testing.T) {
+	// Figure 7 always runs on the full PPI stand-in (15147 edges) — still
+	// fast — and must find the planted structures as its top peaks.
+	tab, err := Figure7(smokeCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("Figure 7 found %d peaks, want 3", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[3] == "-" {
+			t.Fatalf("peak matched no planted structure: %v", row)
+		}
+	}
+}
+
+func TestFigure8Smoke(t *testing.T) {
+	tab, err := Figure8(smokeCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("Figure 8 produced no markers")
+	}
+}
+
+func TestFigures9to11Smoke(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+	}{{"figure9"}, {"figure10"}, {"figure11"}} {
+		r, _ := RunnerByID(tc.name)
+		tab, err := r.Run(smokeCfg(t))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: no peaks", tc.name)
+		}
+		// The planted clique must be found exactly (no WARNING note).
+		for _, n := range tab.Notes {
+			if strings.Contains(n, "WARNING") {
+				t.Fatalf("%s: %s", tc.name, n)
+			}
+		}
+	}
+}
+
+func TestFigure12FullPPI(t *testing.T) {
+	tab, err := Figure12(smokeCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("Figure 12 found no bridge cliques")
+	}
+	matched := 0
+	for _, row := range tab.Rows {
+		if row[3] != "-" {
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Fatal("no peak matched a planted bridge clique")
+	}
+}
+
+func TestExtrasSmoke(t *testing.T) {
+	if len(Extras()) != 2 {
+		t.Fatalf("%d extras", len(Extras()))
+	}
+	for _, r := range Extras() {
+		if _, ok := RunnerByID(r.ID); !ok {
+			t.Fatalf("extra %s not resolvable by id", r.ID)
+		}
+		tab, err := r.Run(smokeCfg(t))
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty table", r.ID)
+		}
+	}
+}

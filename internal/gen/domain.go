@@ -1,0 +1,213 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"trikcore/internal/graph"
+)
+
+// Stocks builds a stock-correlation graph: nStocks synthetic instruments
+// grouped into nSectors, each driven by its sector factor plus
+// idiosyncratic noise over the given number of trading days. The graph
+// connects the `edges` most-correlated pairs, so same-sector stocks form
+// dense clique-like blocks — the structure the paper's Stocks dataset
+// (275 vertices, 1680 edges) exhibits.
+func Stocks(nStocks, nSectors, days, edges int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	factors := make([][]float64, nSectors)
+	for s := range factors {
+		factors[s] = make([]float64, days)
+		for t := range factors[s] {
+			factors[s][t] = rng.NormFloat64()
+		}
+	}
+	returns := make([][]float64, nStocks)
+	for i := range returns {
+		sec := i % nSectors
+		w := 0.55 + 0.4*rng.Float64() // factor loading
+		returns[i] = make([]float64, days)
+		for t := 0; t < days; t++ {
+			returns[i][t] = w*factors[sec][t] + math.Sqrt(1-w*w)*rng.NormFloat64()
+		}
+	}
+	type pair struct {
+		u, v graph.Vertex
+		corr float64
+	}
+	pairs := make([]pair, 0, nStocks*(nStocks-1)/2)
+	for i := 0; i < nStocks; i++ {
+		for j := i + 1; j < nStocks; j++ {
+			pairs = append(pairs, pair{graph.Vertex(i), graph.Vertex(j), pearson(returns[i], returns[j])})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].corr != pairs[b].corr {
+			return pairs[a].corr > pairs[b].corr
+		}
+		if pairs[a].u != pairs[b].u {
+			return pairs[a].u < pairs[b].u
+		}
+		return pairs[a].v < pairs[b].v
+	})
+	if edges > len(pairs) {
+		edges = len(pairs)
+	}
+	g := graph.NewWithCapacity(nStocks)
+	for i := 0; i < nStocks; i++ {
+		g.AddVertex(graph.Vertex(i))
+	}
+	for _, p := range pairs[:edges] {
+		g.AddEdge(p.u, p.v)
+	}
+	return g
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var sa, sb, saa, sbb, sab float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+		saa += a[i] * a[i]
+		sbb += b[i] * b[i]
+		sab += a[i] * b[i]
+	}
+	num := sab - sa*sb/n
+	den := math.Sqrt((saa - sa*sa/n) * (sbb - sb*sb/n))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// PPIResult is a protein-interaction stand-in with ground truth.
+type PPIResult struct {
+	G *graph.Graph
+	// Complex labels each vertex with its protein complex.
+	Complex map[graph.Vertex]string
+	// Planted holds the Figure 7 case-study structures, in order:
+	// a 9-clique, an exact 10-clique, and 10 vertices missing exactly one
+	// edge (which therefore plots as a 9-clique).
+	Planted [][]graph.Vertex
+	// MissingEdge is the one absent edge of Planted[2].
+	MissingEdge graph.Edge
+	// BridgeCliques holds the Figure 12 structures: three cliques each
+	// spanning two complexes (one vertex from the first, the rest from
+	// the second); BridgeCliques[1] and [2] overlap heavily, as the
+	// paper's Bridge Cliques 2 and 3 do.
+	BridgeCliques [][]graph.Vertex
+}
+
+// PPI builds the protein-interaction stand-in: vertices partitioned into
+// complexes (dense intra-complex wiring), with the Figure 7 cliques and
+// Figure 12 bridge cliques planted, topped up with sparse inter-complex
+// noise to exactly `edges` edges.
+func PPI(n, edges int, seed int64) PPIResult {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewWithCapacity(n)
+	res := PPIResult{G: g, Complex: make(map[graph.Vertex]string, n)}
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Vertex(i))
+	}
+	// Planted structure sizes scale down on small instances (smoke runs)
+	// so every plant still fits in some complex; at n ≥ 500 the plants
+	// are the paper's exact 9/10/10 and 9-vertex bridges.
+	sc := func(s int) int {
+		if n >= 500 {
+			return s
+		}
+		r := s * n / 500
+		if r < 4 {
+			r = 4
+		}
+		if r > s {
+			r = s
+		}
+		return r
+	}
+	// Partition vertices into complexes of size 5..14.
+	var complexes [][]graph.Vertex
+	for v := 0; v < n; {
+		size := 5 + rng.Intn(10)
+		if v+size > n {
+			size = n - v
+		}
+		members := make([]graph.Vertex, size)
+		name := fmt.Sprintf("cpx-%04d", len(complexes))
+		for i := 0; i < size; i++ {
+			members[i] = graph.Vertex(v + i)
+			res.Complex[graph.Vertex(v+i)] = name
+		}
+		complexes = append(complexes, members)
+		v += size
+	}
+	// Intra-complex wiring: probability 0.55 per pair.
+	for _, members := range complexes {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if rng.Float64() < 0.55 {
+					g.AddEdge(members[i], members[j])
+				}
+			}
+		}
+	}
+	keep := make(map[graph.Edge]bool)
+	// Figure 7 plants, each inside one sufficiently large complex region:
+	// use the first vertices of three distinct complexes plus their
+	// successors (vertex ids inside a complex are contiguous).
+	next := 0
+	pickIdx := func(want int) int {
+		for ; next < len(complexes); next++ {
+			if len(complexes[next]) >= want {
+				k := next
+				next++
+				return k
+			}
+		}
+		panic("gen: PPI: no complex large enough for plant")
+	}
+	c1 := complexes[pickIdx(sc(9))][:sc(9)]
+	c2 := complexes[pickIdx(sc(10))][:sc(10)]
+	c3 := complexes[pickIdx(sc(10))][:sc(10)]
+	AddClique(g, c1)
+	AddClique(g, c2)
+	AddClique(g, c3)
+	res.MissingEdge = graph.NewEdge(c3[0], c3[1])
+	g.RemoveEdgeE(res.MissingEdge)
+	res.Planted = [][]graph.Vertex{c1, c2, c3}
+	for _, c := range res.Planted {
+		for e := range CliqueEdges(c) {
+			keep[e] = true
+		}
+	}
+	delete(keep, res.MissingEdge)
+
+	// Figure 12 bridge plants: one vertex of complex X + eight of
+	// complex Y, fully connected.
+	bw := sc(9) - 1 // bridge width in the second complex
+	iA := pickIdx(4)
+	iB := pickIdx(bw)
+	iC := pickIdx(4)
+	iD := pickIdx(bw + 1)
+	b1 := append([]graph.Vertex{complexes[iA][0]}, complexes[iB][:bw]...)
+	b2 := append([]graph.Vertex{complexes[iC][0]}, complexes[iD][:bw]...)
+	// Bridge 3 shares all but one of bridge 2's second-complex members.
+	b3 := append([]graph.Vertex{complexes[iC][1]}, complexes[iD][1:bw+1]...)
+	for _, b := range [][]graph.Vertex{b1, b2, b3} {
+		AddClique(g, b)
+		for e := range CliqueEdges(b) {
+			keep[e] = true
+		}
+		res.BridgeCliques = append(res.BridgeCliques, b)
+	}
+
+	if g.NumEdges() > edges {
+		TrimEdges(g, edges, keep, seed^0x51ab)
+	} else {
+		TopUpEdges(g, edges, seed^0x51ab)
+	}
+	return res
+}

@@ -1,0 +1,200 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"trikcore/internal/graph"
+)
+
+func TestStocksSectorsAreDense(t *testing.T) {
+	g := Stocks(60, 4, 120, 220, 5)
+	if g.NumVertices() != 60 || g.NumEdges() != 220 {
+		t.Fatalf("%d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	// Count intra-sector vs inter-sector edges: the correlation threshold
+	// should make the overwhelming majority intra-sector.
+	intra, inter := 0, 0
+	g.ForEachEdge(func(e graph.Edge) bool {
+		if int(e.U)%4 == int(e.V)%4 {
+			intra++
+		} else {
+			inter++
+		}
+		return true
+	})
+	if intra < 3*inter {
+		t.Fatalf("intra=%d inter=%d: sector structure too weak", intra, inter)
+	}
+	if !reflect.DeepEqual(g.Edges(), Stocks(60, 4, 120, 220, 5).Edges()) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestPPIGroundTruth(t *testing.T) {
+	res := PPI(600, 2600, 7)
+	g := res.G
+	if g.NumVertices() != 600 || g.NumEdges() != 2600 {
+		t.Fatalf("%d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if len(res.Complex) != 600 {
+		t.Fatalf("complex labels cover %d vertices", len(res.Complex))
+	}
+	if len(res.Planted) != 3 {
+		t.Fatalf("planted %d structures", len(res.Planted))
+	}
+	if len(res.Planted[0]) != 9 || len(res.Planted[1]) != 10 || len(res.Planted[2]) != 10 {
+		t.Fatalf("planted sizes %d/%d/%d", len(res.Planted[0]), len(res.Planted[1]), len(res.Planted[2]))
+	}
+	if !graph.IsClique(g, res.Planted[0]) || !graph.IsClique(g, res.Planted[1]) {
+		t.Fatal("planted cliques 1/2 are not cliques")
+	}
+	if graph.IsClique(g, res.Planted[2]) {
+		t.Fatal("planted structure 3 should miss one edge")
+	}
+	if g.HasEdgeE(res.MissingEdge) {
+		t.Fatal("missing edge is present")
+	}
+	// Restoring the missing edge completes the clique.
+	g2 := g.Clone()
+	g2.AddEdgeE(res.MissingEdge)
+	if !graph.IsClique(g2, res.Planted[2]) {
+		t.Fatal("structure 3 is not one edge short of a clique")
+	}
+	// Bridge cliques span exactly two complexes.
+	if len(res.BridgeCliques) != 3 {
+		t.Fatalf("%d bridge cliques", len(res.BridgeCliques))
+	}
+	for i, b := range res.BridgeCliques {
+		if !graph.IsClique(g, b) {
+			t.Fatalf("bridge clique %d is not a clique", i)
+		}
+		labels := map[string]bool{}
+		for _, v := range b {
+			labels[res.Complex[v]] = true
+		}
+		if len(labels) != 2 {
+			t.Fatalf("bridge clique %d spans %d complexes, want 2", i, len(labels))
+		}
+	}
+	// Bridges 2 and 3 overlap (the paper's RNA14/GLC7 structure).
+	overlap := 0
+	in2 := map[graph.Vertex]bool{}
+	for _, v := range res.BridgeCliques[1] {
+		in2[v] = true
+	}
+	for _, v := range res.BridgeCliques[2] {
+		if in2[v] {
+			overlap++
+		}
+	}
+	if overlap < 5 {
+		t.Fatalf("bridge cliques 2 and 3 overlap on %d vertices", overlap)
+	}
+}
+
+func TestCollabSnapshotsEvents(t *testing.T) {
+	p := CollabSnapshots(500, 300, 11)
+	old, new := p.Old, p.New
+
+	// New Form: all 15 edges new, all 6 authors in Old, no mutual Old edges.
+	if len(p.NewFormClique) != 6 || !graph.IsClique(new, p.NewFormClique) {
+		t.Fatal("new-form clique malformed")
+	}
+	for i, u := range p.NewFormClique {
+		if !old.HasVertex(u) {
+			t.Fatalf("new-form author %d missing from old year", u)
+		}
+		for _, v := range p.NewFormClique[i+1:] {
+			if old.HasEdge(u, v) {
+				t.Fatalf("new-form authors %d,%d already collaborated", u, v)
+			}
+		}
+	}
+	// Bridge: groups are cliques in Old with no cross edges; full clique in New.
+	if !graph.IsClique(old, p.BridgeGroups[0]) || !graph.IsClique(old, p.BridgeGroups[1]) {
+		t.Fatal("bridge groups not cliques in old year")
+	}
+	for _, u := range p.BridgeGroups[0] {
+		for _, v := range p.BridgeGroups[1] {
+			if old.HasEdge(u, v) {
+				t.Fatalf("bridge groups connected in old year via %d-%d", u, v)
+			}
+		}
+	}
+	if !graph.IsClique(new, p.BridgeClique) {
+		t.Fatal("bridge clique absent from new year")
+	}
+	// New Join: 3 old authors (clique in Old), 6 authors absent from Old.
+	if !graph.IsClique(old, p.NewJoinOld) || !graph.IsClique(new, p.NewJoinClique) {
+		t.Fatal("new-join cliques malformed")
+	}
+	newCount := 0
+	for _, v := range p.NewJoinClique {
+		if !old.HasVertex(v) {
+			newCount++
+		}
+	}
+	if newCount != 6 {
+		t.Fatalf("new-join has %d brand-new authors, want 6", newCount)
+	}
+}
+
+func TestWikiSnapshotsEvents(t *testing.T) {
+	p := WikiSnapshots(800, 4000, 60, 17)
+	if p.Snap1.NumEdges() != 4000 {
+		t.Fatalf("snap1 has %d edges", p.Snap1.NumEdges())
+	}
+	if got := p.Snap2.NumEdges(); got <= p.Snap1.NumEdges() {
+		t.Fatalf("snap2 has %d edges, not larger than snap1", got)
+	}
+	// Growth event.
+	if !graph.IsClique(p.Snap1, p.Growth.Big) || !graph.IsClique(p.Snap1, p.Growth.Small) {
+		t.Fatal("growth source cliques not present in snap1")
+	}
+	if graph.IsClique(p.Snap1, p.Growth.Result) {
+		t.Fatal("growth result already complete in snap1")
+	}
+	if !graph.IsClique(p.Snap2, p.Growth.Result) {
+		t.Fatal("growth result not a clique in snap2")
+	}
+	if len(p.Growth.Result) != 11 {
+		t.Fatalf("growth result has %d vertices", len(p.Growth.Result))
+	}
+	// Merge events.
+	for k, m := range p.Merges {
+		if !graph.IsClique(p.Snap2, m.Result) {
+			t.Fatalf("merge %d result not a clique in snap2", k)
+		}
+		if graph.IsClique(p.Snap1, m.Result) {
+			t.Fatalf("merge %d result already complete in snap1", k)
+		}
+		if !graph.IsClique(p.Snap1, m.Parts[0]) || !graph.IsClique(p.Snap1, m.Parts[1]) {
+			t.Fatalf("merge %d parts not cliques in snap1", k)
+		}
+	}
+}
+
+func TestPPIDeterministic(t *testing.T) {
+	a := PPI(600, 2600, 7)
+	b := PPI(600, 2600, 7)
+	if !reflect.DeepEqual(a.G.Edges(), b.G.Edges()) {
+		t.Fatal("PPI not deterministic")
+	}
+}
+
+func TestWikiDeterministic(t *testing.T) {
+	a := WikiSnapshots(400, 1800, 30, 3)
+	b := WikiSnapshots(400, 1800, 30, 3)
+	if !reflect.DeepEqual(a.Snap2.Edges(), b.Snap2.Edges()) {
+		t.Fatal("WikiSnapshots not deterministic")
+	}
+}
+
+func TestCollabDeterministic(t *testing.T) {
+	a := CollabSnapshots(300, 200, 5)
+	b := CollabSnapshots(300, 200, 5)
+	if !reflect.DeepEqual(a.New.Edges(), b.New.Edges()) || !reflect.DeepEqual(a.Old.Edges(), b.Old.Edges()) {
+		t.Fatal("CollabSnapshots not deterministic")
+	}
+}

@@ -1,0 +1,224 @@
+package gen
+
+import (
+	"math/rand"
+
+	"trikcore/internal/graph"
+)
+
+// CollabPair is a pair of consecutive yearly collaboration graphs
+// (DBLP-style: vertices are authors, edges are co-authorships within the
+// year) with the template-pattern events of Figures 9–11 planted.
+type CollabPair struct {
+	Old, New *graph.Graph
+	// NewFormClique: six authors active in Old (with no mutual edges
+	// anywhere) who all collaborate for the first time in New — the
+	// Figure 9 event.
+	NewFormClique []graph.Vertex
+	// BridgeClique: six authors forming a clique in New, drawn from the
+	// two disconnected Old groups in BridgeGroups — the Figure 10 event.
+	BridgeClique []graph.Vertex
+	BridgeGroups [2][]graph.Vertex
+	// NewJoinClique: a nine-author clique in New consisting of the
+	// three-author Old clique NewJoinOld plus six brand-new authors — the
+	// Figure 11 event.
+	NewJoinClique []graph.Vertex
+	NewJoinOld    []graph.Vertex
+}
+
+// CollabSnapshots builds two consecutive collaboration years over a
+// shared author universe of roughly nAuthors, each with papersPerYear
+// papers (cliques of 2–5 authors), and plants the three template events.
+// Reserved event authors occupy the highest vertex ids so background
+// papers never touch them.
+func CollabSnapshots(nAuthors, papersPerYear int, seed int64) CollabPair {
+	rng := rand.New(rand.NewSource(seed))
+	// Background authors: 0..nAuthors-1. Reserved: nAuthors..nAuthors+20.
+	base := graph.Vertex(nAuthors)
+	var p CollabPair
+	for i := graph.Vertex(0); i < 6; i++ {
+		p.NewFormClique = append(p.NewFormClique, base+i)
+	}
+	for i := graph.Vertex(6); i < 10; i++ {
+		p.BridgeGroups[0] = append(p.BridgeGroups[0], base+i)
+	}
+	for i := graph.Vertex(10); i < 12; i++ {
+		p.BridgeGroups[1] = append(p.BridgeGroups[1], base+i)
+	}
+	p.BridgeClique = append(append([]graph.Vertex(nil), p.BridgeGroups[0]...), p.BridgeGroups[1]...)
+	for i := graph.Vertex(12); i < 15; i++ {
+		p.NewJoinOld = append(p.NewJoinOld, base+i)
+	}
+	p.NewJoinClique = append([]graph.Vertex(nil), p.NewJoinOld...)
+	for i := graph.Vertex(15); i < 21; i++ {
+		p.NewJoinClique = append(p.NewJoinClique, base+i)
+	}
+
+	year := func(yearSeed int64) *graph.Graph {
+		yr := rand.New(rand.NewSource(yearSeed))
+		g := graph.New()
+		for k := 0; k < papersPerYear; k++ {
+			team := 2 + pickTeamExtra(yr)
+			seen := make(map[graph.Vertex]bool, team)
+			verts := make([]graph.Vertex, 0, team)
+			for len(verts) < team {
+				v := graph.Vertex(yr.Intn(nAuthors))
+				if !seen[v] {
+					seen[v] = true
+					verts = append(verts, v)
+				}
+			}
+			AddClique(g, verts)
+		}
+		return g
+	}
+	p.Old = year(seed ^ 0xA)
+	p.New = year(seed ^ 0xB)
+
+	// Ground the event authors in Old so they count as original vertices
+	// (each gets one background collaboration; New Form authors must stay
+	// mutually non-adjacent, which distinct random partners ensure).
+	ground := func(g *graph.Graph, v graph.Vertex) {
+		w := graph.Vertex(rng.Intn(nAuthors))
+		g.AddEdge(v, w)
+	}
+	for _, v := range p.NewFormClique {
+		ground(p.Old, v)
+	}
+	// Figure 10's Old state: the two groups are internal cliques.
+	AddClique(p.Old, p.BridgeGroups[0])
+	AddClique(p.Old, p.BridgeGroups[1])
+	// Figure 11's Old state: the three joiners already collaborated.
+	AddClique(p.Old, p.NewJoinOld)
+
+	// New-year events.
+	AddClique(p.New, p.NewFormClique)
+	AddClique(p.New, p.BridgeClique)
+	AddClique(p.New, p.NewJoinClique)
+	return p
+}
+
+// pickTeamExtra draws the number of authors beyond two on a paper,
+// skewed toward small teams (0..3 extra).
+func pickTeamExtra(rng *rand.Rand) int {
+	r := rng.Float64()
+	switch {
+	case r < 0.55:
+		return 0
+	case r < 0.85:
+		return 1
+	case r < 0.96:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// WikiPair is a pair of consecutive wiki-link snapshots with the
+// Figure 8 case-study events planted.
+type WikiPair struct {
+	Snap1, Snap2 *graph.Graph
+	// Growth: in Snap1, Big is a 10-clique and Joiner sits in the
+	// 5-clique Small; in Snap2, Joiner links to all of Big, forming the
+	// 11-clique Result (the paper's "Astrology" green-triangle event).
+	Growth struct {
+		Joiner     graph.Vertex
+		Big, Small []graph.Vertex
+		Result     []graph.Vertex
+	}
+	// Merges: two events where vertices from two Snap1 cliques form a
+	// new clique in Snap2 (the red-rectangle and orange-ellipse events).
+	Merges [2]struct {
+		Parts  [2][]graph.Vertex
+		Result []graph.Vertex
+	}
+}
+
+// WikiSnapshots builds the wiki stand-in: a scale-free, triangle-rich
+// base of n vertices and exactly `edges` edges with topic cliques
+// planted, plus a second snapshot containing the planted evolution events
+// and background churn (newEdges extra random links).
+func WikiSnapshots(n, edges, newEdges int, seed int64) WikiPair {
+	rng := rand.New(rand.NewSource(seed))
+	m := edges / n
+	if m < 2 {
+		m = 2
+	}
+	g := PowerLawCluster(n, m, 0.5, seed)
+
+	keep := make(map[graph.Edge]bool)
+	// Event cliques must be vertex-disjoint from each other so the
+	// planted evolution events stay well-defined; reserved tracks their
+	// members.
+	reserved := make(map[graph.Vertex]bool)
+	plantClique := func(size int, reserve bool) []graph.Vertex {
+		verts := make([]graph.Vertex, 0, size)
+		seen := make(map[graph.Vertex]bool, size)
+		for len(verts) < size {
+			v := graph.Vertex(rng.Intn(n))
+			if !seen[v] && !reserved[v] {
+				seen[v] = true
+				verts = append(verts, v)
+			}
+		}
+		if reserve {
+			for _, v := range verts {
+				reserved[v] = true
+			}
+		}
+		AddClique(g, verts)
+		for e := range CliqueEdges(verts) {
+			keep[e] = true
+		}
+		return verts
+	}
+	var p WikiPair
+	p.Growth.Big = plantClique(10, true)
+	p.Growth.Small = plantClique(5, true)
+	p.Growth.Joiner = p.Growth.Small[0]
+	mergeParts := [4][]graph.Vertex{
+		plantClique(7, true), plantClique(6, true),
+		plantClique(8, true), plantClique(6, true),
+	}
+	// Topic cliques of assorted sizes form the Snap1 skyline; they avoid
+	// the reserved event vertices but may overlap each other.
+	for i := 0; i < 30; i++ {
+		plantClique(4+rng.Intn(6), false)
+	}
+
+	if g.NumEdges() > edges {
+		TrimEdges(g, edges, keep, seed^0x33)
+	} else {
+		TopUpEdges(g, edges, seed^0x33)
+	}
+	p.Snap1 = g
+
+	// Snap2: copy, then apply events and churn.
+	s2 := g.Clone()
+	// Growth event: the joiner links to every member of Big.
+	for _, v := range p.Growth.Big {
+		s2.AddEdge(p.Growth.Joiner, v)
+	}
+	p.Growth.Result = append(append([]graph.Vertex(nil), p.Growth.Big...), p.Growth.Joiner)
+	// Merge events: 3+3 vertices from two topic cliques become a clique.
+	for k := 0; k < 2; k++ {
+		a, b := mergeParts[2*k], mergeParts[2*k+1]
+		part1 := append([]graph.Vertex(nil), a[:3]...)
+		part2 := append([]graph.Vertex(nil), b[:3]...)
+		result := append(append([]graph.Vertex(nil), part1...), part2...)
+		AddClique(s2, result)
+		p.Merges[k].Parts = [2][]graph.Vertex{part1, part2}
+		p.Merges[k].Result = result
+	}
+	// Background churn: random new links that mostly close no dense
+	// structure.
+	for added := 0; added < newEdges; {
+		u := graph.Vertex(rng.Intn(n))
+		v := graph.Vertex(rng.Intn(n))
+		if u != v && s2.AddEdge(u, v) {
+			added++
+		}
+	}
+	p.Snap2 = s2
+	return p
+}

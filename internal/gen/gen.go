@@ -1,0 +1,286 @@
+// Package gen provides deterministic synthetic graph generators used to
+// stand in for the paper's evaluation datasets (Table I), which are not
+// redistributable. Each generator takes an explicit seed and produces the
+// same graph on every run.
+//
+// Generic models (Erdős–Rényi, Barabási–Albert, Holme–Kim power-law
+// cluster, forest fire) live in this file; domain-shaped models (stock
+// correlation, protein complexes, collaboration years, wiki snapshots)
+// live in domain.go; clique-planting helpers live in planted.go.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trikcore/internal/graph"
+)
+
+// ErdosRenyi returns a G(n, m) random graph: n vertices 0..n-1 and
+// exactly m distinct uniform random edges. It panics if m exceeds the
+// number of vertex pairs.
+func ErdosRenyi(n, m int, seed int64) *graph.Graph {
+	maxEdges := int64(n) * int64(n-1) / 2
+	if int64(m) > maxEdges {
+		panic(fmt.Sprintf("gen: ErdosRenyi(%d, %d): too many edges", n, m))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Vertex(i))
+	}
+	for g.NumEdges() < m {
+		u := graph.Vertex(rng.Intn(n))
+		v := graph.Vertex(rng.Intn(n))
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: vertices arrive
+// one at a time and connect to m existing vertices chosen proportionally
+// to degree. The first m+1 vertices form a clique seed.
+func BarabasiAlbert(n, m int, seed int64) *graph.Graph {
+	if n <= m {
+		panic(fmt.Sprintf("gen: BarabasiAlbert(%d, %d): n must exceed m", n, m))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewWithCapacity(n)
+	// targets holds one entry per edge endpoint; sampling uniformly from
+	// it is degree-proportional sampling.
+	targets := make([]graph.Vertex, 0, 2*m*n)
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			g.AddEdge(graph.Vertex(i), graph.Vertex(j))
+			targets = append(targets, graph.Vertex(i), graph.Vertex(j))
+		}
+	}
+	for v := graph.Vertex(m + 1); v < graph.Vertex(n); v++ {
+		added := make(map[graph.Vertex]bool, m)
+		picks := make([]graph.Vertex, 0, m)
+		for len(picks) < m {
+			u := targets[rng.Intn(len(targets))]
+			if u != v && !added[u] {
+				added[u] = true
+				picks = append(picks, u)
+			}
+		}
+		for _, u := range picks {
+			g.AddEdge(v, u)
+			targets = append(targets, v, u)
+		}
+	}
+	return g
+}
+
+// PowerLawCluster returns a Holme–Kim graph: preferential attachment with
+// a triad-formation step. Each new vertex makes m connections; after each
+// preferential pick, with probability p the next connection closes a
+// triangle by attaching to a random neighbor of the previous pick. This
+// is the scale-free, high-clustering model used for the social-network
+// stand-ins, whose triangle-rich structure exercises the decomposition.
+func PowerLawCluster(n, m int, p float64, seed int64) *graph.Graph {
+	if n <= m {
+		panic(fmt.Sprintf("gen: PowerLawCluster(%d, %d): n must exceed m", n, m))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewWithCapacity(n)
+	// adj mirrors the graph's adjacency as append-only slices so triad
+	// steps can sample a uniform random neighbor deterministically in
+	// O(1) (map iteration order would be nondeterministic).
+	adj := make([][]graph.Vertex, n)
+	targets := make([]graph.Vertex, 0, 2*m*n)
+	addEdge := func(u, v graph.Vertex) {
+		g.AddEdge(u, v)
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+		targets = append(targets, u, v)
+	}
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			addEdge(graph.Vertex(i), graph.Vertex(j))
+		}
+	}
+	for v := graph.Vertex(m + 1); v < graph.Vertex(n); v++ {
+		var prev graph.Vertex = -1
+		made := 0
+		for attempts := 0; made < m; attempts++ {
+			var u graph.Vertex
+			if prev >= 0 && rng.Float64() < p {
+				// Triad step: random neighbor of the previous target.
+				u = adj[prev][rng.Intn(len(adj[prev]))]
+			} else {
+				u = targets[rng.Intn(len(targets))]
+			}
+			if u == v || g.HasEdge(v, u) {
+				prev = -1
+				if attempts <= 10*m+50 {
+					continue
+				}
+				// Livelock escape on tiny or saturated graphs: uniform
+				// random existing vertex.
+				u = graph.Vertex(rng.Intn(int(v)))
+				if u == v || g.HasEdge(v, u) {
+					continue
+				}
+			}
+			addEdge(v, u)
+			prev = u
+			made++
+		}
+	}
+	return g
+}
+
+// ForestFire returns a forest-fire graph (Leskovec et al., reference [13]
+// of the paper): each new vertex picks a random ambassador and "burns"
+// through its neighborhood with forward probability fw, linking to every
+// burned vertex. burnCap bounds the burned set per arrival (0 means 200).
+func ForestFire(n int, fw float64, burnCap int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	if burnCap <= 0 {
+		burnCap = 200
+	}
+	g := graph.NewWithCapacity(n)
+	g.AddVertex(0)
+	for v := graph.Vertex(1); v < graph.Vertex(n); v++ {
+		amb := graph.Vertex(rng.Intn(int(v)))
+		burned := map[graph.Vertex]bool{amb: true}
+		frontier := []graph.Vertex{amb}
+		for len(frontier) > 0 && len(burned) < burnCap {
+			next := frontier[0]
+			frontier = frontier[1:]
+			// Geometric number of neighbors to burn forward.
+			burn := 0
+			for rng.Float64() < fw {
+				burn++
+			}
+			if burn == 0 {
+				continue
+			}
+			nbrs := g.NeighborsSorted(next)
+			rng.Shuffle(len(nbrs), func(i, j int) { nbrs[i], nbrs[j] = nbrs[j], nbrs[i] })
+			for _, w := range nbrs {
+				if burn == 0 || len(burned) >= burnCap {
+					break
+				}
+				if !burned[w] {
+					burned[w] = true
+					frontier = append(frontier, w)
+					burn--
+				}
+			}
+		}
+		for w := range burned {
+			g.AddEdge(v, w)
+		}
+	}
+	return g
+}
+
+// TopUpEdges adds uniform random edges to g until it has exactly target
+// edges (no-op if it already has at least that many). Existing vertices
+// are used as endpoints.
+func TopUpEdges(g *graph.Graph, target int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	verts := g.Vertices()
+	n := len(verts)
+	if n < 2 {
+		return
+	}
+	for tries := 0; g.NumEdges() < target; tries++ {
+		u := verts[rng.Intn(n)]
+		v := verts[rng.Intn(n)]
+		if u != v {
+			g.AddEdge(u, v)
+		}
+		if tries > 100*target+1000 {
+			panic("gen: TopUpEdges cannot reach target")
+		}
+	}
+}
+
+// TrimEdges removes uniform random edges from g until it has exactly
+// target edges, never touching edges in keep (no-op if already at or
+// below target).
+func TrimEdges(g *graph.Graph, target int, keep map[graph.Edge]bool, seed int64) {
+	if g.NumEdges() <= target {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var removable []graph.Edge
+	for _, e := range g.Edges() { // sorted, so the shuffle is deterministic
+		if !keep[e] {
+			removable = append(removable, e)
+		}
+	}
+	rng.Shuffle(len(removable), func(i, j int) { removable[i], removable[j] = removable[j], removable[i] })
+	for _, e := range removable {
+		if g.NumEdges() <= target {
+			break
+		}
+		g.RemoveEdgeE(e)
+	}
+}
+
+// AddClique inserts all pairwise edges among verts into g.
+func AddClique(g *graph.Graph, verts []graph.Vertex) {
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			g.AddEdge(verts[i], verts[j])
+		}
+	}
+}
+
+// AddCommunities plants n dense communities into g: vertex sets of
+// size minSize..maxSize whose internal pairs are connected independently
+// with the given density (1.0 plants exact cliques). Real collaboration
+// and social networks carry such clique-like groups, and they are what
+// make per-edge maximum-clique searches (the CSV baseline) expensive;
+// plain preferential-attachment models lack them. Returns the community
+// vertex sets.
+func AddCommunities(g *graph.Graph, n, minSize, maxSize int, density float64, seed int64) [][]graph.Vertex {
+	rng := rand.New(rand.NewSource(seed))
+	verts := g.Vertices()
+	if len(verts) < maxSize {
+		return nil
+	}
+	var out [][]graph.Vertex
+	for c := 0; c < n; c++ {
+		size := minSize
+		if maxSize > minSize {
+			size += rng.Intn(maxSize - minSize + 1)
+		}
+		members := make([]graph.Vertex, 0, size)
+		seen := make(map[graph.Vertex]bool, size)
+		for len(members) < size {
+			v := verts[rng.Intn(len(verts))]
+			if !seen[v] {
+				seen[v] = true
+				members = append(members, v)
+			}
+		}
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if density >= 1 || rng.Float64() < density {
+					g.AddEdge(members[i], members[j])
+				}
+			}
+		}
+		out = append(out, members)
+	}
+	return out
+}
+
+// CliqueEdges returns the pairwise edges among verts as a set.
+func CliqueEdges(verts []graph.Vertex) map[graph.Edge]bool {
+	out := make(map[graph.Edge]bool, len(verts)*(len(verts)-1)/2)
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			out[graph.NewEdge(verts[i], verts[j])] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"trikcore/internal/graph"
+)
+
+func TestErdosRenyiExactSize(t *testing.T) {
+	g := ErdosRenyi(50, 200, 7)
+	if g.NumVertices() != 50 || g.NumEdges() != 200 {
+		t.Fatalf("got %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(30, 100, 3)
+	b := ErdosRenyi(30, 100, 3)
+	if !reflect.DeepEqual(a.Edges(), b.Edges()) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c := ErdosRenyi(30, 100, 4)
+	if reflect.DeepEqual(a.Edges(), c.Edges()) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestErdosRenyiTooManyEdgesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ErdosRenyi(5, 11, 1)
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	n, m := 200, 3
+	g := BarabasiAlbert(n, m, 5)
+	if g.NumVertices() != n {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	wantEdges := m*(m+1)/2 + (n-m-1)*m
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	// Preferential attachment yields a hub much bigger than m.
+	if graph.MaxDegree(g) < 3*m {
+		t.Fatalf("max degree %d suspiciously small", graph.MaxDegree(g))
+	}
+	if !reflect.DeepEqual(g.Edges(), BarabasiAlbert(n, m, 5).Edges()) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestBarabasiAlbertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	BarabasiAlbert(3, 3, 1)
+}
+
+func TestPowerLawCluster(t *testing.T) {
+	n, m := 400, 4
+	g := PowerLawCluster(n, m, 0.7, 9)
+	if g.NumVertices() != n {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	wantEdges := m*(m+1)/2 + (n-m-1)*m
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	if !reflect.DeepEqual(g.Edges(), PowerLawCluster(n, m, 0.7, 9).Edges()) {
+		t.Fatal("not deterministic")
+	}
+	// Triadic closure must produce markedly higher clustering than pure
+	// preferential attachment.
+	ba := BarabasiAlbert(n, m, 9)
+	if graph.GlobalClusteringCoefficient(g) < 1.5*graph.GlobalClusteringCoefficient(ba) {
+		t.Fatalf("clustering: plc=%v ba=%v", graph.GlobalClusteringCoefficient(g),
+			graph.GlobalClusteringCoefficient(ba))
+	}
+}
+
+func TestForestFire(t *testing.T) {
+	g := ForestFire(300, 0.35, 50, 11)
+	if g.NumVertices() != 300 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() < 299 {
+		t.Fatalf("forest fire produced only %d edges", g.NumEdges())
+	}
+	if !reflect.DeepEqual(g.Edges(), ForestFire(300, 0.35, 50, 11).Edges()) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestTopUpAndTrim(t *testing.T) {
+	g := ErdosRenyi(40, 100, 1)
+	TopUpEdges(g, 150, 2)
+	if g.NumEdges() != 150 {
+		t.Fatalf("TopUpEdges: %d edges", g.NumEdges())
+	}
+	keep := map[graph.Edge]bool{}
+	g.ForEachEdge(func(e graph.Edge) bool {
+		if len(keep) < 30 {
+			keep[e] = true
+		}
+		return true
+	})
+	TrimEdges(g, 50, keep, 3)
+	if g.NumEdges() != 50 {
+		t.Fatalf("TrimEdges: %d edges", g.NumEdges())
+	}
+	for e := range keep {
+		if !g.HasEdgeE(e) {
+			t.Fatalf("TrimEdges removed kept edge %v", e)
+		}
+	}
+	TrimEdges(g, 100, nil, 4) // no-op when below target
+	if g.NumEdges() != 50 {
+		t.Fatal("TrimEdges grew the graph")
+	}
+}
+
+func TestPlantedCliques(t *testing.T) {
+	res := PlantedCliques(80, 400, []int{7, 6, 5}, 13)
+	g := res.G
+	if g.NumVertices() != 80 || g.NumEdges() != 400 {
+		t.Fatalf("%d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if len(res.Cliques) != 3 {
+		t.Fatalf("%d planted cliques", len(res.Cliques))
+	}
+	seen := map[graph.Vertex]bool{}
+	for i, c := range res.Cliques {
+		if len(c) != []int{7, 6, 5}[i] {
+			t.Fatalf("clique %d has %d vertices", i, len(c))
+		}
+		if !graph.IsClique(g, c) {
+			t.Fatalf("planted set %v is not a clique", c)
+		}
+		for _, v := range c {
+			if seen[v] {
+				t.Fatal("planted cliques overlap")
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestAddCliqueAndCliqueEdges(t *testing.T) {
+	g := graph.New()
+	verts := []graph.Vertex{1, 2, 3, 4}
+	AddClique(g, verts)
+	if g.NumEdges() != 6 {
+		t.Fatalf("AddClique made %d edges", g.NumEdges())
+	}
+	es := CliqueEdges(verts)
+	if len(es) != 6 || !es[graph.NewEdge(4, 1)] {
+		t.Fatalf("CliqueEdges = %v", es)
+	}
+}

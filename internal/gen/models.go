@@ -1,0 +1,163 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"trikcore/internal/graph"
+)
+
+// RMAT returns an R-MAT (Kronecker-style) random graph over 2^scale
+// vertices with the given number of distinct edges. Each edge lands in a
+// quadrant of the adjacency matrix chosen recursively with probabilities
+// (a, b, c, 1-a-b-c), producing the skewed degree distributions of web
+// and social graphs. Self-loops and duplicates are re-drawn.
+func RMAT(scale, edges int, a, b, c float64, seed int64) *graph.Graph {
+	if a+b+c >= 1 {
+		panic(fmt.Sprintf("gen: RMAT probabilities a+b+c = %v must be < 1", a+b+c))
+	}
+	n := 1 << scale
+	maxEdges := int64(n) * int64(n-1) / 2
+	if int64(edges) > maxEdges {
+		panic(fmt.Sprintf("gen: RMAT(%d, %d): too many edges", scale, edges))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Vertex(i))
+	}
+	for g.NumEdges() < edges {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u != v {
+			g.AddEdge(graph.Vertex(u), graph.Vertex(v))
+		}
+	}
+	return g
+}
+
+// RandomGeometric returns a random geometric graph: n points placed
+// uniformly in the unit square, connected when within the given radius.
+// Geometric graphs are naturally triangle-rich (neighbors of neighbors
+// are close), exercising high-κ structure without planted cliques.
+func RandomGeometric(n int, radius float64, seed int64) *graph.Graph {
+	g, _, _ := RandomGeometricPoints(n, radius, seed)
+	return g
+}
+
+// RandomGeometricPoints is RandomGeometric returning the point
+// coordinates alongside the graph.
+func RandomGeometricPoints(n int, radius float64, seed int64) (*graph.Graph, []float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	g := graph.NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Vertex(i))
+	}
+	// Grid-bucket the points so neighbor search is near-linear.
+	cell := radius
+	if cell <= 0 {
+		panic("gen: RandomGeometric radius must be positive")
+	}
+	cols := int(math.Ceil(1 / cell))
+	buckets := make(map[[2]int][]int)
+	key := func(i int) [2]int {
+		return [2]int{int(xs[i] / cell), int(ys[i] / cell)}
+	}
+	for i := 0; i < n; i++ {
+		k := key(i)
+		buckets[k] = append(buckets[k], i)
+	}
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		k := key(i)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				nk := [2]int{k[0] + dx, k[1] + dy}
+				if nk[0] < 0 || nk[1] < 0 || nk[0] > cols || nk[1] > cols {
+					continue
+				}
+				for _, j := range buckets[nk] {
+					if j <= i {
+						continue
+					}
+					ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+					if ddx*ddx+ddy*ddy <= r2 {
+						g.AddEdge(graph.Vertex(i), graph.Vertex(j))
+					}
+				}
+			}
+		}
+	}
+	return g, xs, ys
+}
+
+// PlantedPartition returns an LFR-style community graph: n vertices in
+// equally sized communities, intra-community pairs connected with pIn and
+// inter-community pairs with pOut. With pIn ≫ pOut the communities are
+// dense clusters with distinct κ levels.
+func PlantedPartition(n, communities int, pIn, pOut float64, seed int64) *graph.Graph {
+	if communities < 1 || n < communities {
+		panic("gen: PlantedPartition needs 1 ≤ communities ≤ n")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Vertex(i))
+	}
+	community := func(v int) int { return v % communities }
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := pOut
+			if community(i) == community(j) {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				g.AddEdge(graph.Vertex(i), graph.Vertex(j))
+			}
+		}
+	}
+	return g
+}
+
+// TriangulatedTorus returns the n×m torus grid with diagonals: every
+// edge lies in exactly two triangles, so the graph is a Triangle 2-Core
+// with κ = 2 on every edge. It is the canonical structure for studying
+// propagation behavior (removing a single edge collapses the whole
+// 2-core, one triangle-hop per step).
+func TriangulatedTorus(n, m int) *graph.Graph {
+	if n < 3 || m < 3 {
+		panic("gen: TriangulatedTorus needs n, m ≥ 3")
+	}
+	g := graph.NewWithCapacity(n * m)
+	id := func(i, j int) graph.Vertex {
+		return graph.Vertex(((i%n)+n)%n*m + ((j%m)+m)%m)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			g.AddEdge(id(i, j), id(i+1, j))
+			g.AddEdge(id(i, j), id(i, j+1))
+			g.AddEdge(id(i, j), id(i+1, j+1))
+		}
+	}
+	return g
+}

@@ -1,0 +1,127 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"trikcore/internal/core"
+	"trikcore/internal/graph"
+)
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(8, 500, 0.57, 0.19, 0.19, 7)
+	if g.NumVertices() != 256 || g.NumEdges() != 500 {
+		t.Fatalf("%d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if !reflect.DeepEqual(g.Edges(), RMAT(8, 500, 0.57, 0.19, 0.19, 7).Edges()) {
+		t.Fatal("not deterministic")
+	}
+	// Skew: the R-MAT hub quadrant concentrates degree.
+	if graph.MaxDegree(g) < 3*500*2/256 {
+		t.Fatalf("max degree %d lacks R-MAT skew", graph.MaxDegree(g))
+	}
+}
+
+func TestRMATPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { RMAT(3, 500, 0.5, 0.2, 0.2, 1) }, // too many edges
+		func() { RMAT(4, 5, 0.5, 0.3, 0.3, 1) },   // bad probabilities
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRandomGeometric(t *testing.T) {
+	g := RandomGeometric(400, 0.08, 11)
+	if g.NumVertices() != 400 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	if !reflect.DeepEqual(g.Edges(), RandomGeometric(400, 0.08, 11).Edges()) {
+		t.Fatal("not deterministic")
+	}
+	// Geometric graphs are triangle-rich: clustering far above an ER
+	// graph of the same size.
+	er := ErdosRenyi(400, g.NumEdges(), 11)
+	if graph.GlobalClusteringCoefficient(g) < 3*graph.GlobalClusteringCoefficient(er) {
+		t.Fatalf("clustering %v not markedly above ER %v",
+			graph.GlobalClusteringCoefficient(g), graph.GlobalClusteringCoefficient(er))
+	}
+}
+
+func TestRandomGeometricBruteForceAgreement(t *testing.T) {
+	// The grid-bucketed neighbor search must match the O(n²) definition.
+	const n, radius = 150, 0.15
+	g, xs, ys := RandomGeometricPoints(n, radius, 3)
+	want := graph.New()
+	for i := 0; i < n; i++ {
+		want.AddVertex(graph.Vertex(i))
+		for j := i + 1; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			if dx*dx+dy*dy <= radius*radius {
+				want.AddEdge(graph.Vertex(i), graph.Vertex(j))
+			}
+		}
+	}
+	if !reflect.DeepEqual(g.Edges(), want.Edges()) {
+		t.Fatalf("grid search disagrees with brute force: %d vs %d edges",
+			g.NumEdges(), want.NumEdges())
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	g := PlantedPartition(120, 6, 0.8, 0.01, 5)
+	if g.NumVertices() != 120 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	intra, inter := 0, 0
+	g.ForEachEdge(func(e graph.Edge) bool {
+		if int(e.U)%6 == int(e.V)%6 {
+			intra++
+		} else {
+			inter++
+		}
+		return true
+	})
+	if intra < 5*inter {
+		t.Fatalf("intra=%d inter=%d: community structure too weak", intra, inter)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad arguments accepted")
+		}
+	}()
+	PlantedPartition(3, 5, 0.5, 0.1, 1)
+}
+
+func TestTriangulatedTorus(t *testing.T) {
+	g := TriangulatedTorus(6, 5)
+	if g.NumVertices() != 30 || g.NumEdges() != 90 {
+		t.Fatalf("%d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	// Every edge lies in exactly two triangles: a perfect Triangle 2-Core.
+	d := core.Decompose(g)
+	for i, k := range d.Kappa {
+		if k != 2 {
+			t.Fatalf("torus edge %d has κ=%d, want 2", i, k)
+		}
+	}
+	// Removing one edge collapses the whole 2-core.
+	g.RemoveEdge(0, 5)
+	d = core.Decompose(g)
+	if d.MaxKappa != 1 {
+		t.Fatalf("after removal MaxKappa=%d, want 1", d.MaxKappa)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degenerate torus accepted")
+		}
+	}()
+	TriangulatedTorus(2, 5)
+}

@@ -1,0 +1,71 @@
+package gen
+
+import (
+	"math/rand"
+
+	"trikcore/internal/graph"
+)
+
+// PlantedResult is a noise graph with known dense structures embedded.
+type PlantedResult struct {
+	G *graph.Graph
+	// Cliques holds the vertex sets of the planted cliques, in the order
+	// of the sizes passed to PlantedCliques.
+	Cliques [][]graph.Vertex
+}
+
+// PlantedCliques builds an n-vertex noise graph with totalEdges edges
+// containing one planted clique per entry of sizes. Clique vertex sets
+// are disjoint and also participate in the background noise, so the
+// cliques are embedded rather than isolated. The planted clique edges
+// count toward totalEdges; the generator panics if they alone exceed it.
+func PlantedCliques(n, totalEdges int, sizes []int, seed int64) PlantedResult {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Vertex(i))
+	}
+	need := 0
+	for _, s := range sizes {
+		need += s
+	}
+	if need > n {
+		panic("gen: PlantedCliques: clique sizes exceed vertex count")
+	}
+	perm := rng.Perm(n)
+	var res PlantedResult
+	res.G = g
+	idx := 0
+	keep := make(map[graph.Edge]bool)
+	for _, s := range sizes {
+		verts := make([]graph.Vertex, s)
+		for i := 0; i < s; i++ {
+			verts[i] = graph.Vertex(perm[idx])
+			idx++
+		}
+		AddClique(g, verts)
+		for e := range CliqueEdges(verts) {
+			keep[e] = true
+		}
+		res.Cliques = append(res.Cliques, verts)
+	}
+	if g.NumEdges() > totalEdges {
+		panic("gen: PlantedCliques: planted edges exceed edge budget")
+	}
+	// Attach each clique to the noise graph with a couple of edges so the
+	// structures are embedded, then fill with uniform noise.
+	for _, verts := range res.Cliques {
+		for tries := 0; tries < 2; tries++ {
+			if g.NumEdges() >= totalEdges {
+				break
+			}
+			u := verts[rng.Intn(len(verts))]
+			v := graph.Vertex(rng.Intn(n))
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	TopUpEdges(g, totalEdges, seed^0x9e3779b9)
+	return res
+}

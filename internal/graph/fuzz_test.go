@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the text parser never panics and that every
+// accepted graph round-trips through the writer.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("1 2\n2 3\n")
+	f.Add("# comment\n5 6 extra\n")
+	f.Add("")
+	f.Add("-1 -2\n")
+	f.Add("99999999999999999 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(bytes.NewReader([]byte(input)))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if !reflect.DeepEqual(g.Edges(), g2.Edges()) {
+			t.Fatal("text round trip changed the edge set")
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary parser never panics and that every
+// accepted snapshot round-trips bit-exactly.
+func FuzzReadBinary(f *testing.F) {
+	good := func(g *Graph) []byte {
+		var buf bytes.Buffer
+		WriteBinary(&buf, g)
+		return buf.Bytes()
+	}
+	f.Add(good(FromPairs(1, 2, 2, 3, 3, 1)))
+	f.Add(good(New()))
+	f.Add([]byte("TKCG\x01"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("accepted snapshot failed to serialize: %v", err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if !reflect.DeepEqual(g.Edges(), g2.Edges()) ||
+			!reflect.DeepEqual(g.Vertices(), g2.Vertices()) {
+			t.Fatal("binary round trip changed the graph")
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package graph
+
+import "sort"
+
+// TriangleCount returns the total number of triangles in g. It iterates
+// every edge and intersects endpoint neighborhoods, so it runs in
+// O(sum over edges of min-degree) time.
+func TriangleCount(g *Graph) int64 {
+	var sum int64
+	g.ForEachEdge(func(e Edge) bool {
+		sum += int64(g.Support(e.U, e.V))
+		return true
+	})
+	return sum / 3
+}
+
+// MaxDegree returns the maximum vertex degree in g (0 for an empty graph).
+func MaxDegree(g *Graph) int {
+	max := 0
+	g.ForEachVertex(func(v Vertex) bool {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+		return true
+	})
+	return max
+}
+
+// AvgDegree returns the mean vertex degree 2|E|/|V| (0 for an empty graph).
+func AvgDegree(g *Graph) float64 {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	return 2 * float64(g.NumEdges()) / float64(g.NumVertices())
+}
+
+// DegreeHistogram returns a map from degree to the number of vertices with
+// that degree.
+func DegreeHistogram(g *Graph) map[int]int {
+	h := make(map[int]int)
+	g.ForEachVertex(func(v Vertex) bool {
+		h[g.Degree(v)]++
+		return true
+	})
+	return h
+}
+
+// GlobalClusteringCoefficient returns 3*#triangles / #wedges, the graph
+// transitivity. It returns 0 when the graph has no wedges.
+func GlobalClusteringCoefficient(g *Graph) float64 {
+	var wedges int64
+	g.ForEachVertex(func(v Vertex) bool {
+		d := int64(g.Degree(v))
+		wedges += d * (d - 1) / 2
+		return true
+	})
+	if wedges == 0 {
+		return 0
+	}
+	return 3 * float64(TriangleCount(g)) / float64(wedges)
+}
+
+// ConnectedComponents returns the vertex sets of the connected components
+// of g, each sorted ascending, ordered by their smallest vertex.
+func ConnectedComponents(g *Graph) [][]Vertex {
+	seen := make(map[Vertex]bool, g.NumVertices())
+	var comps [][]Vertex
+	for _, start := range g.Vertices() {
+		if seen[start] {
+			continue
+		}
+		comp := []Vertex{start}
+		seen[start] = true
+		for i := 0; i < len(comp); i++ {
+			g.ForEachNeighbor(comp[i], func(w Vertex) bool {
+				if !seen[w] {
+					seen[w] = true
+					comp = append(comp, w)
+				}
+				return true
+			})
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsClique reports whether the given vertices form a clique in g (every
+// pair adjacent). A set of fewer than two vertices is trivially a clique.
+func IsClique(g *Graph, verts []Vertex) bool {
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			if !g.HasEdge(verts[i], verts[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// InducedSubgraph returns the subgraph of g induced by the given vertex
+// set: those vertices and every edge of g between two of them.
+func InducedSubgraph(g *Graph, verts []Vertex) *Graph {
+	keep := make(map[Vertex]bool, len(verts))
+	for _, v := range verts {
+		keep[v] = true
+	}
+	sub := New()
+	for _, v := range verts {
+		if !g.HasVertex(v) {
+			continue
+		}
+		sub.AddVertex(v)
+		g.ForEachNeighbor(v, func(w Vertex) bool {
+			if keep[w] && v < w {
+				sub.AddEdge(v, w)
+			}
+			return true
+		})
+	}
+	return sub
+}
+
+// EdgeSubgraph returns the subgraph of g consisting of exactly the given
+// edges (which must all exist in g) and their endpoints.
+func EdgeSubgraph(g *Graph, edges []Edge) *Graph {
+	sub := New()
+	for _, e := range edges {
+		if !g.HasEdgeE(e) {
+			continue
+		}
+		sub.AddEdgeE(e)
+	}
+	return sub
+}

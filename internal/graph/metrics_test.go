@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// k4 returns the complete graph on 4 vertices.
+func k4() *Graph { return FromPairs(1, 2, 1, 3, 1, 4, 2, 3, 2, 4, 3, 4) }
+
+func TestTriangleCount(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int64
+	}{
+		{"empty", New(), 0},
+		{"path", FromPairs(1, 2, 2, 3), 0},
+		{"triangle", FromPairs(1, 2, 2, 3, 3, 1), 1},
+		{"k4", k4(), 4},
+	}
+	for _, tc := range cases {
+		if got := TriangleCount(tc.g); got != tc.want {
+			t.Errorf("%s: TriangleCount = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDegreeMetrics(t *testing.T) {
+	g := FromPairs(1, 2, 1, 3, 1, 4)
+	if got := MaxDegree(g); got != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", got)
+	}
+	if got := AvgDegree(g); got != 1.5 {
+		t.Fatalf("AvgDegree = %v, want 1.5", got)
+	}
+	if got := AvgDegree(New()); got != 0 {
+		t.Fatalf("AvgDegree(empty) = %v", got)
+	}
+	want := map[int]int{3: 1, 1: 3}
+	if got := DegreeHistogram(g); !reflect.DeepEqual(got, want) {
+		t.Fatalf("DegreeHistogram = %v, want %v", got, want)
+	}
+}
+
+func TestGlobalClusteringCoefficient(t *testing.T) {
+	if got := GlobalClusteringCoefficient(k4()); got != 1.0 {
+		t.Fatalf("clustering of K4 = %v, want 1", got)
+	}
+	if got := GlobalClusteringCoefficient(FromPairs(1, 2, 2, 3)); got != 0 {
+		t.Fatalf("clustering of path = %v, want 0", got)
+	}
+	if got := GlobalClusteringCoefficient(New()); got != 0 {
+		t.Fatalf("clustering of empty = %v, want 0", got)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := FromPairs(1, 2, 2, 3, 10, 11)
+	g.AddVertex(99)
+	comps := ConnectedComponents(g)
+	want := [][]Vertex{{1, 2, 3}, {10, 11}, {99}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("ConnectedComponents = %v, want %v", comps, want)
+	}
+}
+
+func TestIsClique(t *testing.T) {
+	g := k4()
+	if !IsClique(g, []Vertex{1, 2, 3, 4}) {
+		t.Fatal("K4 should be a clique")
+	}
+	g.RemoveEdge(1, 2)
+	if IsClique(g, []Vertex{1, 2, 3, 4}) {
+		t.Fatal("K4 minus an edge should not be a clique")
+	}
+	if !IsClique(g, []Vertex{3}) || !IsClique(g, nil) {
+		t.Fatal("singleton and empty sets are trivially cliques")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := k4()
+	g.AddEdge(4, 5)
+	sub := InducedSubgraph(g, []Vertex{1, 2, 3, 77})
+	if sub.NumVertices() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("induced subgraph: %d vertices, %d edges", sub.NumVertices(), sub.NumEdges())
+	}
+	if sub.HasVertex(77) {
+		t.Fatal("vertex absent from g must not appear in subgraph")
+	}
+}
+
+func TestEdgeSubgraph(t *testing.T) {
+	g := k4()
+	sub := EdgeSubgraph(g, []Edge{{1, 2}, {3, 4}, {1, 5}})
+	if sub.NumEdges() != 2 {
+		t.Fatalf("edge subgraph has %d edges, want 2", sub.NumEdges())
+	}
+	if sub.HasEdge(1, 5) {
+		t.Fatal("edge absent from g must not appear in subgraph")
+	}
+}

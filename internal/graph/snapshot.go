@@ -1,0 +1,88 @@
+package graph
+
+import "sort"
+
+// Diff describes the edit between two graph snapshots. Added entries exist
+// in the new snapshot but not the old; Removed entries exist only in the
+// old snapshot. All slices are sorted.
+type Diff struct {
+	AddedEdges      []Edge
+	RemovedEdges    []Edge
+	AddedVertices   []Vertex
+	RemovedVertices []Vertex
+}
+
+// DiffGraphs computes the Diff from old to new.
+func DiffGraphs(old, new *Graph) Diff {
+	var d Diff
+	new.ForEachEdge(func(e Edge) bool {
+		if !old.HasEdgeE(e) {
+			d.AddedEdges = append(d.AddedEdges, e)
+		}
+		return true
+	})
+	old.ForEachEdge(func(e Edge) bool {
+		if !new.HasEdgeE(e) {
+			d.RemovedEdges = append(d.RemovedEdges, e)
+		}
+		return true
+	})
+	new.ForEachVertex(func(v Vertex) bool {
+		if !old.HasVertex(v) {
+			d.AddedVertices = append(d.AddedVertices, v)
+		}
+		return true
+	})
+	old.ForEachVertex(func(v Vertex) bool {
+		if !new.HasVertex(v) {
+			d.RemovedVertices = append(d.RemovedVertices, v)
+		}
+		return true
+	})
+	sort.Slice(d.AddedEdges, func(i, j int) bool { return d.AddedEdges[i].Less(d.AddedEdges[j]) })
+	sort.Slice(d.RemovedEdges, func(i, j int) bool { return d.RemovedEdges[i].Less(d.RemovedEdges[j]) })
+	sort.Slice(d.AddedVertices, func(i, j int) bool { return d.AddedVertices[i] < d.AddedVertices[j] })
+	sort.Slice(d.RemovedVertices, func(i, j int) bool { return d.RemovedVertices[i] < d.RemovedVertices[j] })
+	return d
+}
+
+// Empty reports whether the diff holds no changes.
+func (d Diff) Empty() bool {
+	return len(d.AddedEdges) == 0 && len(d.RemovedEdges) == 0 &&
+		len(d.AddedVertices) == 0 && len(d.RemovedVertices) == 0
+}
+
+// AddedEdgeSet returns the added edges as a membership set.
+func (d Diff) AddedEdgeSet() map[Edge]bool {
+	m := make(map[Edge]bool, len(d.AddedEdges))
+	for _, e := range d.AddedEdges {
+		m[e] = true
+	}
+	return m
+}
+
+// AddedVertexSet returns the added vertices as a membership set.
+func (d Diff) AddedVertexSet() map[Vertex]bool {
+	m := make(map[Vertex]bool, len(d.AddedVertices))
+	for _, v := range d.AddedVertices {
+		m[v] = true
+	}
+	return m
+}
+
+// Apply mutates g so that it reflects the diff: removed edges and vertices
+// are deleted, added vertices and edges inserted.
+func (d Diff) Apply(g *Graph) {
+	for _, e := range d.RemovedEdges {
+		g.RemoveEdgeE(e)
+	}
+	for _, v := range d.RemovedVertices {
+		g.RemoveVertex(v)
+	}
+	for _, v := range d.AddedVertices {
+		g.AddVertex(v)
+	}
+	for _, e := range d.AddedEdges {
+		g.AddEdgeE(e)
+	}
+}

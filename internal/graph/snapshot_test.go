@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiffGraphsBasic(t *testing.T) {
+	old := FromPairs(1, 2, 2, 3)
+	new := FromPairs(2, 3, 3, 4)
+	new.AddVertex(50)
+	d := DiffGraphs(old, new)
+	if !reflect.DeepEqual(d.AddedEdges, []Edge{{3, 4}}) {
+		t.Fatalf("AddedEdges = %v", d.AddedEdges)
+	}
+	if !reflect.DeepEqual(d.RemovedEdges, []Edge{{1, 2}}) {
+		t.Fatalf("RemovedEdges = %v", d.RemovedEdges)
+	}
+	if !reflect.DeepEqual(d.AddedVertices, []Vertex{4, 50}) {
+		t.Fatalf("AddedVertices = %v", d.AddedVertices)
+	}
+	if !reflect.DeepEqual(d.RemovedVertices, []Vertex{1}) {
+		t.Fatalf("RemovedVertices = %v", d.RemovedVertices)
+	}
+	if d.Empty() {
+		t.Fatal("non-trivial diff reported Empty")
+	}
+	if !DiffGraphs(old, old).Empty() {
+		t.Fatal("self diff not empty")
+	}
+}
+
+func TestDiffSets(t *testing.T) {
+	d := Diff{AddedEdges: []Edge{{1, 2}}, AddedVertices: []Vertex{7}}
+	if !d.AddedEdgeSet()[NewEdge(2, 1)] {
+		t.Fatal("AddedEdgeSet missing edge")
+	}
+	if !d.AddedVertexSet()[7] || d.AddedVertexSet()[8] {
+		t.Fatal("AddedVertexSet wrong")
+	}
+}
+
+func TestDiffApplyRoundTrip(t *testing.T) {
+	// Property: DiffGraphs(old, new).Apply(old') turns a copy of old into
+	// a graph with exactly new's edges (vertex sets may differ only by
+	// isolated vertices kept after edge removal — Apply removes vertices
+	// explicitly removed in the diff, so sets match exactly).
+	f := func(seedOld, seedNew int64) bool {
+		old := randomGraph(15, 0.25, seedOld)
+		new := randomGraph(17, 0.2, seedNew)
+		d := DiffGraphs(old, new)
+		work := old.Clone()
+		d.Apply(work)
+		return reflect.DeepEqual(work.Edges(), new.Edges()) &&
+			reflect.DeepEqual(work.Vertices(), new.Vertices())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffApplyWithChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	old := randomGraph(30, 0.15, 1)
+	new := old.Clone()
+	for i := 0; i < 40; i++ {
+		u, v := Vertex(rng.Intn(30)), Vertex(rng.Intn(30))
+		if u == v {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			new.AddEdge(u, v)
+		} else {
+			new.RemoveEdge(u, v)
+		}
+	}
+	d := DiffGraphs(old, new)
+	work := old.Clone()
+	d.Apply(work)
+	if !reflect.DeepEqual(work.Edges(), new.Edges()) {
+		t.Fatal("Apply did not reproduce the new edge set")
+	}
+}

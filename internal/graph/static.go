@@ -1,0 +1,128 @@
+package graph
+
+import "sort"
+
+// Static is an immutable, array-based view of a Graph optimized for bulk
+// algorithms. Vertices are relabeled to dense positions 0..N-1 and
+// adjacency lists are sorted, enabling cache-friendly iteration and
+// merge-based common-neighbor intersection. Edges carry dense indices
+// 0..M-1 so per-edge algorithm state can live in flat slices.
+type Static struct {
+	// OrigID maps a dense position back to the original vertex id.
+	OrigID []Vertex
+	// Pos maps an original vertex id to its dense position.
+	Pos map[Vertex]int32
+	// Adj holds, for each dense vertex position, its neighbors as sorted
+	// dense positions.
+	Adj [][]int32
+	// EdgeU and EdgeV hold the endpoints (dense positions, EdgeU < EdgeV)
+	// of edge i.
+	EdgeU, EdgeV []int32
+	// edgeIdx maps a packed (u<<32|v) dense endpoint pair (u < v) to the
+	// edge index.
+	edgeIdx map[uint64]int32
+}
+
+// FreezeStatic builds a Static view of g. The view shares nothing with g;
+// later mutation of g does not affect it.
+func FreezeStatic(g *Graph) *Static {
+	verts := g.Vertices()
+	s := &Static{
+		OrigID: verts,
+		Pos:    make(map[Vertex]int32, len(verts)),
+		Adj:    make([][]int32, len(verts)),
+	}
+	for i, v := range verts {
+		s.Pos[v] = int32(i)
+	}
+	m := g.NumEdges()
+	s.EdgeU = make([]int32, 0, m)
+	s.EdgeV = make([]int32, 0, m)
+	s.edgeIdx = make(map[uint64]int32, m)
+	for i, v := range verts {
+		deg := g.Degree(v)
+		nbrs := make([]int32, 0, deg)
+		g.ForEachNeighbor(v, func(w Vertex) bool {
+			nbrs = append(nbrs, s.Pos[w])
+			return true
+		})
+		sort.Slice(nbrs, func(a, b int) bool { return nbrs[a] < nbrs[b] })
+		s.Adj[i] = nbrs
+		u := int32(i)
+		for _, w := range nbrs {
+			if u < w {
+				s.edgeIdx[pack(u, w)] = int32(len(s.EdgeU))
+				s.EdgeU = append(s.EdgeU, u)
+				s.EdgeV = append(s.EdgeV, w)
+			}
+		}
+	}
+	return s
+}
+
+func pack(u, v int32) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
+
+// NumVertices returns the number of vertices in the view.
+func (s *Static) NumVertices() int { return len(s.OrigID) }
+
+// NumEdges returns the number of edges in the view.
+func (s *Static) NumEdges() int { return len(s.EdgeU) }
+
+// EdgeIndex returns the dense index of the edge between dense positions u
+// and v, or -1 if no such edge exists.
+func (s *Static) EdgeIndex(u, v int32) int32 {
+	if u > v {
+		u, v = v, u
+	}
+	if i, ok := s.edgeIdx[pack(u, v)]; ok {
+		return i
+	}
+	return -1
+}
+
+// EdgeAt returns edge i as a canonical Edge over original vertex ids.
+func (s *Static) EdgeAt(i int32) Edge {
+	return NewEdge(s.OrigID[s.EdgeU[i]], s.OrigID[s.EdgeV[i]])
+}
+
+// Degree returns the degree of the vertex at dense position u.
+func (s *Static) Degree(u int32) int { return len(s.Adj[u]) }
+
+// ForEachCommonNeighbor calls fn for each common neighbor (dense position)
+// of dense positions u and v, in ascending order, using a linear merge of
+// the two sorted adjacency lists. If fn returns false the iteration stops.
+func (s *Static) ForEachCommonNeighbor(u, v int32, fn func(w int32) bool) {
+	a, b := s.Adj[u], s.Adj[v]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			if !fn(a[i]) {
+				return
+			}
+			i++
+			j++
+		}
+	}
+}
+
+// Support returns the number of triangles containing edge i.
+func (s *Static) Support(i int32) int {
+	n := 0
+	s.ForEachCommonNeighbor(s.EdgeU[i], s.EdgeV[i], func(int32) bool { n++; return true })
+	return n
+}
+
+// TriangleCount returns the total number of triangles in the graph,
+// computed as the sum of edge supports divided by three.
+func (s *Static) TriangleCount() int64 {
+	var sum int64
+	for i := range s.EdgeU {
+		sum += int64(s.Support(int32(i)))
+	}
+	return sum / 3
+}

@@ -1,0 +1,147 @@
+package kcore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trikcore/internal/graph"
+	"trikcore/internal/reference"
+)
+
+func randomGraph(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Vertex(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(graph.Vertex(i), graph.Vertex(j))
+			}
+		}
+	}
+	return g
+}
+
+func TestDecomposeTriangle(t *testing.T) {
+	g := graph.FromPairs(1, 2, 2, 3, 3, 1, 3, 4)
+	d := Decompose(g)
+	want := map[graph.Vertex]int{1: 2, 2: 2, 3: 2, 4: 1}
+	for v, k := range want {
+		if d.Core[v] != k {
+			t.Errorf("core(%d) = %d, want %d", v, d.Core[v], k)
+		}
+	}
+	if d.MaxCore != 2 {
+		t.Fatalf("MaxCore = %d, want 2", d.MaxCore)
+	}
+}
+
+func TestFigure1KCoreConstruction(t *testing.T) {
+	// Figure 1(a): a 5-vertex K-Core with core number 2 built with a
+	// minimal number of edges — the 5-cycle. Every vertex has core 2 yet
+	// the graph is triangle-free, the paper's motivating contrast.
+	c5 := graph.FromPairs(0, 1, 1, 2, 2, 3, 3, 4, 4, 0)
+	d := Decompose(c5)
+	for _, v := range c5.Vertices() {
+		if d.Core[v] != 2 {
+			t.Fatalf("core(%d) = %d, want 2 on C5", v, d.Core[v])
+		}
+	}
+	if graph.TriangleCount(c5) != 0 {
+		t.Fatal("C5 should be triangle-free")
+	}
+}
+
+func TestDecomposeClique(t *testing.T) {
+	g := graph.New()
+	n := graph.Vertex(7)
+	for i := graph.Vertex(0); i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	d := Decompose(g)
+	for _, v := range g.Vertices() {
+		if d.Core[v] != int(n)-1 {
+			t.Fatalf("core(%d) = %d, want %d", v, d.Core[v], n-1)
+		}
+	}
+}
+
+func TestDecomposeEmptyAndIsolated(t *testing.T) {
+	d := Decompose(graph.New())
+	if len(d.Core) != 0 || d.MaxCore != 0 {
+		t.Fatal("empty graph decomposition wrong")
+	}
+	g := graph.New()
+	g.AddVertex(5)
+	d = Decompose(g)
+	if d.Core[5] != 0 || len(d.Order) != 1 {
+		t.Fatal("isolated vertex should have core 0")
+	}
+}
+
+func TestQuickMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(25, 0.2, seed)
+		got := Decompose(g).Core
+		want := reference.VertexCore(g)
+		for v, k := range want {
+			if got[v] != k {
+				return false
+			}
+		}
+		return len(got) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegeneracyOrderProperty(t *testing.T) {
+	// In a degeneracy order (reversed peel order), every vertex has at
+	// most Degeneracy(g) neighbors later in the peel order... equivalently
+	// at most MaxCore neighbors among vertices peeled after it.
+	g := randomGraph(40, 0.15, 99)
+	d := Decompose(g)
+	pos := make(map[graph.Vertex]int, len(d.Order))
+	for i, v := range d.Order {
+		pos[v] = i
+	}
+	for _, v := range d.Order {
+		later := 0
+		g.ForEachNeighbor(v, func(w graph.Vertex) bool {
+			if pos[w] > pos[v] {
+				later++
+			}
+			return true
+		})
+		if later > d.MaxCore {
+			t.Fatalf("vertex %d has %d later neighbors > degeneracy %d", v, later, d.MaxCore)
+		}
+	}
+	if Degeneracy(g) != d.MaxCore {
+		t.Fatal("Degeneracy disagrees with Decompose")
+	}
+	if len(DegeneracyOrder(g)) != g.NumVertices() {
+		t.Fatal("DegeneracyOrder wrong length")
+	}
+}
+
+func TestCoreSubgraph(t *testing.T) {
+	// Triangle with a tail: 2-core is exactly the triangle.
+	g := graph.FromPairs(1, 2, 2, 3, 3, 1, 3, 4, 4, 5)
+	d := Decompose(g)
+	sub := CoreSubgraph(g, d, 2)
+	if sub.NumVertices() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("2-core has %d vertices, %d edges", sub.NumVertices(), sub.NumEdges())
+	}
+	for _, v := range []graph.Vertex{1, 2, 3} {
+		if !sub.HasVertex(v) {
+			t.Fatalf("2-core missing vertex %d", v)
+		}
+	}
+}

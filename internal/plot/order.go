@@ -1,0 +1,169 @@
+package plot
+
+import (
+	"container/heap"
+	"sort"
+
+	"trikcore/internal/core"
+	"trikcore/internal/graph"
+)
+
+// EdgeValues assigns the plotted co-clique size to each edge. Edges absent
+// from the map plot as 0 (the convention Algorithms 3 and 4 use for
+// edges outside the structure of interest).
+type EdgeValues map[graph.Edge]int
+
+// FromDecomposition derives edge values from a Triangle K-Core
+// decomposition: co_clique_size(e) = κ(e) + 2 (Algorithm 3 step 2).
+func FromDecomposition(d *core.Decomposition) EdgeValues {
+	return EdgeValues(d.CoCliqueSizes())
+}
+
+// Density produces the OPTICS-style density plot of g under the given
+// edge values.
+//
+// The traversal mirrors the enumeration CSV uses: start from the vertex
+// with the highest-valued incident edge, then repeatedly emit the
+// unvisited vertex with the best "reachability" — the maximum value among
+// edges connecting it to an already-visited vertex — plotting it at that
+// reachability. Members of a dense structure therefore appear
+// consecutively at its co-clique size, producing the flat plateaus the
+// paper reads as potential cliques. Exhausted components are followed by
+// the best remaining seed vertex. Ties break toward the smaller vertex id,
+// making the plot deterministic.
+func Density(g *graph.Graph, vals EdgeValues) Series {
+	var s Series
+	n := g.NumVertices()
+	if n == 0 {
+		return s
+	}
+	bestIncident := func(v graph.Vertex) int {
+		best := 0
+		g.ForEachNeighbor(v, func(w graph.Vertex) bool {
+			if x := vals[graph.NewEdge(v, w)]; x > best {
+				best = x
+			}
+			return true
+		})
+		return best
+	}
+
+	// Seeds: all vertices ordered by best incident edge value descending
+	// (vertex id ascending on ties). Consumed lazily as components start.
+	seeds := g.Vertices()
+	seedVal := make(map[graph.Vertex]int, n)
+	for _, v := range seeds {
+		seedVal[v] = bestIncident(v)
+	}
+	sortSeeds(seeds, seedVal)
+
+	visited := make(map[graph.Vertex]bool, n)
+	reach := make(map[graph.Vertex]int, n)
+	pq := &vertexHeap{}
+	heap.Init(pq)
+
+	visit := func(v graph.Vertex, h int) {
+		visited[v] = true
+		s.Points = append(s.Points, Point{V: v, Height: h})
+		g.ForEachNeighbor(v, func(w graph.Vertex) bool {
+			if visited[w] {
+				return true
+			}
+			val := vals[graph.NewEdge(v, w)]
+			if cur, ok := reach[w]; !ok || val > cur {
+				reach[w] = val
+				heap.Push(pq, heapItem{v: w, val: val})
+			}
+			return true
+		})
+	}
+
+	seedIdx := 0
+	for len(s.Points) < n {
+		// Drain the frontier of the current component.
+		progressed := false
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(heapItem)
+			if visited[it.v] || reach[it.v] != it.val {
+				continue // stale entry
+			}
+			visit(it.v, it.val)
+			progressed = true
+			break
+		}
+		if progressed {
+			continue
+		}
+		// Start the next component from the best remaining seed.
+		for seedIdx < len(seeds) && visited[seeds[seedIdx]] {
+			seedIdx++
+		}
+		v := seeds[seedIdx]
+		visit(v, seedVal[v])
+	}
+	return s
+}
+
+// sortSeeds orders vertices by seed value descending, id ascending.
+func sortSeeds(seeds []graph.Vertex, val map[graph.Vertex]int) {
+	sort.Slice(seeds, func(i, j int) bool {
+		a, b := seeds[i], seeds[j]
+		if val[a] != val[b] {
+			return val[a] > val[b]
+		}
+		return a < b
+	})
+}
+
+// DensityNaive plots vertices sorted by their best incident edge value
+// descending (no traversal). It exists as the ablation of the OPTICS-style
+// enumeration: naive sorting interleaves distinct structures of equal
+// density into one plateau, destroying the plot's central reading that
+// one plateau ≈ one clique — which is why CSV (and this reproduction)
+// order by traversal instead. See TestNaiveOrderingMergesDistinctCliques.
+func DensityNaive(g *graph.Graph, vals EdgeValues) Series {
+	verts := g.Vertices()
+	best := make(map[graph.Vertex]int, len(verts))
+	for _, v := range verts {
+		b := 0
+		g.ForEachNeighbor(v, func(w graph.Vertex) bool {
+			if x := vals[graph.NewEdge(v, w)]; x > b {
+				b = x
+			}
+			return true
+		})
+		best[v] = b
+	}
+	sortSeeds(verts, best)
+	var s Series
+	for _, v := range verts {
+		s.Points = append(s.Points, Point{V: v, Height: best[v]})
+	}
+	return s
+}
+
+// heapItem is a frontier entry: vertex v reachable at value val. The heap
+// is a max-heap on val with vertex id as tiebreak.
+type heapItem struct {
+	v   graph.Vertex
+	val int
+}
+
+type vertexHeap []heapItem
+
+func (h vertexHeap) Len() int { return len(h) }
+func (h vertexHeap) Less(i, j int) bool {
+	if h[i].val != h[j].val {
+		return h[i].val > h[j].val
+	}
+	return h[i].v < h[j].v
+}
+func (h vertexHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *vertexHeap) Push(x any)   { *h = append(*h, x.(heapItem)) }
+func (h *vertexHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

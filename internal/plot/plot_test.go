@@ -1,0 +1,336 @@
+package plot
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"trikcore/internal/core"
+	"trikcore/internal/graph"
+)
+
+func addClique(g *graph.Graph, verts ...graph.Vertex) {
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			g.AddEdge(verts[i], verts[j])
+		}
+	}
+}
+
+func noisyGraph(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < 60; i++ {
+		g.AddVertex(graph.Vertex(i))
+	}
+	for k := 0; k < 80; k++ {
+		u := graph.Vertex(rng.Intn(60))
+		v := graph.Vertex(rng.Intn(60))
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestDensityCliquePlateau(t *testing.T) {
+	g := noisyGraph(1)
+	addClique(g, 100, 101, 102, 103, 104, 105, 106) // 7-clique
+	d := core.Decompose(g)
+	s := Density(g, FromDecomposition(d))
+	if s.Len() != g.NumVertices() {
+		t.Fatalf("series has %d points, graph %d vertices", s.Len(), g.NumVertices())
+	}
+	// The clique plots first (highest density) as a 7-wide plateau at 7.
+	for i := 0; i < 7; i++ {
+		p := s.Points[i]
+		if p.V < 100 || p.V > 106 || p.Height != 7 {
+			t.Fatalf("point %d = %+v, want clique vertex at height 7", i, p)
+		}
+	}
+	if s.MaxHeight() != 7 {
+		t.Fatalf("MaxHeight = %d, want 7", s.MaxHeight())
+	}
+	peaks := s.TopPeaks(1, 3)
+	if len(peaks) != 1 || peaks[0].Height != 7 || peaks[0].Width() != 7 {
+		t.Fatalf("TopPeaks = %v", peaks)
+	}
+}
+
+func TestDensityDeterministic(t *testing.T) {
+	g := noisyGraph(7)
+	addClique(g, 200, 201, 202, 203, 204)
+	d := core.Decompose(g)
+	a := Density(g, FromDecomposition(d))
+	b := Density(g, FromDecomposition(d))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Density is not deterministic")
+	}
+}
+
+func TestDensityEmptyAndIsolated(t *testing.T) {
+	if s := Density(graph.New(), nil); s.Len() != 0 {
+		t.Fatal("empty graph plotted points")
+	}
+	g := graph.New()
+	g.AddVertex(4)
+	s := Density(g, nil)
+	if s.Len() != 1 || s.Points[0].Height != 0 {
+		t.Fatalf("isolated vertex series = %+v", s.Points)
+	}
+}
+
+func TestSeriesAccessors(t *testing.T) {
+	s := Series{Points: []Point{{V: 5, Height: 3}, {V: 9, Height: 1}, {V: 2, Height: 1}}}
+	if s.PositionOf(9) != 1 || s.PositionOf(77) != -1 {
+		t.Fatal("PositionOf wrong")
+	}
+	if got := s.Positions([]graph.Vertex{2, 5, 88}); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Positions = %v", got)
+	}
+	if !reflect.DeepEqual(s.Heights(), []int{3, 1, 1}) {
+		t.Fatal("Heights wrong")
+	}
+}
+
+func TestPeaks(t *testing.T) {
+	s := Series{Points: []Point{
+		{1, 5}, {2, 5}, {3, 5}, // plateau h=5 w=3
+		{4, 2},
+		{5, 4}, {6, 4}, // plateau h=4 w=2
+		{7, 0}, {8, 0}, {9, 0},
+	}}
+	peaks := s.Peaks(1, 2)
+	if len(peaks) != 2 {
+		t.Fatalf("Peaks = %v", peaks)
+	}
+	if peaks[0].Height != 5 || peaks[0].Width() != 3 || peaks[1].Height != 4 {
+		t.Fatalf("Peaks = %v", peaks)
+	}
+	if got := s.Peaks(5, 1); len(got) != 1 {
+		t.Fatalf("minHeight filter failed: %v", got)
+	}
+	top := s.TopPeaks(5, 1)
+	if len(top) != 3 || top[0].Height != 5 || top[1].Height != 4 || top[2].Height != 2 {
+		t.Fatalf("TopPeaks = %v", top)
+	}
+	if top[0].String() == "" {
+		t.Fatal("Peak.String empty")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := Series{Points: []Point{{1, 5}, {2, 3}, {3, 2}}}
+	b := Series{Points: []Point{{3, 2}, {1, 5}, {2, 4}}} // vertex 2 differs by 1
+	c := Compare(a, b)
+	if c.Vertices != 3 {
+		t.Fatalf("Vertices = %d", c.Vertices)
+	}
+	if c.ExactAgreement < 0.66 || c.ExactAgreement > 0.67 {
+		t.Fatalf("ExactAgreement = %v", c.ExactAgreement)
+	}
+	if c.MeanAbsDiff < 0.33 || c.MeanAbsDiff > 0.34 || c.MaxAbsDiff != 1 {
+		t.Fatalf("Comparison = %+v", c)
+	}
+	if got := Compare(Series{}, Series{}); got.Vertices != 0 {
+		t.Fatal("empty comparison wrong")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	g := noisyGraph(3)
+	addClique(g, 100, 101, 102, 103, 104, 105)
+	s := Density(g, FromDecomposition(core.Decompose(g)))
+	out := RenderASCII(s, 60, 10)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "max co_clique_size 6") {
+		t.Fatalf("ASCII render missing content:\n%s", out)
+	}
+	if RenderASCII(Series{}, 10, 5) != "(empty plot)\n" {
+		t.Fatal("empty render wrong")
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	s := Series{Points: []Point{{1, 3}, {2, 3}, {3, 1}, {4, 0}}}
+	svg := RenderSVG(s, SVGOptions{Title: `a<b&"c"`, Markers: []SVGMarker{{Start: 0, End: 1, Label: "m"}}})
+	for _, want := range []string{"<svg", "</svg>", "rect", "a&lt;b&amp;", "fill-opacity"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, svg)
+		}
+	}
+	if strings.Contains(svg, `a<b`) {
+		t.Fatal("SVG title not escaped")
+	}
+	empty := RenderSVG(Series{}, SVGOptions{})
+	if !strings.Contains(empty, "<svg") {
+		t.Fatal("empty SVG render broken")
+	}
+}
+
+func TestBuildDualViewCliqueGrowth(t *testing.T) {
+	// Old: a 6-clique on 0..5 plus noise. New: vertex 50 joins the clique
+	// (forming a 7-clique) via new edges.
+	old := noisyGraph(11)
+	addClique(old, 0, 1, 2, 3, 4, 5)
+	for v := graph.Vertex(0); v <= 5; v++ {
+		old.RemoveEdge(50, v) // ensure the joining edges are genuinely new
+	}
+	new := old.Clone()
+	for v := graph.Vertex(0); v <= 5; v++ {
+		new.AddEdge(50, v)
+	}
+	dv := BuildDualView(old, new, DualViewOptions{TopK: 1, MinWidth: 3})
+	if len(dv.Markers) != 1 {
+		t.Fatalf("got %d markers, want 1", len(dv.Markers))
+	}
+	mk := dv.Markers[0]
+	if mk.Peak.Height != 7 {
+		t.Fatalf("after peak height = %d, want 7", mk.Peak.Height)
+	}
+	// The peak must contain the clique vertices and the joiner, all of
+	// which existed in the old graph (50 was a noise vertex).
+	got := map[graph.Vertex]bool{}
+	for _, v := range mk.Peak.Vertices {
+		got[v] = true
+	}
+	for _, v := range []graph.Vertex{0, 1, 2, 3, 4, 5, 50} {
+		if !got[v] {
+			t.Fatalf("peak misses vertex %d: %v", v, mk.Peak.Vertices)
+		}
+	}
+	if len(mk.BeforePositions) == 0 {
+		t.Fatal("no before positions found")
+	}
+	if dv.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestBuildDualViewNewVertex(t *testing.T) {
+	old := noisyGraph(13)
+	addClique(old, 0, 1, 2, 3, 4)
+	new := old.Clone()
+	// Brand-new vertex 999 joins the clique.
+	for v := graph.Vertex(0); v <= 4; v++ {
+		new.AddEdge(999, v)
+	}
+	dv := BuildDualView(old, new, DualViewOptions{TopK: 1})
+	if len(dv.Markers) != 1 {
+		t.Fatalf("markers = %v", dv.Markers)
+	}
+	mk := dv.Markers[0]
+	if len(mk.NewVertices) != 1 || mk.NewVertices[0] != 999 {
+		t.Fatalf("NewVertices = %v, want [999]", mk.NewVertices)
+	}
+	if len(mk.BeforeRegions()) == 0 {
+		t.Fatal("no before regions")
+	}
+	if len(dv.MarkersForSVG()) != 1 || len(dv.BeforeMarkersForSVG()) == 0 {
+		t.Fatal("SVG marker conversion broken")
+	}
+}
+
+func TestRunsAndCompress(t *testing.T) {
+	got := runs([]int{1, 2, 3, 7, 9, 10})
+	want := [][2]int{{1, 3}, {7, 7}, {9, 10}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("runs = %v, want %v", got, want)
+	}
+	if s := compressRuns([]int{1, 2, 3, 7}); s != "[1-3 7]" {
+		t.Fatalf("compressRuns = %q", s)
+	}
+}
+
+// TestDensityHeightsReflectEdgeValues checks the CSV plotting convention:
+// every vertex's height equals the value of one of its incident edges (or
+// its seed value when it starts a component).
+func TestDensityHeightsReflectEdgeValues(t *testing.T) {
+	g := noisyGraph(21)
+	d := core.Decompose(g)
+	vals := FromDecomposition(d)
+	s := Density(g, vals)
+	for _, p := range s.Points {
+		if g.Degree(p.V) == 0 {
+			if p.Height != 0 {
+				t.Fatalf("isolated vertex %d at height %d", p.V, p.Height)
+			}
+			continue
+		}
+		found := false
+		g.ForEachNeighbor(p.V, func(w graph.Vertex) bool {
+			if vals[graph.NewEdge(p.V, w)] == p.Height {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found && p.Height != 0 {
+			t.Fatalf("vertex %d plotted at %d, not a value of any incident edge", p.V, p.Height)
+		}
+	}
+}
+
+func TestRenderASCIIBucketsWidePlots(t *testing.T) {
+	// 1000 points, width 50: each column holds the max of its bucket so
+	// a single tall spike stays visible.
+	pts := make([]Point, 1000)
+	for i := range pts {
+		pts[i] = Point{V: graph.Vertex(i), Height: 1}
+	}
+	pts[700].Height = 40
+	s := Series{Points: pts}
+	out := RenderASCII(s, 50, 10)
+	lines := strings.Split(out, "\n")
+	top := lines[0]
+	if !strings.Contains(top, "#") {
+		t.Fatalf("spike lost in bucketing:\n%s", out)
+	}
+	if n := strings.Count(top, "#"); n != 1 {
+		t.Fatalf("top row has %d marks, want exactly the spike:\n%s", n, out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := Series{Points: []Point{{V: 9, Height: 4}, {V: 2, Height: 1}}}
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "position,vertex,height\n0,9,4\n1,2,1\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+// TestNaiveOrderingMergesDistinctCliques is the ordering ablation: two
+// disjoint 6-cliques appear as two separate 6-wide plateaus under the
+// OPTICS-style traversal, but naive sort-by-value fuses them into one
+// 12-wide plateau, losing the plateau-equals-clique reading.
+func TestNaiveOrderingMergesDistinctCliques(t *testing.T) {
+	// Two 6-cliques embedded in sparse background noise: the traversal
+	// drains each clique and then walks through low-value noise before
+	// reaching the other, separating the two plateaus; naive
+	// sort-by-value puts all twelve clique vertices first, fusing them.
+	g := noisyGraph(19)
+	addClique(g, 100, 101, 102, 103, 104, 105)
+	addClique(g, 200, 201, 202, 203, 204, 205)
+	g.AddEdge(100, 1) // embed both cliques in the noise component
+	g.AddEdge(200, 2)
+	d := core.Decompose(g)
+	vals := FromDecomposition(d)
+
+	traversal := Density(g, vals)
+	// Clique 1 is seeded (full 6-wide plateau); clique 2 is entered from
+	// the noise, so its entry vertex plots at its reachability and the
+	// plateau is 5 wide — the paper's "phase shift". Both structures stay
+	// separate.
+	if peaks := traversal.Peaks(6, 5); len(peaks) != 2 {
+		t.Fatalf("traversal ordering: %d plateaus at height 6, want 2", len(peaks))
+	}
+	naive := DensityNaive(g, vals)
+	peaks := naive.Peaks(6, 1)
+	if len(peaks) != 1 || peaks[0].Width() != 12 {
+		t.Fatalf("naive ordering: peaks = %v, expected one fused 12-wide plateau", peaks)
+	}
+}

@@ -1,0 +1,154 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderASCII draws the series as a text chart of at most width columns
+// and height rows (plus an axis line). When the series is wider than the
+// chart, each column shows the maximum height within its bucket, so
+// narrow peaks stay visible.
+func RenderASCII(s Series, width, height int) string {
+	if width < 1 {
+		width = 80
+	}
+	if height < 1 {
+		height = 16
+	}
+	n := s.Len()
+	if n == 0 {
+		return "(empty plot)\n"
+	}
+	if width > n {
+		width = n
+	}
+	maxH := s.MaxHeight()
+	if maxH == 0 {
+		maxH = 1
+	}
+	// Bucket the points into columns.
+	cols := make([]int, width)
+	for i, p := range s.Points {
+		c := i * width / n
+		if p.Height > cols[c] {
+			cols[c] = p.Height
+		}
+	}
+	var b strings.Builder
+	for row := height; row >= 1; row-- {
+		// The row covers heights in ((row-1)/height, row/height] of maxH.
+		thresh := float64(row-1) / float64(height) * float64(maxH)
+		label := int(float64(row) / float64(height) * float64(maxH))
+		fmt.Fprintf(&b, "%4d |", label)
+		for _, h := range cols {
+			if float64(h) > thresh && h > 0 {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("     +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "      %d vertices, max co_clique_size %d\n", n, s.MaxHeight())
+	return b.String()
+}
+
+// SVGOptions configure RenderSVG.
+type SVGOptions struct {
+	// Width and Height are the chart area in pixels (defaults 800×240).
+	Width, Height int
+	// Title is drawn above the chart when non-empty.
+	Title string
+	// Markers are vertex-position highlights (e.g. dual-view
+	// correspondence regions); each is drawn as a translucent band.
+	Markers []SVGMarker
+}
+
+// SVGMarker highlights an X range of the plot.
+type SVGMarker struct {
+	Start, End int    // point indices, inclusive
+	Color      string // e.g. "red"
+	Label      string
+}
+
+// RenderSVG draws the series as a standalone SVG document: one vertical
+// bar per vertex, height proportional to its plotted value.
+func RenderSVG(s Series, opts SVGOptions) string {
+	w, h := opts.Width, opts.Height
+	if w <= 0 {
+		w = 800
+	}
+	if h <= 0 {
+		h = 240
+	}
+	const margin = 30
+	n := s.Len()
+	maxH := s.MaxHeight()
+	if maxH == 0 {
+		maxH = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n",
+		w+2*margin, h+2*margin)
+	if opts.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13" font-family="sans-serif">%s</text>`+"\n",
+			margin, margin-10, escapeXML(opts.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, margin+h, margin+w, margin+h)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, margin, margin, margin+h)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" font-family="sans-serif">%d</text>`+"\n",
+		margin-25, margin+8, maxH)
+	// Marker bands under the data.
+	for _, mk := range opts.Markers {
+		if n == 0 || mk.End < mk.Start {
+			continue
+		}
+		x0 := margin + mk.Start*w/n
+		x1 := margin + (mk.End+1)*w/n
+		color := mk.Color
+		if color == "" {
+			color = "red"
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="0.2"/>`+"\n",
+			x0, margin, x1-x0, h, color)
+		if mk.Label != "" {
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" fill="%s" font-family="sans-serif">%s</text>`+"\n",
+				x0, margin+12, color, escapeXML(mk.Label))
+		}
+	}
+	// Bars.
+	if n > 0 {
+		barW := float64(w) / float64(n)
+		for i, p := range s.Points {
+			if p.Height == 0 {
+				continue
+			}
+			barH := float64(p.Height) / float64(maxH) * float64(h)
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="steelblue"/>`+"\n",
+				float64(margin)+float64(i)*barW, float64(margin+h)-barH,
+				maxF(barW, 0.5), barH)
+			_ = i
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

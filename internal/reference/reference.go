@@ -1,0 +1,165 @@
+// Package reference holds deliberately naive implementations of the
+// algorithms reproduced in this repository. They favor obviousness over
+// speed and serve as ground truth in tests: every optimized algorithm is
+// property-checked against its reference twin on randomized inputs.
+package reference
+
+import (
+	"sort"
+
+	"trikcore/internal/graph"
+)
+
+// VertexCore computes each vertex's maximum K-Core number by repeated
+// global peeling: for k = 1, 2, ..., iteratively delete vertices of degree
+// < k; vertices deleted during round k have core number k-1.
+func VertexCore(g *graph.Graph) map[graph.Vertex]int {
+	work := g.Clone()
+	core := make(map[graph.Vertex]int, g.NumVertices())
+	for _, v := range g.Vertices() {
+		core[v] = 0
+	}
+	for k := 1; work.NumVertices() > 0; k++ {
+		for {
+			var doomed []graph.Vertex
+			work.ForEachVertex(func(v graph.Vertex) bool {
+				if work.Degree(v) < k {
+					doomed = append(doomed, v)
+				}
+				return true
+			})
+			if len(doomed) == 0 {
+				break
+			}
+			for _, v := range doomed {
+				core[v] = k - 1
+				work.RemoveVertex(v)
+			}
+		}
+	}
+	return core
+}
+
+// TriangleCore computes each edge's maximum Triangle K-Core number κ(e)
+// (Definition 4) by repeated global peeling: for k = 1, 2, ...,
+// iteratively delete edges contained in fewer than k triangles of the
+// surviving graph; edges deleted during round k have κ = k-1.
+func TriangleCore(g *graph.Graph) map[graph.Edge]int {
+	work := g.Clone()
+	kappa := make(map[graph.Edge]int, g.NumEdges())
+	g.ForEachEdge(func(e graph.Edge) bool {
+		kappa[e] = 0
+		return true
+	})
+	for k := 1; work.NumEdges() > 0; k++ {
+		for {
+			var doomed []graph.Edge
+			work.ForEachEdge(func(e graph.Edge) bool {
+				if work.SupportE(e) < k {
+					doomed = append(doomed, e)
+				}
+				return true
+			})
+			if len(doomed) == 0 {
+				break
+			}
+			for _, e := range doomed {
+				kappa[e] = k - 1
+				work.RemoveEdgeE(e)
+			}
+		}
+	}
+	return kappa
+}
+
+// MaximalCliques enumerates all maximal cliques of g by brute force: it
+// checks every subset of each connected component's vertex set. Only
+// usable on very small graphs (the test harness keeps |V| ≤ ~16).
+func MaximalCliques(g *graph.Graph) [][]graph.Vertex {
+	verts := g.Vertices()
+	n := len(verts)
+	if n > 24 {
+		panic("reference: MaximalCliques limited to 24 vertices")
+	}
+	var cliques [][]graph.Vertex
+	for mask := 1; mask < 1<<n; mask++ {
+		var set []graph.Vertex
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				set = append(set, verts[i])
+			}
+		}
+		if !graph.IsClique(g, set) {
+			continue
+		}
+		// Maximal if no outside vertex is adjacent to all of set.
+		maximal := true
+		for i := 0; i < n && maximal; i++ {
+			if mask&(1<<i) != 0 {
+				continue
+			}
+			allAdj := true
+			for _, v := range set {
+				if !g.HasEdge(verts[i], v) {
+					allAdj = false
+					break
+				}
+			}
+			if allAdj {
+				maximal = false
+			}
+		}
+		if maximal {
+			cliques = append(cliques, set)
+		}
+	}
+	sortCliques(cliques)
+	return cliques
+}
+
+// MaxCliqueSize returns the order of the largest clique in g by brute
+// force (same size limits as MaximalCliques).
+func MaxCliqueSize(g *graph.Graph) int {
+	best := 0
+	for _, c := range MaximalCliques(g) {
+		if len(c) > best {
+			best = len(c)
+		}
+	}
+	return best
+}
+
+// CoCliqueSize returns, for edge e of g, the order of the largest clique
+// containing e: 2 plus the largest clique in the subgraph induced by the
+// common neighborhood of e's endpoints.
+func CoCliqueSize(g *graph.Graph, e graph.Edge) int {
+	if !g.HasEdgeE(e) {
+		return 0
+	}
+	common := g.CommonNeighbors(e.U, e.V)
+	if len(common) == 0 {
+		return 2
+	}
+	sub := graph.InducedSubgraph(g, common)
+	return 2 + MaxCliqueSize(sub)
+}
+
+// sortCliques sorts each clique ascending and the list lexicographically.
+func sortCliques(cliques [][]graph.Vertex) {
+	for _, c := range cliques {
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	}
+	sort.Slice(cliques, func(i, j int) bool {
+		a, b := cliques[i], cliques[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// SortCliques is the exported form used by tests of other packages to
+// normalize clique lists before comparison.
+func SortCliques(cliques [][]graph.Vertex) { sortCliques(cliques) }

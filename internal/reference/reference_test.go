@@ -1,0 +1,79 @@
+package reference
+
+import (
+	"reflect"
+	"testing"
+
+	"trikcore/internal/graph"
+)
+
+func TestVertexCoreTriangleWithTail(t *testing.T) {
+	g := graph.FromPairs(1, 2, 2, 3, 3, 1, 3, 4)
+	got := VertexCore(g)
+	want := map[graph.Vertex]int{1: 2, 2: 2, 3: 2, 4: 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("VertexCore = %v, want %v", got, want)
+	}
+}
+
+func TestTriangleCoreK4(t *testing.T) {
+	g := graph.FromPairs(1, 2, 1, 3, 1, 4, 2, 3, 2, 4, 3, 4)
+	for _, k := range TriangleCore(g) {
+		if k != 2 {
+			t.Fatalf("TriangleCore(K4) has κ=%d, want 2", k)
+		}
+	}
+}
+
+func TestTriangleCoreTriangleFree(t *testing.T) {
+	g := graph.FromPairs(1, 2, 2, 3, 3, 4, 4, 1)
+	for e, k := range TriangleCore(g) {
+		if k != 0 {
+			t.Fatalf("κ(%v) = %d on a cycle", e, k)
+		}
+	}
+}
+
+func TestMaximalCliquesBowtie(t *testing.T) {
+	g := graph.FromPairs(1, 2, 2, 3, 3, 1, 3, 4, 4, 5, 5, 3)
+	got := MaximalCliques(g)
+	want := [][]graph.Vertex{{1, 2, 3}, {3, 4, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MaximalCliques = %v, want %v", got, want)
+	}
+	if MaxCliqueSize(g) != 3 {
+		t.Fatal("MaxCliqueSize wrong")
+	}
+}
+
+func TestMaximalCliquesSizeLimitPanics(t *testing.T) {
+	g := graph.New()
+	for i := graph.Vertex(0); i < 25; i++ {
+		g.AddVertex(i)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized MaximalCliques did not panic")
+		}
+	}()
+	MaximalCliques(g)
+}
+
+func TestCoCliqueSizeEdgeCases(t *testing.T) {
+	g := graph.FromPairs(1, 2, 1, 3, 2, 3)
+	if got := CoCliqueSize(g, graph.NewEdge(1, 2)); got != 3 {
+		t.Fatalf("CoCliqueSize(triangle edge) = %d, want 3", got)
+	}
+	if got := CoCliqueSize(g, graph.NewEdge(1, 4)); got != 0 {
+		t.Fatalf("CoCliqueSize(absent) = %d, want 0", got)
+	}
+}
+
+func TestSortCliques(t *testing.T) {
+	cl := [][]graph.Vertex{{3, 1, 2}, {1, 2}}
+	SortCliques(cl)
+	want := [][]graph.Vertex{{1, 2}, {1, 2, 3}}
+	if !reflect.DeepEqual(cl, want) {
+		t.Fatalf("SortCliques = %v, want %v", cl, want)
+	}
+}

@@ -1,0 +1,125 @@
+// Package report renders experiment results as a standalone HTML
+// document: every table of the harness plus the SVG figure renderings,
+// in one file that opens in any browser — the shareable artifact of a
+// reproduction run.
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"strings"
+
+	"trikcore/internal/table"
+)
+
+// Section is one experiment in the report.
+type Section struct {
+	// ID is the experiment id ("tableII", "figure7", ...).
+	ID string
+	// Caption describes the paper artifact.
+	Caption string
+	// Table holds the measured results.
+	Table *table.Table
+	// SVGs are inline SVG documents rendered under the table.
+	SVGs []string
+}
+
+// Report is a full reproduction run.
+type Report struct {
+	Title    string
+	Subtitle string
+	Sections []Section
+}
+
+var pageTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+body { font-family: Georgia, serif; max-width: 72rem; margin: 2rem auto; padding: 0 1rem; color: #222; }
+h1 { border-bottom: 3px double #888; padding-bottom: .4rem; }
+h2 { margin-top: 2.2rem; color: #234; }
+.subtitle { color: #666; font-style: italic; }
+table { border-collapse: collapse; margin: 1rem 0; font-family: "Helvetica Neue", sans-serif; font-size: .9rem; }
+th, td { border: 1px solid #bbb; padding: .35rem .7rem; text-align: left; }
+th { background: #eef2f6; }
+tr:nth-child(even) td { background: #fafbfc; }
+.note { color: #555; font-size: .85rem; margin: .2rem 0; }
+.figure { margin: 1rem 0; overflow-x: auto; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+{{if .Subtitle}}<p class="subtitle">{{.Subtitle}}</p>{{end}}
+{{range .Sections}}
+<h2 id="{{.ID}}">{{.Caption}}</h2>
+{{.TableHTML}}
+{{range .FigureHTML}}<div class="figure">{{.}}</div>
+{{end}}
+{{end}}
+</body>
+</html>
+`))
+
+// renderedSection is the template's view of a Section.
+type renderedSection struct {
+	ID         string
+	Caption    string
+	TableHTML  template.HTML
+	FigureHTML []template.HTML
+}
+
+// Render produces the HTML document.
+func Render(r Report) (string, error) {
+	view := struct {
+		Title    string
+		Subtitle string
+		Sections []renderedSection
+	}{Title: r.Title, Subtitle: r.Subtitle}
+	for _, s := range r.Sections {
+		rs := renderedSection{ID: s.ID, Caption: s.Caption, TableHTML: tableHTML(s.Table)}
+		for _, svg := range s.SVGs {
+			if !strings.Contains(svg, "<svg") {
+				return "", fmt.Errorf("report: section %s figure is not SVG", s.ID)
+			}
+			// SVG produced by our own renderer; safe to inline.
+			rs.FigureHTML = append(rs.FigureHTML, template.HTML(svg))
+		}
+		view.Sections = append(view.Sections, rs)
+	}
+	var b strings.Builder
+	if err := pageTemplate.Execute(&b, view); err != nil {
+		return "", fmt.Errorf("report: %w", err)
+	}
+	return b.String(), nil
+}
+
+// tableHTML converts a result table to an HTML table with escaped cells.
+func tableHTML(t *table.Table) template.HTML {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("<table><thead><tr>")
+	for _, h := range t.Header {
+		fmt.Fprintf(&b, "<th>%s</th>", template.HTMLEscapeString(h))
+	}
+	b.WriteString("</tr></thead><tbody>")
+	for _, row := range t.Rows {
+		b.WriteString("<tr>")
+		for i := range t.Header {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			fmt.Fprintf(&b, "<td>%s</td>", template.HTMLEscapeString(cell))
+		}
+		b.WriteString("</tr>")
+	}
+	b.WriteString("</tbody></table>")
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, `<p class="note">%s</p>`, template.HTMLEscapeString(n))
+	}
+	return template.HTML(b.String())
+}

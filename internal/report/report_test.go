@@ -1,0 +1,56 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"trikcore/internal/table"
+)
+
+func sampleTable() *table.Table {
+	t := &table.Table{Title: "demo", Header: []string{"graph", "time <s>"}}
+	t.AddRow("PPI & friends", 0.5)
+	t.AddNote("a <note>")
+	return t
+}
+
+func TestRenderBasics(t *testing.T) {
+	out, err := Render(Report{
+		Title:    "Reproduction",
+		Subtitle: "paper vs measured",
+		Sections: []Section{
+			{ID: "tableII", Caption: "Execution time", Table: sampleTable(),
+				SVGs: []string{`<svg xmlns="http://www.w3.org/2000/svg"><rect/></svg>`}},
+			{ID: "figure7", Caption: "PPI peaks", Table: sampleTable()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<!DOCTYPE html>", "<h1>Reproduction</h1>", `id="tableII"`, `id="figure7"`,
+		"<th>graph</th>", "PPI &amp; friends", "a &lt;note&gt;", "<svg", "paper vs measured",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered report missing %q", want)
+		}
+	}
+	// Header cell with special characters must be escaped.
+	if strings.Contains(out, "<th>time <s></th>") {
+		t.Fatal("header not escaped")
+	}
+}
+
+func TestRenderRejectsNonSVGFigure(t *testing.T) {
+	_, err := Render(Report{Sections: []Section{{ID: "x", SVGs: []string{"<script>alert(1)</script>"}}}})
+	if err == nil {
+		t.Fatal("non-SVG figure accepted")
+	}
+}
+
+func TestRenderEmptyAndNilTable(t *testing.T) {
+	out, err := Render(Report{Title: "empty", Sections: []Section{{ID: "a", Caption: "no table"}}})
+	if err != nil || !strings.Contains(out, "no table") {
+		t.Fatalf("empty section: %v", err)
+	}
+}

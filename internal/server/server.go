@@ -1,0 +1,278 @@
+// Package server exposes a live Triangle K-Core engine over HTTP: a small
+// analytics service that ingests edge updates and answers density
+// queries — the "scalable visual-analytic framework" of the paper's
+// introduction as an operational component. All state lives in one
+// dynamic.Engine guarded by a read-write lock; reads run concurrently,
+// updates serialize.
+//
+// Endpoints (all JSON unless noted):
+//
+//	GET  /stats                     graph and κ summary
+//	GET  /kappa?u=U&v=V             κ and co-clique size of one edge
+//	GET  /histogram                 κ value → edge count
+//	POST /edges                     {"add":[[u,v],...],"remove":[[u,v],...]}
+//	GET  /core?u=U&v=V              the edge's maximum Triangle K-Core
+//	GET  /communities?k=K           triangle-connected communities at level K
+//	GET  /plot.svg                  density plot (image/svg+xml)
+//	GET  /plot.txt                  density plot (text/plain ASCII)
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"trikcore/internal/core"
+	"trikcore/internal/dynamic"
+	"trikcore/internal/graph"
+	"trikcore/internal/plot"
+)
+
+// Server wraps a dynamic engine with an HTTP API.
+type Server struct {
+	mu sync.RWMutex
+	en *dynamic.Engine
+	// snapshot is the graph bookmarked by POST /snapshot (nil until
+	// then); dual views and events compare the live graph against it.
+	snapshot *graph.Graph
+}
+
+// decomposeForServer is the static decomposition hook (separated for the
+// snapshot endpoints; kept trivial so the dependency stays one-way).
+func decomposeForServer(g *graph.Graph) *core.Decomposition { return core.Decompose(g) }
+
+// New builds a server over a copy of g.
+func New(g *graph.Graph) *Server {
+	return &Server{en: dynamic.NewEngine(g)}
+}
+
+// Handler returns the route multiplexer.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /kappa", s.handleKappa)
+	mux.HandleFunc("GET /histogram", s.handleHistogram)
+	mux.HandleFunc("POST /edges", s.handleEdges)
+	mux.HandleFunc("GET /core", s.handleCore)
+	mux.HandleFunc("GET /communities", s.handleCommunities)
+	mux.HandleFunc("GET /plot.svg", s.handlePlotSVG)
+	mux.HandleFunc("GET /plot.txt", s.handlePlotText)
+	s.registerSnapshotRoutes(mux)
+	return mux
+}
+
+// writeJSON marshals v with a 200 status.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status change; nothing useful to do.
+		return
+	}
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseEdge extracts u and v query parameters as a canonical edge.
+func parseEdge(r *http.Request) (graph.Edge, error) {
+	u, err1 := strconv.ParseInt(r.URL.Query().Get("u"), 10, 32)
+	v, err2 := strconv.ParseInt(r.URL.Query().Get("v"), 10, 32)
+	if err1 != nil || err2 != nil {
+		return graph.Edge{}, fmt.Errorf("u and v must be integer vertex ids")
+	}
+	if u == v {
+		return graph.Edge{}, fmt.Errorf("u and v must differ")
+	}
+	return graph.NewEdge(graph.Vertex(u), graph.Vertex(v)), nil
+}
+
+// StatsReply is the /stats response body.
+type StatsReply struct {
+	Vertices int   `json:"vertices"`
+	Edges    int   `json:"edges"`
+	MaxKappa int32 `json:"maxKappa"`
+	// MaxCliqueProxy is MaxKappa+2, the Triangle K-Core estimate of the
+	// largest clique order.
+	MaxCliqueProxy int32 `json:"maxCliqueProxy"`
+	// Updates aggregates engine work counters.
+	Updates dynamic.Stats `json:"updates"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	mk := s.en.MaxKappa()
+	proxy := mk + 2
+	if s.en.Graph().NumEdges() == 0 {
+		proxy = 0
+	}
+	writeJSON(w, StatsReply{
+		Vertices:       s.en.Graph().NumVertices(),
+		Edges:          s.en.Graph().NumEdges(),
+		MaxKappa:       mk,
+		MaxCliqueProxy: proxy,
+		Updates:        s.en.Stats(),
+	})
+}
+
+// KappaReply is the /kappa response body.
+type KappaReply struct {
+	U            graph.Vertex `json:"u"`
+	V            graph.Vertex `json:"v"`
+	Kappa        int32        `json:"kappa"`
+	CoCliqueSize int32        `json:"coCliqueSize"`
+}
+
+func (s *Server) handleKappa(w http.ResponseWriter, r *http.Request) {
+	e, err := parseEdge(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.RLock()
+	k, ok := s.en.Kappa(e)
+	s.mu.RUnlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "edge %v not in graph", e)
+		return
+	}
+	writeJSON(w, KappaReply{U: e.U, V: e.V, Kappa: k, CoCliqueSize: k + 2})
+}
+
+func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.en.KappaHistogram()
+	s.mu.RUnlock()
+	out := make(map[string]int, len(h))
+	for k, n := range h {
+		out[strconv.Itoa(int(k))] = n
+	}
+	writeJSON(w, out)
+}
+
+// EdgesRequest is the /edges request body.
+type EdgesRequest struct {
+	Add    [][2]graph.Vertex `json:"add"`
+	Remove [][2]graph.Vertex `json:"remove"`
+}
+
+// EdgesReply is the /edges response body.
+type EdgesReply struct {
+	Added   int `json:"added"`
+	Removed int `json:"removed"`
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	var req EdgesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	for _, p := range append(append([][2]graph.Vertex{}, req.Add...), req.Remove...) {
+		if p[0] == p[1] {
+			httpError(w, http.StatusBadRequest, "self-loop on vertex %d", p[0])
+			return
+		}
+	}
+	var rep EdgesReply
+	s.mu.Lock()
+	for _, p := range req.Remove {
+		if s.en.DeleteEdge(p[0], p[1]) {
+			rep.Removed++
+		}
+	}
+	for _, p := range req.Add {
+		if s.en.InsertEdge(p[0], p[1]) {
+			rep.Added++
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, rep)
+}
+
+// CoreReply is the /core response body.
+type CoreReply struct {
+	Kappa    int32             `json:"kappa"`
+	Edges    [][2]graph.Vertex `json:"edges"`
+	Vertices []graph.Vertex    `json:"vertices"`
+}
+
+func (s *Server) handleCore(w http.ResponseWriter, r *http.Request) {
+	e, err := parseEdge(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	k, ok := s.en.Kappa(e)
+	if !ok {
+		httpError(w, http.StatusNotFound, "edge %v not in graph", e)
+		return
+	}
+	sub, _ := s.en.MaxCoreOf(e)
+	rep := CoreReply{Kappa: k, Vertices: sub.Vertices()}
+	for _, se := range sub.Edges() {
+		rep.Edges = append(rep.Edges, [2]graph.Vertex{se.U, se.V})
+	}
+	writeJSON(w, rep)
+}
+
+// CommunityReply describes one community in the /communities response.
+type CommunityReply struct {
+	Edges    int            `json:"edges"`
+	Vertices []graph.Vertex `json:"vertices"`
+}
+
+func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request) {
+	k, err := strconv.ParseInt(r.URL.Query().Get("k"), 10, 32)
+	if err != nil || k < 1 {
+		httpError(w, http.StatusBadRequest, "k must be a positive integer")
+		return
+	}
+	s.mu.RLock()
+	comms := s.en.Communities(int32(k))
+	s.mu.RUnlock()
+	out := make([]CommunityReply, 0, len(comms))
+	for _, edges := range comms {
+		seen := map[graph.Vertex]bool{}
+		var verts []graph.Vertex
+		for _, e := range edges {
+			for _, v := range [2]graph.Vertex{e.U, e.V} {
+				if !seen[v] {
+					seen[v] = true
+					verts = append(verts, v)
+				}
+			}
+		}
+		sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+		out = append(out, CommunityReply{Edges: len(edges), Vertices: verts})
+	}
+	writeJSON(w, out)
+}
+
+// series builds the current density plot under the read lock.
+func (s *Server) series() plot.Series {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return plot.Density(s.en.Graph(), plot.EdgeValues(s.en.CoCliqueSizes()))
+}
+
+func (s *Server) handlePlotSVG(w http.ResponseWriter, r *http.Request) {
+	svg := plot.RenderSVG(s.series(), plot.SVGOptions{Title: "Triangle K-Core density plot"})
+	w.Header().Set("Content-Type", "image/svg+xml")
+	fmt.Fprint(w, svg)
+}
+
+func (s *Server) handlePlotText(w http.ResponseWriter, r *http.Request) {
+	txt := plot.RenderASCII(s.series(), 120, 24)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, txt)
+}

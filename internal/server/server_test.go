@@ -1,0 +1,239 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"trikcore/internal/graph"
+)
+
+// newTestServer builds a server over a K5 plus a pendant path and returns
+// it with an httptest wrapper.
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	g := graph.New()
+	for i := graph.Vertex(1); i <= 5; i++ {
+		for j := i + 1; j <= 5; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	g.AddEdge(10, 11)
+	s := New(g)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestStats(t *testing.T) {
+	_, ts := newTestServer(t)
+	var rep StatsReply
+	if code := getJSON(t, ts.URL+"/stats", &rep); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if rep.Vertices != 7 || rep.Edges != 11 || rep.MaxKappa != 3 || rep.MaxCliqueProxy != 5 {
+		t.Fatalf("stats = %+v", rep)
+	}
+}
+
+func TestKappa(t *testing.T) {
+	_, ts := newTestServer(t)
+	var rep KappaReply
+	if code := getJSON(t, ts.URL+"/kappa?u=2&v=1", &rep); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if rep.U != 1 || rep.V != 2 || rep.Kappa != 3 || rep.CoCliqueSize != 5 {
+		t.Fatalf("kappa = %+v", rep)
+	}
+	if code := getJSON(t, ts.URL+"/kappa?u=1&v=99", nil); code != 404 {
+		t.Fatalf("missing edge status %d", code)
+	}
+	for _, q := range []string{"?u=x&v=2", "?u=1", "?u=3&v=3"} {
+		if code := getJSON(t, ts.URL+"/kappa"+q, nil); code != 400 {
+			t.Fatalf("bad query %q status %d", q, code)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	_, ts := newTestServer(t)
+	var rep map[string]int
+	getJSON(t, ts.URL+"/histogram", &rep)
+	if rep["3"] != 10 || rep["0"] != 1 {
+		t.Fatalf("histogram = %v", rep)
+	}
+}
+
+func TestEdgesUpdateFlow(t *testing.T) {
+	_, ts := newTestServer(t)
+	body, _ := json.Marshal(EdgesRequest{
+		Add:    [][2]graph.Vertex{{6, 1}, {6, 2}, {6, 3}, {6, 4}, {6, 5}, {6, 1}},
+		Remove: [][2]graph.Vertex{{10, 11}, {77, 78}},
+	})
+	resp, err := http.Post(ts.URL+"/edges", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep EdgesReply
+	json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if rep.Added != 5 || rep.Removed != 1 {
+		t.Fatalf("edges reply = %+v (duplicates and absent edges must not count)", rep)
+	}
+	// Vertex 6 completed a K6: κ rises to 4 everywhere in it.
+	var kr KappaReply
+	getJSON(t, ts.URL+"/kappa?u=1&v=2", &kr)
+	if kr.Kappa != 4 {
+		t.Fatalf("after join κ(1,2) = %d, want 4", kr.Kappa)
+	}
+}
+
+func TestEdgesBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, body := range []string{"{not json", `{"add":[[3,3]]}`} {
+		resp, err := http.Post(ts.URL+"/edges", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Fatalf("body %q: status %d", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestCore(t *testing.T) {
+	_, ts := newTestServer(t)
+	var rep CoreReply
+	if code := getJSON(t, ts.URL+"/core?u=1&v=2", &rep); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if rep.Kappa != 3 || len(rep.Edges) != 10 || len(rep.Vertices) != 5 {
+		t.Fatalf("core = %+v", rep)
+	}
+	if code := getJSON(t, ts.URL+"/core?u=1&v=50", nil); code != 404 {
+		t.Fatalf("missing edge status %d", code)
+	}
+}
+
+func TestCommunities(t *testing.T) {
+	_, ts := newTestServer(t)
+	var rep []CommunityReply
+	if code := getJSON(t, ts.URL+"/communities?k=3", &rep); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(rep) != 1 || rep[0].Edges != 10 || len(rep[0].Vertices) != 5 {
+		t.Fatalf("communities = %+v", rep)
+	}
+	if code := getJSON(t, ts.URL+"/communities?k=0", nil); code != 400 {
+		t.Fatalf("k=0 status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/communities?k=zz", nil); code != 400 {
+		t.Fatalf("k=zz status %d", code)
+	}
+}
+
+func TestPlots(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/plot.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("Content-Type") != "image/svg+xml" || !bytes.Contains(svg, []byte("<svg")) {
+		t.Fatal("svg plot malformed")
+	}
+	resp, err = http.Get(ts.URL + "/plot.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(txt, []byte("#")) {
+		t.Fatal("text plot empty")
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/edges") // GET on a POST route
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /edges status %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentReadersAndWriters hammers the server with parallel reads
+// and writes; the race detector (go test -race) and the engine's
+// consistency guard both watch for trouble.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	_, ts := newTestServer(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				u := 20 + w
+				v := 30 + i%5
+				body := fmt.Sprintf(`{"add":[[%d,%d]]}`, u, v)
+				resp, err := http.Post(ts.URL+"/edges", "application/json", strings.NewReader(body))
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, err := http.Get(ts.URL + "/stats")
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var rep StatsReply
+	getJSON(t, ts.URL+"/stats", &rep)
+	if rep.Edges < 11 {
+		t.Fatalf("edges = %d after concurrent inserts", rep.Edges)
+	}
+}
+
+func TestStatsEmptyGraph(t *testing.T) {
+	s := New(graph.New())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var rep StatsReply
+	getJSON(t, ts.URL+"/stats", &rep)
+	if rep.Vertices != 0 || rep.Edges != 0 || rep.MaxCliqueProxy != 0 {
+		t.Fatalf("empty stats = %+v", rep)
+	}
+}

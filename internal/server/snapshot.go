@@ -1,0 +1,139 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"trikcore/internal/events"
+	"trikcore/internal/graph"
+	"trikcore/internal/plot"
+)
+
+// Snapshot endpoints: bookmark the current graph, then ask how the live
+// graph evolved relative to the bookmark — the dual-view plot
+// (Algorithm 3) and community events over HTTP.
+//
+//	POST /snapshot            bookmark the current graph state
+//	GET  /dualview            dual-view markers vs the bookmark (JSON)
+//	GET  /dualview.svg        the changed-clique plot with marker bands
+//	GET  /events?k=K          community-evolution events vs the bookmark
+
+func (s *Server) registerSnapshotRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /dualview", s.handleDualView)
+	mux.HandleFunc("GET /dualview.svg", s.handleDualViewSVG)
+	mux.HandleFunc("GET /events", s.handleEvents)
+}
+
+// SnapshotReply is the /snapshot response body.
+type SnapshotReply struct {
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.snapshot = s.en.Graph().Clone()
+	rep := SnapshotReply{Vertices: s.snapshot.NumVertices(), Edges: s.snapshot.NumEdges()}
+	s.mu.Unlock()
+	writeJSON(w, rep)
+}
+
+// dualView builds the dual view between the bookmark and the live graph
+// under the read lock. Returns nil if no snapshot was bookmarked.
+func (s *Server) dualView() *plot.DualView {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.snapshot == nil {
+		return nil
+	}
+	newCo := plot.EdgeValues(s.en.CoCliqueSizes())
+	// The bookmark needs its own decomposition; BuildDualViewFromValues
+	// accepts engine-maintained values for the live side.
+	oldVals := oldSnapshotValues(s.snapshot)
+	dv := plot.BuildDualViewFromValues(s.snapshot, s.en.Graph(), oldVals, newCo, plot.DualViewOptions{})
+	return &dv
+}
+
+// oldSnapshotValues decomposes a bookmarked snapshot into plot values.
+func oldSnapshotValues(g *graph.Graph) plot.EdgeValues {
+	d := decomposeForServer(g)
+	return plot.FromDecomposition(d)
+}
+
+// DualViewMarkerReply describes one correspondence marker.
+type DualViewMarkerReply struct {
+	Label           string         `json:"label"`
+	Height          int            `json:"height"`
+	Width           int            `json:"width"`
+	Vertices        []graph.Vertex `json:"vertices"`
+	BeforeRegions   [][2]int       `json:"beforeRegions"`
+	NewVertexCount  int            `json:"newVertexCount"`
+	AfterPeakStart  int            `json:"afterPeakStart"`
+	AfterPeakHeight int            `json:"afterPeakHeight"`
+}
+
+func (s *Server) handleDualView(w http.ResponseWriter, r *http.Request) {
+	dv := s.dualView()
+	if dv == nil {
+		httpError(w, http.StatusConflict, "no snapshot bookmarked; POST /snapshot first")
+		return
+	}
+	out := make([]DualViewMarkerReply, 0, len(dv.Markers))
+	for _, mk := range dv.Markers {
+		out = append(out, DualViewMarkerReply{
+			Label:           mk.Label,
+			Height:          mk.Peak.Height,
+			Width:           mk.Peak.Width(),
+			Vertices:        mk.Peak.Vertices,
+			BeforeRegions:   mk.BeforeRegions(),
+			NewVertexCount:  len(mk.NewVertices),
+			AfterPeakStart:  mk.Peak.Start,
+			AfterPeakHeight: mk.Peak.Height,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleDualViewSVG(w http.ResponseWriter, r *http.Request) {
+	dv := s.dualView()
+	if dv == nil {
+		httpError(w, http.StatusConflict, "no snapshot bookmarked; POST /snapshot first")
+		return
+	}
+	svg := plot.RenderSVG(dv.After, plot.SVGOptions{
+		Title:   "changed cliques since snapshot",
+		Markers: dv.MarkersForSVG(),
+	})
+	w.Header().Set("Content-Type", "image/svg+xml")
+	w.Write([]byte(svg))
+}
+
+// EventReply is one community-evolution event.
+type EventReply struct {
+	Type   string `json:"type"`
+	Before []int  `json:"before"`
+	After  []int  `json:"after"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	k, err := strconv.ParseInt(r.URL.Query().Get("k"), 10, 32)
+	if err != nil || k < 1 {
+		httpError(w, http.StatusBadRequest, "k must be a positive integer")
+		return
+	}
+	s.mu.RLock()
+	snap := s.snapshot
+	live := s.en.Graph().Clone()
+	s.mu.RUnlock()
+	if snap == nil {
+		httpError(w, http.StatusConflict, "no snapshot bookmarked; POST /snapshot first")
+		return
+	}
+	_, _, evs := events.FromSnapshots(snap, live, int32(k), events.Options{})
+	out := make([]EventReply, 0, len(evs))
+	for _, e := range evs {
+		out = append(out, EventReply{Type: e.Type.String(), Before: e.Before, After: e.After})
+	}
+	writeJSON(w, out)
+}

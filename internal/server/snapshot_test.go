@@ -1,0 +1,106 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"trikcore/internal/graph"
+)
+
+func postJSON(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	dec := json.NewDecoder(resp.Body)
+	var raw json.RawMessage
+	dec.Decode(&raw)
+	buf.Write(raw)
+	return resp.StatusCode, []byte(buf.String())
+}
+
+func TestSnapshotRequired(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{"/dualview", "/dualview.svg", "/events?k=2"} {
+		if code := getJSON(t, ts.URL+path, nil); code != http.StatusConflict {
+			t.Fatalf("%s before snapshot: status %d", path, code)
+		}
+	}
+}
+
+func TestSnapshotDualViewFlow(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := postJSON(t, ts.URL+"/snapshot", "")
+	if code != 200 {
+		t.Fatalf("snapshot status %d", code)
+	}
+	var snap SnapshotReply
+	json.Unmarshal(body, &snap)
+	if snap.Edges != 11 {
+		t.Fatalf("snapshot reply = %+v", snap)
+	}
+
+	// Vertex 6 joins the K5 → a grown 6-clique made of new edges.
+	postJSON(t, ts.URL+"/edges", `{"add":[[6,1],[6,2],[6,3],[6,4],[6,5]]}`)
+
+	var markers []DualViewMarkerReply
+	if code := getJSON(t, ts.URL+"/dualview", &markers); code != 200 {
+		t.Fatalf("dualview status %d", code)
+	}
+	if len(markers) == 0 || markers[0].Height != 6 {
+		t.Fatalf("markers = %+v, want the grown 6-clique on top", markers)
+	}
+	found := false
+	for _, v := range markers[0].Vertices {
+		if v == graph.Vertex(6) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("joiner missing from marker vertices %v", markers[0].Vertices)
+	}
+
+	resp, err := http.Get(ts.URL + "/dualview.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.Header.Get("Content-Type") != "image/svg+xml" {
+		t.Fatalf("dualview.svg content type %q", resp.Header.Get("Content-Type"))
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	postJSON(t, ts.URL+"/snapshot", "")
+	// Two newcomers join the K5 (size 5 → 7, beyond the stable ratio).
+	postJSON(t, ts.URL+"/edges",
+		`{"add":[[6,1],[6,2],[6,3],[6,4],[6,5],[7,1],[7,2],[7,3],[7,4],[7,5],[7,6]]}`)
+
+	var evs []EventReply
+	if code := getJSON(t, ts.URL+"/events?k=3", &evs); code != 200 {
+		t.Fatalf("events status %d", code)
+	}
+	if len(evs) != 1 || evs[0].Type != "grow" {
+		t.Fatalf("events = %+v, want one grow", evs)
+	}
+	if code := getJSON(t, ts.URL+"/events?k=0", nil); code != 400 {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestSnapshotIsIsolatedCopy(t *testing.T) {
+	s, ts := newTestServer(t)
+	postJSON(t, ts.URL+"/snapshot", "")
+	postJSON(t, ts.URL+"/edges", `{"remove":[[1,2]]}`)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.snapshot.HasEdge(1, 2) {
+		t.Fatal("mutating the live graph changed the bookmark")
+	}
+}

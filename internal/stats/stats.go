@@ -1,0 +1,109 @@
+// Package stats holds small timing and summary-statistics helpers used by
+// the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Timed runs fn and returns its wall-clock duration.
+func Timed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// Sample accumulates float64 observations.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// AddDuration appends a duration in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than two
+// observations).
+func (s *Sample) StdDev() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += (x - m) * (x - m)
+	}
+	return math.Sqrt(sum / float64(len(s.xs)-1))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	min := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	max := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// FormatSeconds renders a duration in seconds with sensible precision for
+// result tables ("0.005", "1.42", "561").
+func FormatSeconds(sec float64) string {
+	switch {
+	case sec == 0:
+		return "0"
+	case sec < 0.01:
+		return fmt.Sprintf("%.4f", sec)
+	case sec < 1:
+		return fmt.Sprintf("%.3f", sec)
+	case sec < 100:
+		return fmt.Sprintf("%.2f", sec)
+	default:
+		return fmt.Sprintf("%.0f", sec)
+	}
+}
+
+// Speedup renders a/b as a "Nx" factor ("-" when b is zero).
+func Speedup(a, b float64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0fx", a/b)
+}

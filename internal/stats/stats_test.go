@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTimed(t *testing.T) {
+	d := Timed(func() { time.Sleep(5 * time.Millisecond) })
+	if d < 4*time.Millisecond {
+		t.Fatalf("Timed = %v, want >= ~5ms", d)
+	}
+}
+
+func TestSampleMoments(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 || s.N() != 0 {
+		t.Fatal("empty sample should be all zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 || s.Mean() != 5 {
+		t.Fatalf("N=%d Mean=%v", s.N(), s.Mean())
+	}
+	// Sample standard deviation of this classic set is sqrt(32/7).
+	if got, want := s.StdDev(), math.Sqrt(32.0/7.0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min=%v Max=%v", s.Min(), s.Max())
+	}
+	var d Sample
+	d.AddDuration(1500 * time.Millisecond)
+	if d.Mean() != 1.5 {
+		t.Fatalf("AddDuration mean = %v", d.Mean())
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{0.0042, "0.0042"},
+		{0.25, "0.250"},
+		{1.5, "1.50"},
+		{42.123, "42.12"},
+		{561.4, "561"},
+	}
+	for _, tc := range cases {
+		if got := FormatSeconds(tc.in); got != tc.want {
+			t.Errorf("FormatSeconds(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10, 2); got != "5x" {
+		t.Fatalf("Speedup = %q", got)
+	}
+	if got := Speedup(1, 0); got != "-" {
+		t.Fatalf("Speedup by zero = %q", got)
+	}
+}

@@ -1,0 +1,69 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:  "Demo",
+		Header: []string{"name", "count", "ratio"},
+	}
+	t.AddRow("alpha", 10, 0.5)
+	t.AddRow("beta|pipe", 200, 1.25)
+	t.AddNote("a note with %d args", 2)
+	return t
+}
+
+func TestText(t *testing.T) {
+	out := sample().Text()
+	for _, want := range []string{"Demo", "====", "name", "alpha", "200", "note: a note with 2 args"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Text() missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every data line has the header's column positions.
+	lines := strings.Split(out, "\n")
+	headerIdx := strings.Index(lines[2], "count")
+	rowIdx := strings.Index(lines[4], "10")
+	if headerIdx != rowIdx {
+		t.Fatalf("columns misaligned: header at %d, row at %d\n%s", headerIdx, rowIdx, out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := sample().Markdown()
+	for _, want := range []string{"### Demo", "| name | count | ratio |", "|---|---|---|", `beta\|pipe`, "*a note with 2 args*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Markdown() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyAndRagged(t *testing.T) {
+	empty := &Table{Header: []string{"a"}}
+	if !strings.Contains(empty.Text(), "a") {
+		t.Fatal("empty table text broken")
+	}
+	ragged := &Table{Header: []string{"a", "b"}}
+	ragged.Rows = append(ragged.Rows, []string{"only-one"})
+	if !strings.Contains(ragged.Text(), "only-one") {
+		t.Fatal("ragged row dropped")
+	}
+	if !strings.Contains(ragged.Markdown(), "only-one") {
+		t.Fatal("ragged markdown dropped")
+	}
+}
+
+func TestAddRowFormatting(t *testing.T) {
+	tab := &Table{Header: []string{"x"}}
+	tab.AddRow(3.14159265)
+	if tab.Rows[0][0] != "3.142" {
+		t.Fatalf("float formatting = %q", tab.Rows[0][0])
+	}
+	tab.AddRow(int64(7))
+	if tab.Rows[1][0] != "7" {
+		t.Fatalf("int formatting = %q", tab.Rows[1][0])
+	}
+}

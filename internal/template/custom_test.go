@@ -1,0 +1,98 @@
+package template
+
+import (
+	"testing"
+
+	"trikcore/internal/graph"
+)
+
+// TestCustomUserDefinedPattern exercises the paper's flexibility claim:
+// users can define template patterns of their own by supplying the
+// characteristic (and possible) triangle predicates directly. Here we
+// define a "persistent clique" pattern — cliques made entirely of edges
+// that survived from the old snapshot — which is the complement of New
+// Form and not one of the built-ins.
+func TestCustomUserDefinedPattern(t *testing.T) {
+	old := graph.New()
+	addClique(old, 1, 2, 3, 4, 5) // persists
+	addClique(old, 10, 11, 12)    // partially dissolves
+	new := old.Clone()
+	new.RemoveEdge(10, 11)
+	addClique(new, 20, 21, 22, 23) // newly formed
+
+	nov := Evolving(old, new)
+	persistent := Spec{
+		Name: "persistent",
+		IsCharacteristic: func(tr graph.Triangle) bool {
+			for _, e := range tr.Edges() {
+				if nov.IsNewEdge(e) {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	r := Detect(new, persistent)
+	peaks := r.TopCliques(1, 3)
+	if len(peaks) != 1 || peaks[0].Height != 5 || peaks[0].Width() != 5 {
+		t.Fatalf("persistent pattern peaks = %v, want the surviving 5-clique", peaks)
+	}
+	// The newly formed clique must not plot under this pattern.
+	if r.Values[graph.NewEdge(20, 21)] != 0 {
+		t.Fatal("new clique leaked into the persistent pattern")
+	}
+	// The dissolved triangle's surviving edges have no characteristic
+	// triangle anymore.
+	if r.Values[graph.NewEdge(11, 12)] != 0 {
+		t.Fatal("dissolved triangle leaked into the persistent pattern")
+	}
+}
+
+// TestCharacteristicRequirementTwo verifies the second requirement on
+// characteristic triangles: every vertex of a detected pattern clique is
+// covered by some characteristic triangle (requirement 2 in Section V),
+// for the built-in patterns on a composite scenario.
+func TestCharacteristicRequirementTwo(t *testing.T) {
+	old := graph.New()
+	addClique(old, 1, 2, 3) // incumbents for a new-join
+	new := old.Clone()
+	addClique(new, 1, 2, 3, 50, 51, 52) // 3 new vertices join
+
+	r := Detect(new, NewJoin(Evolving(old, new)))
+	covered := map[graph.Vertex]bool{}
+	for _, tr := range r.Characteristic {
+		covered[tr.A], covered[tr.B], covered[tr.C] = true, true, true
+	}
+	for _, pk := range r.TopCliques(1, 3) {
+		for _, v := range pk.Vertices {
+			if !covered[v] {
+				t.Fatalf("pattern clique vertex %d not covered by any characteristic triangle", v)
+			}
+		}
+	}
+}
+
+// TestDissolvedPattern detects cliques whose edges vanish between
+// snapshots by reversing the Evolving classification.
+func TestDissolvedPattern(t *testing.T) {
+	old := graph.New()
+	addClique(old, 1, 2, 3, 4, 5) // will dissolve
+	addClique(old, 10, 11, 12, 13)
+	for v := graph.Vertex(1); v <= 5; v++ {
+		old.AddEdge(v, v+50) // unrelated edges that persist
+	}
+	new := old.Clone()
+	for i := graph.Vertex(1); i <= 5; i++ {
+		for j := i + 1; j <= 5; j++ {
+			new.RemoveEdge(i, j)
+		}
+	}
+	r := Detect(old, Dissolved(Evolving(new, old)))
+	peaks := r.TopCliques(1, 3)
+	if len(peaks) != 1 || peaks[0].Height != 5 || peaks[0].Width() != 5 {
+		t.Fatalf("dissolved peaks = %v, want the vanished 5-clique", peaks)
+	}
+	if r.Values[graph.NewEdge(10, 11)] != 0 {
+		t.Fatal("persisting clique wrongly detected as dissolved")
+	}
+}

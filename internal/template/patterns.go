@@ -1,0 +1,113 @@
+package template
+
+import "trikcore/internal/graph"
+
+// Novelty classifies edges and vertices of a graph as "new" (red in the
+// paper's Figure 4) or "original" (black). For evolving graphs the
+// classification comes from a snapshot diff; for static graphs it can
+// encode any attribute, such as "edge joins two protein complexes"
+// (Figure 12).
+type Novelty struct {
+	IsNewEdge   func(e graph.Edge) bool
+	IsNewVertex func(v graph.Vertex) bool
+}
+
+// Evolving derives a Novelty from two snapshots: an edge or vertex is new
+// when present in new but absent from old.
+func Evolving(old, new *graph.Graph) Novelty {
+	return Novelty{
+		IsNewEdge:   func(e graph.Edge) bool { return !old.HasEdgeE(e) },
+		IsNewVertex: func(v graph.Vertex) bool { return !old.HasVertex(v) },
+	}
+}
+
+// InterComplex derives a Novelty from vertex attributes (the static
+// Bridge Clique variant of Section VII-F): an edge is "new" when its
+// endpoints carry different labels; no vertex is new.
+func InterComplex(label map[graph.Vertex]string) Novelty {
+	return Novelty{
+		IsNewEdge:   func(e graph.Edge) bool { return label[e.U] != label[e.V] },
+		IsNewVertex: func(graph.Vertex) bool { return false },
+	}
+}
+
+// counts returns how many of t's edges and vertices are new under n.
+func (n Novelty) counts(t graph.Triangle) (newEdges, newVerts int) {
+	for _, e := range t.Edges() {
+		if n.IsNewEdge(e) {
+			newEdges++
+		}
+	}
+	for _, v := range []graph.Vertex{t.A, t.B, t.C} {
+		if n.IsNewVertex(v) {
+			newVerts++
+		}
+	}
+	return
+}
+
+// NewForm is the pattern of Figure 4(a)/(d): a clique formed entirely by
+// new edges among original vertices. Its characteristic triangle has
+// 3 new edges and 3 original vertices; no other triangle shape occurs.
+func NewForm(n Novelty) Spec {
+	return Spec{
+		Name: "new-form",
+		IsCharacteristic: func(t graph.Triangle) bool {
+			ne, nv := n.counts(t)
+			return ne == 3 && nv == 0
+		},
+	}
+}
+
+// Bridge is the pattern of Figure 4(b)/(e): a clique drawing vertices
+// from two previously disconnected cliques. Its characteristic triangle
+// has 3 original vertices, 2 new edges and 1 original edge; triangles of
+// 3 original edges are also possible inside the clique (△BCD in the
+// figure).
+func Bridge(n Novelty) Spec {
+	return Spec{
+		Name: "bridge",
+		IsCharacteristic: func(t graph.Triangle) bool {
+			ne, nv := n.counts(t)
+			return ne == 2 && nv == 0
+		},
+		IsPossible: func(t graph.Triangle) bool {
+			ne, _ := n.counts(t)
+			return ne == 0
+		},
+	}
+}
+
+// NewJoin is the pattern of Figure 4(c)/(f): a clique formed by an
+// existing clique plus new vertices. Its characteristic triangle contains
+// one new vertex and two original vertices joined by an original edge
+// (its other two edges are necessarily new). Triangles of 3 new edges
+// (△ABC) and of 3 original edges (△DEF) are also possible.
+func NewJoin(n Novelty) Spec {
+	return Spec{
+		Name: "new-join",
+		IsCharacteristic: func(t graph.Triangle) bool {
+			ne, nv := n.counts(t)
+			return nv == 1 && ne == 2
+		},
+		IsPossible: func(t graph.Triangle) bool {
+			ne, _ := n.counts(t)
+			return ne == 3 || ne == 0
+		},
+	}
+}
+
+// Dissolved is the mirror pattern of NewForm: cliques of the OLD snapshot
+// whose edges all vanish in the new one — detect it by running NewForm
+// with the snapshots swapped and Detect over the old graph:
+//
+//	res := Detect(old, Dissolved(Evolving(new, old)))
+//
+// Every template in this package composes the same way with a reversed
+// Evolving classification, so vanishing counterparts of Bridge and
+// NewJoin need no extra code.
+func Dissolved(reversed Novelty) Spec {
+	spec := NewForm(reversed)
+	spec.Name = "dissolved"
+	return spec
+}

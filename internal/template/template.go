@@ -1,0 +1,147 @@
+// Package template implements Algorithm 4 of the paper: detection of
+// user-defined template pattern cliques via characteristic and possible
+// triangles.
+//
+// A template pattern (e.g. "clique formed entirely by new collaborations")
+// is specified by two triangle predicates. *Characteristic* triangles are
+// 3-vertex instances of the pattern; every vertex of a pattern clique must
+// lie in one (the paper's two requirements). *Possible* triangles are the
+// other triangle shapes that may occur inside a pattern clique among the
+// characteristic vertices. Algorithm 4 marks the edges and vertices of
+// both kinds special, builds the subgraph G_spe they induce, runs the
+// Triangle K-Core decomposition (Algorithm 1) on it, and plots the full
+// graph with co_clique_size = κ+2 on special edges and 0 elsewhere.
+//
+// The three patterns of Section V — New Form, Bridge and New Join — are
+// provided as constructors over an edge/vertex novelty classification,
+// which itself can come from a snapshot diff (evolving graphs, Figures
+// 9–11) or from vertex attributes (the static PPI complexes of Figure 12).
+package template
+
+import (
+	"sort"
+
+	"trikcore/internal/core"
+	"trikcore/internal/graph"
+	"trikcore/internal/plot"
+)
+
+// Spec is a template pattern definition.
+type Spec struct {
+	// Name labels the pattern in reports.
+	Name string
+	// IsCharacteristic reports whether a triangle of the graph is a
+	// characteristic triangle of the pattern (Algorithm 4 step 1).
+	IsCharacteristic func(t graph.Triangle) bool
+	// IsPossible reports whether a triangle whose three vertices are all
+	// special may appear inside a pattern clique (Algorithm 4 step 4).
+	// Nil means the pattern admits no extra triangle shapes.
+	IsPossible func(t graph.Triangle) bool
+}
+
+// Result is the output of Detect.
+type Result struct {
+	// Spec is the pattern that was detected.
+	Spec Spec
+	// Characteristic and Possible list the special triangles found.
+	Characteristic, Possible []graph.Triangle
+	// Special is G_spe: the subgraph of special edges and vertices.
+	Special *graph.Graph
+	// Kappa holds κ(e) from running Algorithm 1 on G_spe.
+	Kappa map[graph.Edge]int
+	// Values is the full graph's plotting assignment: κ+2 on special
+	// edges, 0 elsewhere (Algorithm 4 steps 9–13).
+	Values plot.EdgeValues
+	// Series is the template clique distribution plot (step 14).
+	Series plot.Series
+}
+
+// Detect runs Algorithm 4 on g with the given pattern spec.
+func Detect(g *graph.Graph, spec Spec) *Result {
+	r := &Result{Spec: spec, Special: graph.New()}
+
+	// Step 1: find characteristic triangles; steps 2–3: mark their edges
+	// and vertices special.
+	specialV := make(map[graph.Vertex]bool)
+	specialE := make(map[graph.Edge]bool)
+	forEachTriangle(g, func(t graph.Triangle) {
+		if spec.IsCharacteristic(t) {
+			r.Characteristic = append(r.Characteristic, t)
+			for _, e := range t.Edges() {
+				specialE[e] = true
+			}
+			specialV[t.A], specialV[t.B], specialV[t.C] = true, true, true
+		}
+	})
+
+	// Steps 4–6: find possible triangles among special vertices and mark
+	// their edges special.
+	if spec.IsPossible != nil {
+		forEachTriangle(g, func(t graph.Triangle) {
+			if specialV[t.A] && specialV[t.B] && specialV[t.C] && spec.IsPossible(t) {
+				r.Possible = append(r.Possible, t)
+				for _, e := range t.Edges() {
+					specialE[e] = true
+				}
+			}
+		})
+	}
+
+	// Step 7: build G_spe.
+	for v := range specialV {
+		r.Special.AddVertex(v)
+	}
+	for e := range specialE {
+		r.Special.AddEdgeE(e)
+	}
+
+	// Step 8: Algorithm 1 on G_spe.
+	d := core.Decompose(r.Special)
+	r.Kappa = d.EdgeKappas()
+
+	// Steps 9–13: co_clique_size per edge of the full graph.
+	r.Values = make(plot.EdgeValues, len(specialE))
+	for e, k := range r.Kappa {
+		r.Values[e] = k + 2
+	}
+
+	// Step 14: plot the clique distribution of G.
+	r.Series = plot.Density(g, r.Values)
+	sortTriangles(r.Characteristic)
+	sortTriangles(r.Possible)
+	return r
+}
+
+// TopCliques returns the k densest template pattern cliques as peaks of
+// the distribution plot (the red-circle selections of Figures 9–12).
+func (r *Result) TopCliques(k, minWidth int) []plot.Peak {
+	return r.Series.TopPeaks(k, minWidth)
+}
+
+// forEachTriangle enumerates every triangle of g exactly once.
+func forEachTriangle(g *graph.Graph, fn func(t graph.Triangle)) {
+	g.ForEachEdge(func(e graph.Edge) bool {
+		g.ForEachCommonNeighbor(e.U, e.V, func(w graph.Vertex) bool {
+			// Report each triangle only from its lexicographically
+			// smallest edge: require w above both endpoints.
+			if w > e.V {
+				fn(graph.NewTriangle(e.U, e.V, w))
+			}
+			return true
+		})
+		return true
+	})
+}
+
+func sortTriangles(ts []graph.Triangle) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		return a.C < b.C
+	})
+}

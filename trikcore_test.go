@@ -1,0 +1,156 @@
+package trikcore_test
+
+import (
+	"strings"
+	"testing"
+
+	"trikcore"
+)
+
+// TestFacadeEndToEnd drives the full public API surface on one small
+// scenario: build, decompose, plot, update, template-detect.
+func TestFacadeEndToEnd(t *testing.T) {
+	// Old snapshot: a 5-clique community plus a path.
+	old := trikcore.NewGraph()
+	cliqueVerts := []trikcore.Vertex{1, 2, 3, 4, 5}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			old.AddEdge(cliqueVerts[i], cliqueVerts[j])
+		}
+	}
+	old.AddEdge(10, 11)
+	old.AddEdge(11, 12)
+
+	d := trikcore.Decompose(old)
+	if k, ok := d.KappaOf(trikcore.NewEdge(1, 2)); !ok || k != 3 {
+		t.Fatalf("κ(1-2) = %d (ok=%v), want 3", k, ok)
+	}
+	if k, _ := d.KappaOf(trikcore.NewEdge(10, 11)); k != 0 {
+		t.Fatal("path edge should have κ=0")
+	}
+
+	series := trikcore.DensityPlot(old, d)
+	if series.MaxHeight() != 5 {
+		t.Fatalf("plot max height %d, want 5", series.MaxHeight())
+	}
+	if !strings.Contains(trikcore.RenderASCII(series, 40, 8), "#") {
+		t.Fatal("ASCII render empty")
+	}
+	if !strings.Contains(trikcore.RenderSVG(series, trikcore.SVGOptions{}), "<svg") {
+		t.Fatal("SVG render empty")
+	}
+
+	// Dynamic maintenance: vertex 6 joins the clique.
+	en := trikcore.NewEngine(old)
+	for _, v := range cliqueVerts {
+		en.InsertEdge(6, v)
+	}
+	if k, _ := en.Kappa(trikcore.NewEdge(1, 2)); k != 4 {
+		t.Fatalf("after join κ(1-2) = %d, want 4", k)
+	}
+	en.DeleteEdge(6, 1)
+	if k, _ := en.Kappa(trikcore.NewEdge(6, 2)); k != 3 {
+		t.Fatalf("after unjoin κ(6-2) = %d, want 3", k)
+	}
+
+	// Template detection: the join is a New Join clique.
+	new := en.Graph().Clone()
+	nov := trikcore.EvolvingNovelty(old, new)
+	res := trikcore.DetectTemplate(new, trikcore.NewJoinPattern(nov))
+	if len(res.Characteristic) == 0 {
+		t.Fatal("no new-join characteristic triangles")
+	}
+
+	// Baselines agree with κ.
+	dn := trikcore.TriDN(new)
+	d2 := trikcore.Decompose(new)
+	for e, l := range dn.EdgeLambdas() {
+		k, _ := d2.KappaOf(e)
+		if int(k) != l {
+			t.Fatalf("TriDN λ̄(%v)=%d, κ=%d", e, l, k)
+		}
+	}
+	if got := trikcore.BiTriDN(new).EdgeLambdas(); len(got) != new.NumEdges() {
+		t.Fatal("BiTriDN incomplete")
+	}
+
+	// CSV co-clique sizes are bounded by κ+2.
+	for e, cs := range trikcore.CSVCoCliqueSizes(new) {
+		k, _ := d2.KappaOf(e)
+		if cs > int(k)+2 {
+			t.Fatalf("co_clique_size(%v)=%d exceeds κ+2=%d", e, cs, k+2)
+		}
+	}
+
+	// Substrate: vertex k-core and cliques.
+	if trikcore.VertexKCore(old).MaxCore != 4 {
+		t.Fatal("vertex k-core of K5 should be 4")
+	}
+	if got := trikcore.MaxClique(old); len(got) != 5 {
+		t.Fatalf("max clique %v, want the 5-clique", got)
+	}
+	if len(trikcore.MaximalCliques(old)) == 0 {
+		t.Fatal("no maximal cliques")
+	}
+	if trikcore.TriangleCount(old) != 10 {
+		t.Fatalf("triangle count %d, want 10", trikcore.TriangleCount(old))
+	}
+}
+
+func TestFacadeIO(t *testing.T) {
+	g, err := trikcore.ReadEdgeList(strings.NewReader("1 2\n2 3\n3 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := trikcore.WriteEdgeList(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "1 2\n1 3\n2 3\n" {
+		t.Fatalf("round trip = %q", sb.String())
+	}
+	d := trikcore.DiffGraphs(g, trikcore.FromEdges([]trikcore.Edge{trikcore.NewEdge(1, 2)}))
+	if len(d.RemovedEdges) != 2 {
+		t.Fatalf("diff = %+v", d)
+	}
+}
+
+func TestFacadeDualView(t *testing.T) {
+	old := trikcore.NewGraph()
+	for i := trikcore.Vertex(0); i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			old.AddEdge(i, j)
+		}
+	}
+	for v := trikcore.Vertex(20); v < 40; v++ {
+		old.AddEdge(v, v+1)
+	}
+	new := old.Clone()
+	for i := trikcore.Vertex(0); i < 6; i++ {
+		new.AddEdge(100, i)
+	}
+	dv := trikcore.BuildDualView(old, new, trikcore.DualViewOptions{TopK: 1})
+	if len(dv.Markers) != 1 || dv.Markers[0].Peak.Height != 7 {
+		t.Fatalf("dual view markers = %+v", dv.Markers)
+	}
+	if dv.Summary() == "" {
+		t.Fatal("empty dual view summary")
+	}
+}
+
+func TestFacadeInterComplex(t *testing.T) {
+	g := trikcore.NewGraph()
+	for i := trikcore.Vertex(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	labels := map[trikcore.Vertex]string{0: "a", 1: "b", 2: "b", 3: "b"}
+	res := trikcore.DetectTemplate(g, trikcore.BridgePattern(trikcore.InterComplexNovelty(labels)))
+	if len(res.Characteristic) != 3 {
+		t.Fatalf("%d characteristic triangles, want 3", len(res.Characteristic))
+	}
+	if res.Series.MaxHeight() != 4 {
+		t.Fatalf("bridge plot max height %d, want 4", res.Series.MaxHeight())
+	}
+}
