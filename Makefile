@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test vet race bench fuzz ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-enabled run of the packages with concurrent code paths (parallel
+# FreezeStatic build, work-stealing ComputeSupport) plus the full suite.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkFreezeStatic$$|BenchmarkDecomposeStatic$$|BenchmarkTriangleCountStatic$$' -benchmem -benchtime 3s .
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzFreezeStatic -fuzztime 30s ./internal/graph
+
+ci: vet build test race

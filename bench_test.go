@@ -320,6 +320,54 @@ func BenchmarkAblation_IncrementalToggle_Astro(b *testing.B) {
 	}
 }
 
+// --- CSR kernel benchmarks (ISSUE 1) --------------------------------------
+
+var (
+	plOnce  sync.Once
+	plGraph *graph.Graph // ~100k-edge Holme–Kim power-law graph
+)
+
+// powerLawFixture returns a deterministic power-law cluster graph of about
+// 100k edges, the scale at which the CSR layout's constant-factor win over
+// map-based adjacency becomes visible.
+func powerLawFixture() *graph.Graph {
+	plOnce.Do(func() { plGraph = gen.PowerLawCluster(10_050, 10, 0.5, 42) })
+	return plGraph
+}
+
+func BenchmarkFreezeStatic(b *testing.B) {
+	g := powerLawFixture()
+	b.Logf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.FreezeStatic(g)
+	}
+}
+
+func BenchmarkDecomposeStatic(b *testing.B) {
+	g := powerLawFixture()
+	s := graph.FreezeStatic(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.DecomposeStatic(s, core.Options{})
+	}
+}
+
+// BenchmarkTriangleCountStatic exercises the Support/TriangleCount path on
+// the frozen view (the κ̃ initialization cost of Algorithm 1 without the
+// worker pool).
+func BenchmarkTriangleCountStatic(b *testing.B) {
+	g := powerLawFixture()
+	s := graph.FreezeStatic(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TriangleCount()
+	}
+}
+
 // --- Facade sanity benchmark ----------------------------------------------
 
 func BenchmarkFacadeDecomposePlot(b *testing.B) {

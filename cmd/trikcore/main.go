@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -109,7 +110,7 @@ func cmdDecompose(args []string) error {
 	for kv := range hist {
 		ks = append(ks, kv)
 	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	slices.Sort(ks)
 	fmt.Println("κ distribution:")
 	for _, kv := range ks {
 		fmt.Printf("  κ=%-4d %d edges\n", kv, hist[kv])

@@ -10,7 +10,7 @@
 package clique
 
 import (
-	"sort"
+	"slices"
 
 	"trikcore/internal/graph"
 	"trikcore/internal/kcore"
@@ -66,7 +66,7 @@ func (e *enumerator) expand(p, x []graph.Vertex) {
 	}
 	if len(p) == 0 && len(x) == 0 {
 		e.scratch = append(e.scratch[:0], e.r...)
-		sort.Slice(e.scratch, func(i, j int) bool { return e.scratch[i] < e.scratch[j] })
+		slices.Sort(e.scratch)
 		if !e.fn(e.scratch) {
 			e.stopped = true
 		}
@@ -134,15 +134,7 @@ func Maximal(g *graph.Graph) [][]graph.Vertex {
 		out = append(out, append([]graph.Vertex(nil), c...))
 		return true
 	})
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return len(a) < len(b)
-	})
+	slices.SortFunc(out, slices.Compare)
 	return out
 }
 

@@ -19,6 +19,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"trikcore/internal/bucket"
 	"trikcore/internal/graph"
@@ -86,6 +87,11 @@ func DecomposeWithSupport(s *graph.Static, support []int32) *Decomposition {
 	}
 
 	// Steps 7–18: peel edges in increasing order of the κ̃ upper bound.
+	// Peeled edges are removed from the live adjacency, so the merge in
+	// each step scans only unprocessed edges — triangles through an
+	// already-processed edge (step 17) never surface, and rows shrink as
+	// the peel progresses.
+	la := graph.NewLiveAdj(s)
 	q := bucket.New(support)
 	for {
 		et, kt, ok := q.PopMin()
@@ -99,14 +105,8 @@ func DecomposeWithSupport(s *graph.Static, support []int32) *Decomposition {
 			d.MaxKappa = kt
 		}
 		u, v := s.EdgeU[et], s.EdgeV[et]
-		s.ForEachCommonNeighbor(u, v, func(w int32) bool {
-			e1 := s.EdgeIndex(u, w)
-			e2 := s.EdgeIndex(v, w)
-			// A triangle is processed once any of its edges is processed
-			// (step 17); skip those.
-			if q.Popped(e1) || q.Popped(e2) {
-				return true
-			}
+		la.RemoveEdge(et)
+		la.ForEachTriangleEdge(u, v, func(w, e1, e2 int32) bool {
 			// Step 13: only bounds strictly above κ(e_t) shrink; smaller
 			// or equal bounds already account for this triangle's loss.
 			if q.Val(e1) > kt {
@@ -121,9 +121,21 @@ func DecomposeWithSupport(s *graph.Static, support []int32) *Decomposition {
 	return d
 }
 
+// supportBlock is the edge-block granularity of the work-stealing support
+// computation. Blocks are handed out through an atomic counter rather than
+// pre-chunked ranges: on power-law graphs the support cost of an edge is
+// proportional to its endpoint degrees, so static chunking strands the
+// workers that drew low-degree ranges while a hub-heavy range runs alone.
+const supportBlock = 512
+
 // ComputeSupport returns the triangle support of every edge of s (the
-// κ̃ initialization of Algorithm 1, steps 1–5), computed in parallel over
-// edge ranges when parallelism allows.
+// κ̃ initialization of Algorithm 1, steps 1–5). It lists each triangle
+// exactly once through the degree-oriented kernel and credits all three
+// of its edges, rather than intersecting full adjacency rows per edge —
+// a 3× reduction in triangle visits plus oriented rows bounded by O(√M).
+// With parallelism above one, workers steal fixed-size edge blocks from a
+// shared atomic counter (static chunking strands workers on power-law
+// degree skew) and publish credits with atomic adds.
 func ComputeSupport(s *graph.Static, parallelism int) []int32 {
 	m := s.NumEdges()
 	support := make([]int32, m)
@@ -131,33 +143,45 @@ func ComputeSupport(s *graph.Static, parallelism int) []int32 {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > m {
-		workers = m
+	if workers > (m+supportBlock-1)/supportBlock {
+		workers = (m + supportBlock - 1) / supportBlock
 	}
 	if workers <= 1 {
-		for i := 0; i < m; i++ {
-			support[i] = int32(s.Support(int32(i)))
+		for i := int32(0); i < int32(m); i++ {
+			s.ForEachOrientedTriangle(i, func(e1, e2 int32) bool {
+				support[i]++
+				support[e1]++
+				support[e2]++
+				return true
+			})
 		}
 		return support
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				support[i] = int32(s.Support(int32(i)))
+			for {
+				lo := int32(next.Add(supportBlock)) - supportBlock
+				if lo >= int32(m) {
+					return
+				}
+				hi := lo + supportBlock
+				if hi > int32(m) {
+					hi = int32(m)
+				}
+				for i := lo; i < hi; i++ {
+					s.ForEachOrientedTriangle(i, func(e1, e2 int32) bool {
+						atomic.AddInt32(&support[i], 1)
+						atomic.AddInt32(&support[e1], 1)
+						atomic.AddInt32(&support[e2], 1)
+						return true
+					})
+				}
 			}
-		}(lo, hi)
+		}()
 	}
 	wg.Wait()
 	return support

@@ -292,6 +292,28 @@ func TestParallelSupportMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestWorkStealingSupportMatchesSerial uses a graph with several thousand
+// edges so the block counter actually hands out multiple supportBlock
+// chunks — small graphs clamp the worker count to one and would leave the
+// work-stealing path (and its atomic credits) unexercised under -race.
+func TestWorkStealingSupportMatchesSerial(t *testing.T) {
+	g := randomGraph(260, 0.1, 97)
+	s := graph.FreezeStatic(g)
+	if s.NumEdges() <= 4*supportBlock {
+		t.Fatalf("fixture too small (%d edges) to cover work stealing", s.NumEdges())
+	}
+	serial := ComputeSupport(s, 1)
+	for _, workers := range []int{2, 4, 7} {
+		stolen := ComputeSupport(s, workers)
+		for i := range serial {
+			if serial[i] != stolen[i] {
+				t.Fatalf("workers=%d edge %d: support %d, serial says %d",
+					workers, i, stolen[i], serial[i])
+			}
+		}
+	}
+}
+
 func TestOrderIsPermutation(t *testing.T) {
 	g := randomGraph(25, 0.3, 8)
 	d := Decompose(g)

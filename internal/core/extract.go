@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
 	"trikcore/internal/graph"
@@ -57,9 +58,7 @@ func (d *Decomposition) triangleComponent(start int32, k int32) []int32 {
 		ei := queue[0]
 		queue = queue[1:]
 		u, v := d.S.EdgeU[ei], d.S.EdgeV[ei]
-		d.S.ForEachCommonNeighbor(u, v, func(w int32) bool {
-			e1 := d.S.EdgeIndex(u, w)
-			e2 := d.S.EdgeIndex(v, w)
+		d.S.ForEachTriangleEdge(u, v, func(w, e1, e2 int32) bool {
 			if d.Kappa[e1] < k || d.Kappa[e2] < k {
 				return true
 			}
@@ -76,7 +75,7 @@ func (d *Decomposition) triangleComponent(start int32, k int32) []int32 {
 	for i := range seen {
 		out = append(out, i)
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	slices.Sort(out)
 	return out
 }
 
@@ -125,9 +124,7 @@ func (d *Decomposition) CoreTriangles(e graph.Edge) ([]graph.Triangle, bool) {
 		when int32
 	}
 	var tris []timed
-	d.S.ForEachCommonNeighbor(u, v, func(w int32) bool {
-		e1 := d.S.EdgeIndex(u, w)
-		e2 := d.S.EdgeIndex(v, w)
+	d.S.ForEachTriangleEdge(u, v, func(w, e1, e2 int32) bool {
 		when := d.OrderOf[ei]
 		if d.OrderOf[e1] < when {
 			when = d.OrderOf[e1]

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"trikcore/internal/graph"
 )
@@ -33,7 +33,7 @@ func (n *HierarchyNode) Vertices() []graph.Vertex {
 	for v := range seen {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

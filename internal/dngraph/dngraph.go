@@ -16,7 +16,7 @@
 package dngraph
 
 import (
-	"sort"
+	"slices"
 
 	"trikcore/internal/graph"
 )
@@ -84,9 +84,8 @@ func run(g *graph.Graph, opts Options, binary bool) *Result {
 			}
 			mins = mins[:0]
 			u, v := s.EdgeU[i], s.EdgeV[i]
-			s.ForEachCommonNeighbor(u, v, func(w int32) bool {
-				l1 := lambda[s.EdgeIndex(u, w)]
-				l2 := lambda[s.EdgeIndex(v, w)]
+			s.ForEachTriangleEdge(u, v, func(w, e1, e2 int32) bool {
+				l1, l2 := lambda[e1], lambda[e2]
 				if l2 < l1 {
 					l1 = l2
 				}
@@ -140,7 +139,7 @@ func bestSupportedBinary(mins []int32, cur int32) int32 {
 		return 0
 	}
 	sorted := append([]int32(nil), mins...)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a] > sorted[b] })
+	slices.SortFunc(sorted, func(a, b int32) int { return int(b) - int(a) })
 	countAtLeast := func(k int32) int32 {
 		// sorted is descending; count prefix ≥ k.
 		lo, hi := 0, len(sorted)

@@ -230,11 +230,11 @@ func (en *Engine) active(t graph.Triangle) bool { return !en.off[t] }
 // forEachActiveTriangleOn iterates the active triangles containing e,
 // passing the other two edges of each.
 func (en *Engine) forEachActiveTriangleOn(e graph.Edge, fn func(t graph.Triangle, e1, e2 graph.Edge) bool) {
-	en.g.ForEachCommonNeighbor(e.U, e.V, func(w graph.Vertex) bool {
+	en.g.ForEachTriangleEdge(e.U, e.V, func(w graph.Vertex, e1, e2 graph.Edge) bool {
 		t := graph.NewTriangle(e.U, e.V, w)
 		if !en.active(t) {
 			return true
 		}
-		return fn(t, graph.NewEdge(e.U, w), graph.NewEdge(e.V, w))
+		return fn(t, e1, e2)
 	})
 }

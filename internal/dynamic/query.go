@@ -59,9 +59,7 @@ func (en *Engine) triangleComponent(start graph.Edge, k int32) []graph.Edge {
 	for len(queue) > 0 {
 		e := queue[0]
 		queue = queue[1:]
-		en.g.ForEachCommonNeighbor(e.U, e.V, func(w graph.Vertex) bool {
-			e1 := graph.NewEdge(e.U, w)
-			e2 := graph.NewEdge(e.V, w)
+		en.g.ForEachTriangleEdge(e.U, e.V, func(w graph.Vertex, e1, e2 graph.Edge) bool {
 			if en.kappa[e1] < k || en.kappa[e2] < k {
 				return true
 			}
@@ -107,7 +105,8 @@ func (en *Engine) RuleOneWitness(e graph.Edge) ([]graph.Triangle, bool) {
 		if int32(len(out)) == k {
 			break
 		}
-		if en.kappa[graph.NewEdge(e.U, w)] >= k && en.kappa[graph.NewEdge(e.V, w)] >= k {
+		e1, e2 := graph.NewEdge(e.U, w), graph.NewEdge(e.V, w)
+		if en.kappa[e1] >= k && en.kappa[e2] >= k {
 			out = append(out, graph.NewTriangle(e.U, e.V, w))
 		}
 	}

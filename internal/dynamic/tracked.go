@@ -2,6 +2,7 @@ package dynamic
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"trikcore/internal/core"
@@ -197,8 +198,8 @@ func (te *TrackedEngine) selectWitness(e graph.Edge, k int32) map[graph.Triangle
 		return set
 	}
 	var thirds []graph.Vertex
-	te.Engine.g.ForEachCommonNeighbor(e.U, e.V, func(w graph.Vertex) bool {
-		if te.Engine.kappa[graph.NewEdge(e.U, w)] >= k && te.Engine.kappa[graph.NewEdge(e.V, w)] >= k {
+	te.Engine.g.ForEachTriangleEdge(e.U, e.V, func(w graph.Vertex, e1, e2 graph.Edge) bool {
+		if te.Engine.kappa[e1] >= k && te.Engine.kappa[e2] >= k {
 			thirds = append(thirds, w)
 		}
 		return true
@@ -206,7 +207,7 @@ func (te *TrackedEngine) selectWitness(e graph.Edge, k int32) map[graph.Triangle
 	if int32(len(thirds)) < k {
 		panic(fmt.Sprintf("dynamic: edge %v has only %d eligible witness triangles for κ=%d", e, len(thirds), k))
 	}
-	sort.Slice(thirds, func(i, j int) bool { return thirds[i] < thirds[j] })
+	slices.Sort(thirds)
 	for _, w := range thirds[:k] {
 		set[graph.NewTriangle(e.U, e.V, w)] = true
 	}

@@ -13,6 +13,7 @@ package events
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"trikcore/internal/core"
@@ -112,7 +113,7 @@ func CommunitiesAt(g *graph.Graph, k int32) []Community {
 				}
 			}
 		}
-		sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+		slices.Sort(verts)
 		out = append(out, Community{Vertices: verts, Edges: len(edges)})
 	}
 	return out
@@ -158,10 +159,10 @@ func Detect(old, new []Community, opts Options) []Event {
 		}
 	}
 	for _, s := range oldTo {
-		sort.Ints(s)
+		slices.Sort(s)
 	}
 	for _, s := range newTo {
-		sort.Ints(s)
+		slices.Sort(s)
 	}
 
 	// Classify connected groups of the relation graph. Walk each
@@ -221,8 +222,8 @@ func component(i int, oldTo, newTo [][]int, seenOld, seenNew []bool) (os, ns []i
 			}
 		}
 	}
-	sort.Ints(os)
-	sort.Ints(ns)
+	slices.Sort(os)
+	slices.Sort(ns)
 	return os, ns
 }
 

@@ -11,7 +11,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 
 	"trikcore/internal/dataset"
 	"trikcore/internal/graph"
@@ -154,6 +154,6 @@ func overlap[T comparable](a, b []T) int {
 // sortedCopy returns a sorted copy of xs.
 func sortedCopy[T ~int32](xs []T) []T {
 	out := append([]T(nil), xs...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -33,6 +33,61 @@ func FuzzReadEdgeList(f *testing.F) {
 	})
 }
 
+// FuzzFreezeStatic feeds parsed edge lists through the parallel CSR build
+// and checks the frozen view's structural invariants: row/edge counts
+// match the source graph, every AdjEdgeID entry round-trips through
+// EdgeIndex, and per-edge Support sums to three times TriangleCount.
+func FuzzFreezeStatic(f *testing.F) {
+	f.Add("1 2\n2 3\n3 1\n")
+	f.Add("0 1\n")
+	f.Add("")
+	f.Add("5 1\n5 2\n5 3\n1 2\n2 3\n1 3\n")
+	f.Add("10 20\n20 30\n30 10\n10 40\n40 20\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(bytes.NewReader([]byte(input)))
+		if err != nil {
+			return
+		}
+		s := FreezeStatic(g)
+		if s.NumVertices() != g.NumVertices() || s.NumEdges() != g.NumEdges() {
+			t.Fatalf("view %d/%d vs graph %d/%d vertices/edges",
+				s.NumVertices(), s.NumEdges(), g.NumVertices(), g.NumEdges())
+		}
+		var supportSum int64
+		for i := int32(0); i < int32(s.NumEdges()); i++ {
+			u, v := s.EdgeU[i], s.EdgeV[i]
+			if u >= v {
+				t.Fatalf("edge %d not canonical: (%d,%d)", i, u, v)
+			}
+			if got := s.EdgeIndex(u, v); got != i {
+				t.Fatalf("EdgeIndex(%d,%d) = %d, want %d", u, v, got, i)
+			}
+			e := s.EdgeAt(i)
+			if want := g.SupportE(e); s.Support(i) != want {
+				t.Fatalf("Support(%v) = %d, graph says %d", e, s.Support(i), want)
+			}
+			supportSum += int64(s.Support(i))
+		}
+		if supportSum != 3*s.TriangleCount() {
+			t.Fatalf("support sum %d != 3×%d triangles", supportSum, s.TriangleCount())
+		}
+		for u := int32(0); u < int32(s.NumVertices()); u++ {
+			row := s.Neighbors(u)
+			for k, w := range row {
+				id := s.AdjEdgeID[s.RowPtr[u]+int32(k)]
+				a, b := u, w
+				if a > b {
+					a, b = b, a
+				}
+				if s.EdgeU[id] != a || s.EdgeV[id] != b {
+					t.Fatalf("AdjEdgeID[%d] of row %d = edge %d (%d,%d), want (%d,%d)",
+						k, u, id, s.EdgeU[id], s.EdgeV[id], a, b)
+				}
+			}
+		}
+	})
+}
+
 // FuzzReadBinary checks the binary parser never panics and that every
 // accepted snapshot round-trips bit-exactly.
 func FuzzReadBinary(f *testing.F) {

@@ -15,7 +15,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Vertex identifies a graph vertex. Identifiers are arbitrary non-negative
@@ -66,6 +66,14 @@ func (e Edge) Less(o Edge) bool {
 		return e.U < o.U
 	}
 	return e.V < o.V
+}
+
+// compareEdges is the three-way form of Edge.Less for slices.SortFunc.
+func compareEdges(a, b Edge) int {
+	if a.U != b.U {
+		return int(a.U) - int(b.U)
+	}
+	return int(a.V) - int(b.V)
 }
 
 // Triangle is an unordered vertex triple in canonical form (A < B < C).
@@ -247,7 +255,7 @@ func (g *Graph) NeighborsSorted(v Vertex) []Vertex {
 	for w := range nbrs {
 		out = append(out, w)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -257,7 +265,7 @@ func (g *Graph) Vertices() []Vertex {
 	for v := range g.adj {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -281,7 +289,7 @@ func (g *Graph) Edges() []Edge {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	slices.SortFunc(out, compareEdges)
 	return out
 }
 
@@ -324,7 +332,7 @@ func (g *Graph) CommonNeighbors(u, v Vertex) []Vertex {
 		out = append(out, w)
 		return true
 	})
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -346,6 +354,17 @@ func (g *Graph) SupportE(e Edge) int { return g.Support(e.U, e.V) }
 func (g *Graph) ForEachTriangleOn(u, v Vertex, fn func(t Triangle) bool) {
 	g.ForEachCommonNeighbor(u, v, func(w Vertex) bool {
 		return fn(NewTriangle(u, v, w))
+	})
+}
+
+// ForEachTriangleEdge calls fn for every triangle on the edge {u, v},
+// passing the third vertex and the triangle's other two edges {u, w} and
+// {v, w} in canonical form — the mutable-graph counterpart of
+// Static.ForEachTriangleEdge. Order is unspecified. If fn returns false
+// the iteration stops early.
+func (g *Graph) ForEachTriangleEdge(u, v Vertex, fn func(w Vertex, e1, e2 Edge) bool) {
+	g.ForEachCommonNeighbor(u, v, func(w Vertex) bool {
+		return fn(w, NewEdge(u, w), NewEdge(v, w))
 	})
 }
 

@@ -1,0 +1,134 @@
+package graph
+
+// LiveAdj is a mutable copy of a Static view's adjacency that supports
+// removing edges as a peeling algorithm processes them. Rows stay sorted,
+// so common-neighbor merges keep working — but they scan only the edges
+// still live, which is what turns Algorithm 1's triangle visits from
+// O(Σ d_u + d_v) over full rows into merges that shrink as the peel
+// progresses. An entry w in u's live row exists exactly while the edge
+// {u, w} is unremoved, so a triangle found by merging two live rows is
+// guaranteed to consist of live edges only — no processed-edge checks
+// needed in the inner loop.
+//
+// Each entry packs (neighbor << 32 | edge id) into one int64, so the
+// merge streams a single array and a removal is a single memmove. Packing
+// preserves per-row order because neighbors are unique within a row.
+type LiveAdj struct {
+	s   *Static
+	row []int64 // packed (nbr<<32 | edge id), live prefix per vertex
+	end []int32 // per-vertex live end: u's live row is row[s.RowPtr[u]:end[u]]
+}
+
+func packLive(w, eid int32) int64 { return int64(w)<<32 | int64(uint32(eid)) }
+
+// NewLiveAdj returns a fresh live adjacency over s. The Static view is
+// not modified; each LiveAdj owns its row storage.
+func NewLiveAdj(s *Static) *LiveAdj {
+	la := &LiveAdj{
+		s:   s,
+		row: make([]int64, len(s.AdjNbr)),
+		end: make([]int32, s.NumVertices()),
+	}
+	for p, w := range s.AdjNbr {
+		la.row[p] = packLive(w, s.AdjEdgeID[p])
+	}
+	for u := range la.end {
+		la.end[u] = s.RowPtr[u+1]
+	}
+	return la
+}
+
+// RemoveEdge deletes edge i from both endpoint rows. Callers are expected
+// to remove each edge once.
+func (la *LiveAdj) RemoveEdge(i int32) {
+	u, v := la.s.EdgeU[i], la.s.EdgeV[i]
+	la.removeFromRow(u, v)
+	la.removeFromRow(v, u)
+}
+
+// searchRow binary-searches for neighbor w in la.row[lo:hi], returning
+// the insertion point within [lo, hi] and whether the entry there is w.
+func (la *LiveAdj) searchRow(lo, hi, w int32) (int32, bool) {
+	key := int64(w) << 32
+	a := la.row
+	end := hi
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if a[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < end && a[lo]>>32 == int64(w)
+}
+
+// removeFromRow deletes w from u's live row, preserving sort order with a
+// tail shift (cheap: rows are short by the time heavy vertices peel, and
+// the shift is a single memmove of packed entries).
+func (la *LiveAdj) removeFromRow(u, w int32) {
+	lo, hi := la.s.RowPtr[u], la.end[u]
+	at, ok := la.searchRow(lo, hi, w)
+	if !ok {
+		return
+	}
+	copy(la.row[at:hi-1], la.row[at+1:hi])
+	la.end[u] = hi - 1
+}
+
+// Degree returns the number of live edges on dense vertex u.
+func (la *LiveAdj) Degree(u int32) int { return int(la.end[u] - la.s.RowPtr[u]) }
+
+// ForEachTriangleEdge calls fn for each triangle {u, v, w} whose edges
+// {u, w} and {v, w} are both live, passing w (ascending) and the two
+// dense edge ids. Balanced rows are intersected by linear merge; badly
+// skewed pairs (a low-degree vertex peeled against a still-fat hub row,
+// the common case early in a power-law peel) switch to binary search over
+// the larger row, turning O(d_u + d_v) into O(d_min · log d_max). If fn
+// returns false the iteration stops.
+func (la *LiveAdj) ForEachTriangleEdge(u, v int32, fn func(w, e1, e2 int32) bool) {
+	i, iEnd := la.s.RowPtr[u], la.end[u]
+	j, jEnd := la.s.RowPtr[v], la.end[v]
+	a := la.row
+	du, dv := iEnd-i, jEnd-j
+	if du > 16*dv || dv > 16*du {
+		// Probe with the smaller row; swap yields e1/e2 back into
+		// {u,w}/{v,w} order when the roles flip.
+		swapped := du > dv
+		if swapped {
+			i, iEnd, j, jEnd = j, jEnd, i, iEnd
+		}
+		for ; i < iEnd && j < jEnd; i++ {
+			w := int32(a[i] >> 32)
+			at, ok := la.searchRow(j, jEnd, w)
+			j = at // insertion point: everything before it sorts below w
+			if !ok {
+				continue
+			}
+			e1, e2 := int32(uint32(a[i])), int32(uint32(a[j]))
+			if swapped {
+				e1, e2 = e2, e1
+			}
+			if !fn(w, e1, e2) {
+				return
+			}
+			j++
+		}
+		return
+	}
+	for i < iEnd && j < jEnd {
+		x, y := a[i]>>32, a[j]>>32
+		switch {
+		case x < y:
+			i++
+		case x > y:
+			j++
+		default:
+			if !fn(int32(x), int32(uint32(a[i])), int32(uint32(a[j]))) {
+				return
+			}
+			i++
+			j++
+		}
+	}
+}

@@ -1,6 +1,6 @@
 package graph
 
-import "sort"
+import "slices"
 
 // TriangleCount returns the total number of triangles in g. It iterates
 // every edge and intersects endpoint neighborhoods, so it runs in
@@ -80,7 +80,7 @@ func ConnectedComponents(g *Graph) [][]Vertex {
 				return true
 			})
 		}
-		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		slices.Sort(comp)
 		comps = append(comps, comp)
 	}
 	return comps

@@ -1,6 +1,6 @@
 package graph
 
-import "sort"
+import "slices"
 
 // Diff describes the edit between two graph snapshots. Added entries exist
 // in the new snapshot but not the old; Removed entries exist only in the
@@ -39,10 +39,10 @@ func DiffGraphs(old, new *Graph) Diff {
 		}
 		return true
 	})
-	sort.Slice(d.AddedEdges, func(i, j int) bool { return d.AddedEdges[i].Less(d.AddedEdges[j]) })
-	sort.Slice(d.RemovedEdges, func(i, j int) bool { return d.RemovedEdges[i].Less(d.RemovedEdges[j]) })
-	sort.Slice(d.AddedVertices, func(i, j int) bool { return d.AddedVertices[i] < d.AddedVertices[j] })
-	sort.Slice(d.RemovedVertices, func(i, j int) bool { return d.RemovedVertices[i] < d.RemovedVertices[j] })
+	slices.SortFunc(d.AddedEdges, compareEdges)
+	slices.SortFunc(d.RemovedEdges, compareEdges)
+	slices.Sort(d.AddedVertices)
+	slices.Sort(d.RemovedVertices)
 	return d
 }
 

@@ -1,66 +1,212 @@
 package graph
 
-import "sort"
+import (
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
 
-// Static is an immutable, array-based view of a Graph optimized for bulk
-// algorithms. Vertices are relabeled to dense positions 0..N-1 and
-// adjacency lists are sorted, enabling cache-friendly iteration and
-// merge-based common-neighbor intersection. Edges carry dense indices
-// 0..M-1 so per-edge algorithm state can live in flat slices.
+// Static is an immutable, flat CSR view of a Graph optimized for bulk
+// algorithms. Vertices are relabeled to dense positions 0..N-1 and the
+// adjacency of all vertices lives in one shared neighbor array, sorted
+// per row, enabling cache-friendly iteration and merge-based
+// common-neighbor intersection. Edges carry dense indices 0..M-1 so
+// per-edge algorithm state can live in flat slices; the AdjEdgeID array,
+// parallel to AdjNbr, lets the triangle kernel hand those indices back
+// without any lookup structure.
+//
+// Edge ids are assigned in lexicographic (u, v) order of dense endpoint
+// pairs with u < v, which (because dense positions preserve the sorted
+// order of original ids) is also the order Graph.Edges returns.
 type Static struct {
 	// OrigID maps a dense position back to the original vertex id.
 	OrigID []Vertex
 	// Pos maps an original vertex id to its dense position.
 	Pos map[Vertex]int32
-	// Adj holds, for each dense vertex position, its neighbors as sorted
-	// dense positions.
-	Adj [][]int32
+	// RowPtr has N+1 entries; the neighbors of dense vertex u occupy
+	// AdjNbr[RowPtr[u]:RowPtr[u+1]], sorted ascending.
+	RowPtr []int32
+	// AdjNbr holds all adjacency rows concatenated (2M entries).
+	AdjNbr []int32
+	// AdjEdgeID is parallel to AdjNbr: AdjEdgeID[p] is the dense edge id
+	// of the edge between the row's vertex and AdjNbr[p].
+	AdjEdgeID []int32
 	// EdgeU and EdgeV hold the endpoints (dense positions, EdgeU < EdgeV)
 	// of edge i.
 	EdgeU, EdgeV []int32
-	// edgeIdx maps a packed (u<<32|v) dense endpoint pair (u < v) to the
-	// edge index.
-	edgeIdx map[uint64]int32
+	// OutPtr/OutNbr/OutEdgeID are the degree-oriented half of the
+	// adjacency: OutNbr[OutPtr[u]:OutPtr[u+1]] holds, sorted, the
+	// neighbors of u ranked above it (by degree, ties by position), with
+	// OutEdgeID parallel. Every triangle appears exactly once as an edge
+	// {u, v} plus a common out-neighbor of u and v, which is what makes
+	// once-per-triangle listing (ForEachOrientedTriangle) cheap: oriented
+	// rows are bounded by O(√M) on any graph.
+	OutPtr, OutNbr, OutEdgeID []int32
 }
 
+// freezeBlock is the vertex-block granularity of the parallel CSR build;
+// small enough to balance power-law rows, large enough to amortize the
+// atomic fetch.
+const freezeBlock = 256
+
 // FreezeStatic builds a Static view of g. The view shares nothing with g;
-// later mutation of g does not affect it.
+// later mutation of g does not affect it. Row filling, sorting and edge-id
+// assignment run in parallel over vertex blocks.
 func FreezeStatic(g *Graph) *Static {
 	verts := g.Vertices()
+	n := len(verts)
 	s := &Static{
 		OrigID: verts,
-		Pos:    make(map[Vertex]int32, len(verts)),
-		Adj:    make([][]int32, len(verts)),
+		Pos:    make(map[Vertex]int32, n),
+		RowPtr: make([]int32, n+1),
 	}
 	for i, v := range verts {
 		s.Pos[v] = int32(i)
 	}
-	m := g.NumEdges()
-	s.EdgeU = make([]int32, 0, m)
-	s.EdgeV = make([]int32, 0, m)
-	s.edgeIdx = make(map[uint64]int32, m)
 	for i, v := range verts {
-		deg := g.Degree(v)
-		nbrs := make([]int32, 0, deg)
-		g.ForEachNeighbor(v, func(w Vertex) bool {
-			nbrs = append(nbrs, s.Pos[w])
-			return true
-		})
-		sort.Slice(nbrs, func(a, b int) bool { return nbrs[a] < nbrs[b] })
-		s.Adj[i] = nbrs
-		u := int32(i)
-		for _, w := range nbrs {
-			if u < w {
-				s.edgeIdx[pack(u, w)] = int32(len(s.EdgeU))
-				s.EdgeU = append(s.EdgeU, u)
-				s.EdgeV = append(s.EdgeV, w)
+		s.RowPtr[i+1] = s.RowPtr[i] + int32(g.Degree(v))
+	}
+	m := g.NumEdges()
+	s.AdjNbr = make([]int32, 2*m)
+	s.AdjEdgeID = make([]int32, 2*m)
+	s.EdgeU = make([]int32, m)
+	s.EdgeV = make([]int32, m)
+
+	// Pass 1: fill each row with dense neighbor positions and sort it.
+	// Concurrent reads of g's maps are safe.
+	parallelBlocks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := s.AdjNbr[s.RowPtr[i]:s.RowPtr[i+1]]
+			k := 0
+			g.ForEachNeighbor(verts[i], func(w Vertex) bool {
+				row[k] = s.Pos[w]
+				k++
+				return true
+			})
+			slices.Sort(row)
+		}
+	})
+
+	// edgeStart[u] is the id of the first edge whose lower endpoint is u:
+	// count each row's upper neighbors in parallel, then prefix-sum.
+	edgeStart := make([]int32, n+1)
+	parallelBlocks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := s.AdjNbr[s.RowPtr[i]:s.RowPtr[i+1]]
+			split, _ := slices.BinarySearch(row, int32(i))
+			edgeStart[i+1] = int32(len(row) - split)
+		}
+	})
+	for i := 0; i < n; i++ {
+		edgeStart[i+1] += edgeStart[i]
+	}
+
+	// Pass 2: assign edge ids. Entries w > u in row u get consecutive ids
+	// from edgeStart[u] (and define EdgeU/EdgeV); entries w < u mirror the
+	// id assigned in row w, recovered by ranking u within that row. Each
+	// worker writes only its own rows' AdjEdgeID entries and the EdgeU/V
+	// slots its rows own, so the passes are data-race free.
+	parallelBlocks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := int32(i)
+			base := s.RowPtr[i]
+			row := s.AdjNbr[base:s.RowPtr[i+1]]
+			split, _ := slices.BinarySearch(row, u)
+			for k, w := range row {
+				if w > u {
+					id := edgeStart[i] + int32(k-split)
+					s.AdjEdgeID[base+int32(k)] = id
+					s.EdgeU[id] = u
+					s.EdgeV[id] = w
+				} else {
+					wrow := s.AdjNbr[s.RowPtr[w]:s.RowPtr[w+1]]
+					wsplit, _ := slices.BinarySearch(wrow, w)
+					pos, _ := slices.BinarySearch(wrow, u)
+					s.AdjEdgeID[base+int32(k)] = edgeStart[w] + int32(pos-wsplit)
+				}
 			}
 		}
+	})
+
+	// Pass 3: the oriented half. Count, prefix-sum, then filter each row
+	// down to its higher-ranked neighbors.
+	s.OutPtr = make([]int32, n+1)
+	parallelBlocks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := int32(i)
+			c := int32(0)
+			for _, w := range s.Neighbors(u) {
+				if s.rankLess(u, w) {
+					c++
+				}
+			}
+			s.OutPtr[i+1] = c
+		}
+	})
+	for i := 0; i < n; i++ {
+		s.OutPtr[i+1] += s.OutPtr[i]
 	}
+	s.OutNbr = make([]int32, m)
+	s.OutEdgeID = make([]int32, m)
+	parallelBlocks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := int32(i)
+			base := s.RowPtr[i]
+			p := s.OutPtr[i]
+			for k, w := range s.Neighbors(u) {
+				if s.rankLess(u, w) {
+					s.OutNbr[p] = w
+					s.OutEdgeID[p] = s.AdjEdgeID[base+int32(k)]
+					p++
+				}
+			}
+		}
+	})
 	return s
 }
 
-func pack(u, v int32) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
+// rankLess is the degree orientation: u ranks below w when it has smaller
+// degree, ties broken by dense position. Orienting every edge from lower
+// to higher rank makes each triangle the out-wedge of exactly one edge.
+func (s *Static) rankLess(u, w int32) bool {
+	du, dw := s.RowPtr[u+1]-s.RowPtr[u], s.RowPtr[w+1]-s.RowPtr[w]
+	if du != dw {
+		return du < dw
+	}
+	return u < w
+}
+
+// parallelBlocks runs fn over [0, n) split into fixed-size blocks handed
+// out through an atomic counter, so uneven (power-law) block costs
+// self-balance across GOMAXPROCS workers. Small inputs run inline.
+func parallelBlocks(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || n < 4*freezeBlock {
+		fn(0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(freezeBlock)) - freezeBlock
+				if lo >= n {
+					return
+				}
+				hi := lo + freezeBlock
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // NumVertices returns the number of vertices in the view.
 func (s *Static) NumVertices() int { return len(s.OrigID) }
@@ -68,14 +214,23 @@ func (s *Static) NumVertices() int { return len(s.OrigID) }
 // NumEdges returns the number of edges in the view.
 func (s *Static) NumEdges() int { return len(s.EdgeU) }
 
+// Neighbors returns the sorted dense neighbor row of dense position u.
+// The slice aliases the view's storage and must not be modified.
+func (s *Static) Neighbors(u int32) []int32 {
+	return s.AdjNbr[s.RowPtr[u]:s.RowPtr[u+1]]
+}
+
 // EdgeIndex returns the dense index of the edge between dense positions u
-// and v, or -1 if no such edge exists.
+// and v, or -1 if no such edge exists, by binary search over the smaller
+// of the two adjacency rows.
 func (s *Static) EdgeIndex(u, v int32) int32 {
-	if u > v {
+	if s.RowPtr[u+1]-s.RowPtr[u] > s.RowPtr[v+1]-s.RowPtr[v] {
 		u, v = v, u
 	}
-	if i, ok := s.edgeIdx[pack(u, v)]; ok {
-		return i
+	base := s.RowPtr[u]
+	row := s.AdjNbr[base:s.RowPtr[u+1]]
+	if j, ok := slices.BinarySearch(row, v); ok {
+		return s.AdjEdgeID[base+int32(j)]
 	}
 	return -1
 }
@@ -86,22 +241,24 @@ func (s *Static) EdgeAt(i int32) Edge {
 }
 
 // Degree returns the degree of the vertex at dense position u.
-func (s *Static) Degree(u int32) int { return len(s.Adj[u]) }
+func (s *Static) Degree(u int32) int { return int(s.RowPtr[u+1] - s.RowPtr[u]) }
 
 // ForEachCommonNeighbor calls fn for each common neighbor (dense position)
 // of dense positions u and v, in ascending order, using a linear merge of
-// the two sorted adjacency lists. If fn returns false the iteration stops.
+// the two sorted adjacency rows. If fn returns false the iteration stops.
 func (s *Static) ForEachCommonNeighbor(u, v int32, fn func(w int32) bool) {
-	a, b := s.Adj[u], s.Adj[v]
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
+	i, iEnd := s.RowPtr[u], s.RowPtr[u+1]
+	j, jEnd := s.RowPtr[v], s.RowPtr[v+1]
+	a := s.AdjNbr
+	for i < iEnd && j < jEnd {
+		x, y := a[i], a[j]
 		switch {
-		case a[i] < b[j]:
+		case x < y:
 			i++
-		case a[i] > b[j]:
+		case x > y:
 			j++
 		default:
-			if !fn(a[i]) {
+			if !fn(x) {
 				return
 			}
 			i++
@@ -110,19 +267,126 @@ func (s *Static) ForEachCommonNeighbor(u, v int32, fn func(w int32) bool) {
 	}
 }
 
+// ForEachTriangleEdge calls fn for each triangle {u, v, w} on the edge
+// between dense positions u and v, passing the third vertex w (ascending)
+// and the dense edge ids e1 = {u, w} and e2 = {v, w} read directly from
+// the AdjEdgeID array — the map-free kernel of Algorithm 1. If fn returns
+// false the iteration stops.
+func (s *Static) ForEachTriangleEdge(u, v int32, fn func(w, e1, e2 int32) bool) {
+	i, iEnd := s.RowPtr[u], s.RowPtr[u+1]
+	j, jEnd := s.RowPtr[v], s.RowPtr[v+1]
+	a, id := s.AdjNbr, s.AdjEdgeID
+	for i < iEnd && j < jEnd {
+		x, y := a[i], a[j]
+		switch {
+		case x < y:
+			i++
+		case x > y:
+			j++
+		default:
+			if !fn(x, id[i], id[j]) {
+				return
+			}
+			i++
+			j++
+		}
+	}
+}
+
+// ForEachOrientedTriangle calls fn for each triangle whose two
+// lowest-ranked vertices are the endpoints of edge i, passing the dense
+// edge ids of the triangle's other two edges. Across all edges this
+// yields every triangle of the graph exactly once — the once-per-triangle
+// listing that bulk support computation uses to avoid visiting each
+// triangle three times. If fn returns false the iteration stops.
+func (s *Static) ForEachOrientedTriangle(i int32, fn func(e1, e2 int32) bool) {
+	u, v := s.EdgeU[i], s.EdgeV[i]
+	p, pEnd := s.OutPtr[u], s.OutPtr[u+1]
+	q, qEnd := s.OutPtr[v], s.OutPtr[v+1]
+	a, id := s.OutNbr, s.OutEdgeID
+	for p < pEnd && q < qEnd {
+		x, y := a[p], a[q]
+		switch {
+		case x < y:
+			p++
+		case x > y:
+			q++
+		default:
+			if !fn(id[p], id[q]) {
+				return
+			}
+			p++
+			q++
+		}
+	}
+}
+
 // Support returns the number of triangles containing edge i.
 func (s *Static) Support(i int32) int {
+	return s.countCommon(s.EdgeU[i], s.EdgeV[i])
+}
+
+// countCommon counts |N(u) ∩ N(v)| over the sorted rows, iterating the
+// smaller row first. When the rows are badly skewed (power-law hubs) it
+// binary-searches the larger row per element instead of merging, turning
+// O(d_u + d_v) into O(d_min · log d_max).
+func (s *Static) countCommon(u, v int32) int {
+	a, b := s.Neighbors(u), s.Neighbors(v)
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return 0
+	}
 	n := 0
-	s.ForEachCommonNeighbor(s.EdgeU[i], s.EdgeV[i], func(int32) bool { n++; return true })
+	if len(b) >= 16*len(a) {
+		for _, w := range a {
+			if _, ok := slices.BinarySearch(b, w); ok {
+				n++
+			}
+		}
+		return n
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		switch {
+		case x < y:
+			i++
+		case x > y:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
 	return n
 }
 
-// TriangleCount returns the total number of triangles in the graph,
-// computed as the sum of edge supports divided by three.
+// TriangleCount returns the total number of triangles in the graph using
+// the oriented listing, which touches each triangle once instead of
+// summing per-edge supports (three visits per triangle).
 func (s *Static) TriangleCount() int64 {
 	var sum int64
 	for i := range s.EdgeU {
-		sum += int64(s.Support(int32(i)))
+		u, v := s.EdgeU[i], s.EdgeV[i]
+		p, pEnd := s.OutPtr[u], s.OutPtr[u+1]
+		q, qEnd := s.OutPtr[v], s.OutPtr[v+1]
+		a := s.OutNbr
+		for p < pEnd && q < qEnd {
+			x, y := a[p], a[q]
+			switch {
+			case x < y:
+				p++
+			case x > y:
+				q++
+			default:
+				sum++
+				p++
+				q++
+			}
+		}
 	}
-	return sum / 3
+	return sum
 }

@@ -48,7 +48,7 @@ func Decompose(g *graph.Graph) *Decomposition {
 		if int(deg) > d.MaxCore {
 			d.MaxCore = int(deg)
 		}
-		for _, w := range s.Adj[v] {
+		for _, w := range s.Neighbors(v) {
 			if !q.Popped(w) && q.Val(w) > deg {
 				q.Dec(w)
 			}

@@ -5,7 +5,7 @@
 package reference
 
 import (
-	"sort"
+	"slices"
 
 	"trikcore/internal/graph"
 )
@@ -147,17 +147,9 @@ func CoCliqueSize(g *graph.Graph, e graph.Edge) int {
 // sortCliques sorts each clique ascending and the list lexicographically.
 func sortCliques(cliques [][]graph.Vertex) {
 	for _, c := range cliques {
-		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		slices.Sort(c)
 	}
-	sort.Slice(cliques, func(i, j int) bool {
-		a, b := cliques[i], cliques[j]
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return len(a) < len(b)
-	})
+	slices.SortFunc(cliques, slices.Compare)
 }
 
 // SortCliques is the exported form used by tests of other packages to

@@ -21,7 +21,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
+	"slices"
 	"strconv"
 	"sync"
 
@@ -252,7 +252,7 @@ func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 		}
-		sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+		slices.Sort(verts)
 		out = append(out, CommunityReply{Edges: len(edges), Vertices: verts})
 	}
 	writeJSON(w, out)
