@@ -19,7 +19,7 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkFreezeStatic$$|BenchmarkDecomposeStatic$$|BenchmarkTriangleCountStatic$$' -benchmem -benchtime 3s .
+	$(GO) test -run '^$$' -bench 'BenchmarkFreezeStatic$$|BenchmarkDecomposeStatic$$|BenchmarkTriangleCountStatic$$|BenchmarkEngineChurn$$' -benchmem -benchtime 3s .
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFreezeStatic -fuzztime 30s ./internal/graph

@@ -141,7 +141,7 @@ func BenchmarkEngineInsertDelete_PPI(b *testing.B) {
 		if u == v {
 			continue
 		}
-		if en.Graph().HasEdge(u, v) {
+		if en.HasEdge(u, v) {
 			en.DeleteEdge(u, v)
 			en.InsertEdge(u, v)
 		} else {
@@ -312,12 +312,83 @@ func BenchmarkAblation_IncrementalToggle_Astro(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		u := verts[rng.Intn(len(verts))]
 		v := verts[rng.Intn(len(verts))]
-		if u == v || en.Graph().HasEdge(u, v) {
+		if u == v || en.HasEdge(u, v) {
 			continue
 		}
 		en.InsertEdge(u, v)
 		en.DeleteEdge(u, v)
 	}
+}
+
+// BenchmarkEngineChurn measures a full 1% churn round on the Astro
+// fixture — delete 1%/2 existing edges, insert 1%/2 fresh ones, then
+// apply the inverse ops so every iteration starts from the same graph —
+// through the per-edge entry points versus one ApplyBatch per direction.
+func BenchmarkEngineChurn(b *testing.B) {
+	_, astro := fixtures()
+	rng := rand.New(rand.NewSource(9))
+	changed := astro.NumEdges() / 100
+	changed -= changed % 2
+	half := changed / 2
+
+	edges := astro.Edges()
+	perm := rng.Perm(len(edges))
+	dels := make([]graph.Edge, half)
+	for i := range dels {
+		dels[i] = edges[perm[i]]
+	}
+	verts := astro.Vertices()
+	seen := map[graph.Edge]bool{}
+	var adds []graph.Edge
+	for len(adds) < half {
+		u := verts[rng.Intn(len(verts))]
+		v := verts[rng.Intn(len(verts))]
+		if u == v {
+			continue
+		}
+		e := graph.NewEdge(u, v)
+		if astro.HasEdgeE(e) || seen[e] {
+			continue
+		}
+		seen[e] = true
+		adds = append(adds, e)
+	}
+	fwd := make([]dynamic.EdgeOp, 0, changed)
+	inv := make([]dynamic.EdgeOp, 0, changed)
+	for _, e := range dels {
+		fwd = append(fwd, dynamic.EdgeOp{U: e.U, V: e.V, Del: true})
+		inv = append(inv, dynamic.EdgeOp{U: e.U, V: e.V})
+	}
+	for _, e := range adds {
+		fwd = append(fwd, dynamic.EdgeOp{U: e.U, V: e.V})
+		inv = append(inv, dynamic.EdgeOp{U: e.U, V: e.V, Del: true})
+	}
+
+	b.Run("PerEdge", func(b *testing.B) {
+		en := dynamic.NewEngine(astro)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, ops := range [2][]dynamic.EdgeOp{fwd, inv} {
+				for _, op := range ops {
+					if op.Del {
+						en.DeleteEdge(op.U, op.V)
+					} else {
+						en.InsertEdge(op.U, op.V)
+					}
+				}
+			}
+		}
+	})
+	b.Run("Batched", func(b *testing.B) {
+		en := dynamic.NewEngine(astro)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			en.ApplyBatch(fwd)
+			en.ApplyBatch(inv)
+		}
+	})
 }
 
 // --- CSR kernel benchmarks (ISSUE 1) --------------------------------------
@@ -392,7 +463,7 @@ func BenchmarkTrackedEngineToggle_PPI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		u := verts[rng.Intn(len(verts))]
 		v := verts[rng.Intn(len(verts))]
-		if u == v || te.Graph().HasEdge(u, v) {
+		if u == v || te.HasEdge(u, v) {
 			continue
 		}
 		te.InsertEdge(u, v)

@@ -194,12 +194,14 @@ func cmdUpdate(args []string) error {
 	if err != nil {
 		return err
 	}
-	en := trikcore.NewEngine(g)
 	f, err := os.Open(*ops)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	// Parse the whole ops file into one batch; ApplyBatch dedups repeated
+	// mentions of an edge (last op wins) and applies deletions first.
+	var batch []trikcore.EdgeOp
 	sc := bufio.NewScanner(f)
 	line := 0
 	for sc.Scan() {
@@ -217,11 +219,14 @@ func cmdUpdate(args []string) error {
 		if err1 != nil || err2 != nil {
 			return fmt.Errorf("ops line %d: bad vertex", line)
 		}
+		if u == v {
+			return fmt.Errorf("ops line %d: self-loop on vertex %d", line, u)
+		}
 		switch fields[0] {
 		case "+":
-			en.InsertEdge(trikcore.Vertex(u), trikcore.Vertex(v))
+			batch = append(batch, trikcore.EdgeOp{U: trikcore.Vertex(u), V: trikcore.Vertex(v)})
 		case "-":
-			en.DeleteEdge(trikcore.Vertex(u), trikcore.Vertex(v))
+			batch = append(batch, trikcore.EdgeOp{U: trikcore.Vertex(u), V: trikcore.Vertex(v), Del: true})
 		default:
 			return fmt.Errorf("ops line %d: unknown op %q", line, fields[0])
 		}
@@ -229,11 +234,13 @@ func cmdUpdate(args []string) error {
 	if err := sc.Err(); err != nil {
 		return err
 	}
+	en := trikcore.NewEngine(g)
+	added, removed := en.ApplyBatch(batch)
 	st := en.Stats()
-	fmt.Printf("applied %d insertions, %d deletions\n", st.Insertions, st.Deletions)
+	fmt.Printf("applied %d insertions, %d deletions\n", added, removed)
 	fmt.Printf("triangles processed: %d, edges visited: %d\n", st.TrianglesProcessed, st.EdgesVisited)
 	fmt.Printf("promotions: %d, demotions: %d\n", st.Promotions, st.Demotions)
-	fmt.Printf("edges now: %d, max κ: %d\n", en.Graph().NumEdges(), en.MaxKappa())
+	fmt.Printf("edges now: %d, max κ: %d\n", en.NumEdges(), en.MaxKappa())
 	return nil
 }
 

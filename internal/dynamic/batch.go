@@ -1,0 +1,86 @@
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+
+	"trikcore/internal/graph"
+)
+
+// EdgeOp is one edge-level operation of a batched update: insert {U, V}
+// (Del false) or delete it (Del true). Endpoint order does not matter.
+type EdgeOp struct {
+	U, V graph.Vertex
+	Del  bool
+}
+
+// ApplyBatch applies a batch of edge operations as one update, returning
+// how many edges were actually inserted and deleted.
+//
+// The batch is applied by net effect: operations are canonicalized and
+// sorted by edge, conflicting operations on the same edge collapse to the
+// last one in batch order, and the surviving deletions run before the
+// surviving insertions. Because toggling an edge is idempotent against its
+// final state, the resulting graph — and therefore every maintained κ —
+// is identical to applying the operations one at a time in order; only
+// the work of intermediate toggles is skipped. Counts reflect the edges
+// whose presence actually changed, so a batch that inserts and then
+// deletes an absent edge reports neither.
+//
+// Beyond dedup, batching amortizes the engine's traversal and triangle
+// scratch buffers across the whole batch instead of touching fresh
+// per-operation buffers, which is where its allocation advantage over
+// per-edge InsertEdge/DeleteEdge calls comes from. It panics on self-loop
+// operations, like InsertEdge.
+func (en *Engine) ApplyBatch(ops []EdgeOp) (added, removed int) {
+	if len(ops) == 0 {
+		return 0, 0
+	}
+	if cap(en.sc.ops) < len(ops) {
+		en.sc.ops = make([]EdgeOp, 0, len(ops))
+	}
+	buf := en.sc.ops[:0]
+	for _, op := range ops {
+		if op.U == op.V {
+			panic(fmt.Sprintf("dynamic: self-loop on vertex %d", op.U))
+		}
+		if op.U > op.V {
+			op.U, op.V = op.V, op.U
+		}
+		buf = append(buf, op)
+	}
+	// Stable-sort groups ops per edge preserving batch order, so the last
+	// element of each group is the op that wins.
+	sort.SliceStable(buf, func(i, j int) bool {
+		if buf[i].U != buf[j].U {
+			return buf[i].U < buf[j].U
+		}
+		return buf[i].V < buf[j].V
+	})
+	w := 0
+	for i := 0; i < len(buf); i++ {
+		if i+1 < len(buf) && buf[i+1].U == buf[i].U && buf[i+1].V == buf[i].V {
+			continue
+		}
+		buf[w] = buf[i]
+		w++
+	}
+	buf = buf[:w]
+	en.sc.ops = buf
+
+	for _, op := range buf {
+		if op.Del {
+			if en.deleteEdgeCanon(op.U, op.V, &en.sc.tris) {
+				removed++
+			}
+		}
+	}
+	for _, op := range buf {
+		if !op.Del {
+			if en.insertEdgeCanon(op.U, op.V, &en.sc.tris) {
+				added++
+			}
+		}
+	}
+	return added, removed
+}

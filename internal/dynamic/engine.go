@@ -21,6 +21,13 @@
 // locally" procedure; it produces identical κ values (property-tested
 // against full recomputation) without maintaining the sorted edge list and
 // fractional order timestamps of Algorithms 5–7. See DESIGN.md §3.2.
+//
+// All engine state lives on a graph.Dense substrate: κ, traversal marks
+// and the κ-histogram are flat slices indexed by dense edge id, the
+// mid-update "off" triangle set is a generation-stamped vertex array, and
+// traversal scratch is engine-owned and reused across updates. ApplyBatch
+// additionally amortizes the per-edge triangle buffer across a whole batch
+// of operations. See DESIGN.md §6.
 package dynamic
 
 import (
@@ -34,27 +41,54 @@ import (
 // arbitrary interleaved insertions and deletions. It is not safe for
 // concurrent use.
 type Engine struct {
-	g     *graph.Graph
-	kappa map[graph.Edge]int32
-	// off marks triangles that exist combinatorially in g but are
-	// excluded from the active set during a multi-triangle update: not
-	// yet activated (mid-insertion) or already deactivated (mid-deletion).
-	off map[graph.Triangle]bool
+	d *graph.Dense
+	// kappa[eid] is κ of live edge eid; entries of free edge slots are
+	// stale and never read.
+	kappa []int32
+	// hist[k] counts live edges with κ=k; maxK is the largest k with
+	// hist[k] > 0. Both are maintained through every transition, making
+	// MaxKappa and KappaHistogram O(1)/O(maxκ) instead of O(E) scans.
+	hist []int
+	maxK int32
 
-	// onKappaChange, when set, observes every κ transition: promotions
-	// and demotions (old≥0, new≥0), new edges (old=-1) and removed edges
-	// (new=-1). TrackedEngine uses it to maintain explicit core
-	// membership.
-	onKappaChange func(e graph.Edge, old, new int32)
+	// The "off" set: triangles that exist combinatorially but are excluded
+	// from the active set during a multi-triangle update — not yet
+	// activated (mid-insertion) or already deactivated (mid-deletion).
+	// Every off triangle contains the edge being updated, so the set is
+	// just that edge's dense endpoints plus a generation stamp per third
+	// vertex: triangle {offU, offV, w} is off iff offStamp[w] == offGen.
+	// Bumping offGen retires a whole update's stamps in O(1).
+	offU, offV int32
+	offStamp   []uint32
+	offGen     uint32
+
+	sc scratch
+
+	// onKappaChange, when set, observes every κ transition of a dense edge
+	// id: promotions and demotions (old≥0, new≥0), new edges (old=-1) and
+	// removed edges (new=-1; fired while the edge is still live so
+	// observers can read its endpoints). TrackedEngine uses it to maintain
+	// explicit core membership.
+	onKappaChange func(eid int32, old, new int32)
 
 	stats Stats
 }
 
-// notifyKappa invokes the change observer if installed.
-func (en *Engine) notifyKappa(e graph.Edge, old, new int32) {
-	if en.onKappaChange != nil {
-		en.onKappaChange(e, old, new)
-	}
+// scratch is the engine-owned traversal workspace, reused across updates.
+// Arrays indexed by edge id are sized to the dense edge capacity; st and
+// inQueue are reset to zero between steps (via the touched list and queue
+// draining respectively), while es and evictedAt hold garbage outside the
+// step that wrote them and are only read under a nonzero st mark.
+type scratch struct {
+	st        []int8  // insertSearch state per edge id (0 = unseen)
+	es        []int32 // insertSearch effective support
+	evictedAt []int32 // insertSearch eviction stamps
+	inQueue   []bool  // deletion recheck queue membership
+	touched   []int32 // edge ids with nonzero st, for O(step) reset
+	stack     []int32 // insertSearch work stack
+	queue     []int32 // deletion recheck queue
+	tris      []int32 // (w, e1, e2) triples of the updating edge's triangles
+	ops       []EdgeOp
 }
 
 // Stats aggregates work counters across all updates, exposing the locality
@@ -72,123 +106,281 @@ type Stats struct {
 	Promotions, Demotions int
 }
 
-// NewEngine builds an engine over a copy of g, initializing κ with the
-// static decomposition (Algorithm 1). The caller's graph is not retained.
+// NewEngine builds an engine over a private dense copy of g, initializing
+// κ with the static decomposition (Algorithm 1). The caller's graph is not
+// retained. NewDenseFromStatic preserves the decomposition's edge ids, so
+// the κ array is adopted verbatim.
 func NewEngine(g *graph.Graph) *Engine {
+	d := core.Decompose(g)
 	en := &Engine{
-		g:     g.Clone(),
-		kappa: make(map[graph.Edge]int32, g.NumEdges()),
-		off:   make(map[graph.Triangle]bool),
+		d:     graph.NewDenseFromStatic(d.S),
+		kappa: append([]int32(nil), d.Kappa...),
+		maxK:  d.MaxKappa,
+		offU:  -1,
+		offV:  -1,
 	}
-	d := core.Decompose(en.g)
-	for i, k := range d.Kappa {
-		en.kappa[d.S.EdgeAt(int32(i))] = k
+	en.hist = make([]int, en.maxK+1)
+	for _, k := range en.kappa {
+		en.hist[k]++
 	}
+	en.ensureEdgeCap()
+	en.ensureVertexCap()
 	return en
 }
 
-// Graph returns the engine's current graph. Callers must not mutate it;
-// use InsertEdge/DeleteEdge so κ stays consistent.
-func (en *Engine) Graph() *graph.Graph { return en.g }
+// ensureEdgeCap grows all edge-indexed state to the dense edge capacity.
+func (en *Engine) ensureEdgeCap() {
+	c := en.d.EdgeCap()
+	for len(en.kappa) < c {
+		en.kappa = append(en.kappa, 0)
+		en.sc.st = append(en.sc.st, 0)
+		en.sc.es = append(en.sc.es, 0)
+		en.sc.evictedAt = append(en.sc.evictedAt, 0)
+		en.sc.inQueue = append(en.sc.inQueue, false)
+	}
+	// NewEngine seeds kappa before the scratch arrays exist; catch up.
+	for len(en.sc.st) < c {
+		en.sc.st = append(en.sc.st, 0)
+		en.sc.es = append(en.sc.es, 0)
+		en.sc.evictedAt = append(en.sc.evictedAt, 0)
+		en.sc.inQueue = append(en.sc.inQueue, false)
+	}
+}
+
+// ensureVertexCap grows vertex-indexed state to the dense vertex capacity.
+func (en *Engine) ensureVertexCap() {
+	for len(en.offStamp) < en.d.VertexCap() {
+		en.offStamp = append(en.offStamp, 0)
+	}
+}
+
+// transition records a κ change of edge eid (old or new may be -1 for
+// edge creation/removal), maintaining the histogram, maxK and the change
+// observer. It is the single funnel every κ movement goes through.
+func (en *Engine) transition(eid, old, new int32) {
+	if old >= 0 {
+		en.hist[old]--
+	}
+	if new >= 0 {
+		for int32(len(en.hist)) <= new {
+			en.hist = append(en.hist, 0)
+		}
+		en.hist[new]++
+		if new > en.maxK {
+			en.maxK = new
+		}
+	}
+	for en.maxK > 0 && en.hist[en.maxK] == 0 {
+		en.maxK--
+	}
+	if en.onKappaChange != nil {
+		en.onKappaChange(eid, old, new)
+	}
+}
+
+// Graph materializes the engine's current graph as a standalone snapshot;
+// mutating it does not affect the engine. For membership and size queries
+// prefer HasEdge/NumEdges/NumVertices, which read the live substrate.
+func (en *Engine) Graph() *graph.Graph { return en.d.Materialize() }
+
+// HasEdge reports whether the edge {u, v} is present.
+func (en *Engine) HasEdge(u, v graph.Vertex) bool { return en.d.HasEdgeV(u, v) }
+
+// HasVertex reports whether v is present.
+func (en *Engine) HasVertex(v graph.Vertex) bool { return en.d.HasVertex(v) }
+
+// NumEdges returns the number of live edges.
+func (en *Engine) NumEdges() int { return en.d.NumEdges() }
+
+// NumVertices returns the number of live vertices.
+func (en *Engine) NumVertices() int { return en.d.NumVertices() }
 
 // Stats returns cumulative work counters.
 func (en *Engine) Stats() Stats { return en.stats }
 
 // Kappa returns κ(e) and whether e is an edge of the current graph.
 func (en *Engine) Kappa(e graph.Edge) (int32, bool) {
-	k, ok := en.kappa[e]
-	return k, ok
+	eid := en.d.EdgeIDV(e.U, e.V)
+	if eid < 0 {
+		return 0, false
+	}
+	return en.kappa[eid], true
 }
 
 // EdgeKappas returns a copy of the current κ assignment.
 func (en *Engine) EdgeKappas() map[graph.Edge]int {
-	out := make(map[graph.Edge]int, len(en.kappa))
-	for e, k := range en.kappa {
-		out[e] = int(k)
-	}
+	out := make(map[graph.Edge]int, en.d.NumEdges())
+	en.d.ForEachEdgeID(func(eid int32) bool {
+		out[en.d.EdgeAt(eid)] = int(en.kappa[eid])
+		return true
+	})
 	return out
 }
 
-// MaxKappa returns the largest κ value in the current graph.
-func (en *Engine) MaxKappa() int32 {
-	var max int32
-	for _, k := range en.kappa {
-		if k > max {
-			max = k
-		}
-	}
-	return max
-}
+// MaxKappa returns the largest κ value in the current graph, maintained
+// incrementally — O(1).
+func (en *Engine) MaxKappa() int32 { return en.maxK }
 
 // AddVertex inserts an isolated vertex.
-func (en *Engine) AddVertex(v graph.Vertex) bool { return en.g.AddVertex(v) }
+func (en *Engine) AddVertex(v graph.Vertex) bool {
+	_, added := en.d.Intern(v)
+	en.ensureVertexCap()
+	return added
+}
 
 // RemoveVertex deletes v and all incident edges, maintaining κ through
 // each edge deletion. It reports whether v was present.
 func (en *Engine) RemoveVertex(v graph.Vertex) bool {
-	if !en.g.HasVertex(v) {
+	dv, ok := en.d.DenseOf(v)
+	if !ok {
 		return false
 	}
-	for _, w := range en.g.NeighborsSorted(v) {
+	var nbrs []graph.Vertex
+	en.d.ForEachNeighborD(dv, func(w, _ int32) bool {
+		nbrs = append(nbrs, en.d.OrigOf(w))
+		return true
+	})
+	for _, w := range nbrs {
 		en.DeleteEdge(v, w)
 	}
-	return en.g.RemoveVertex(v)
+	return en.d.RemoveVertexV(v)
 }
 
 // InsertEdge adds the edge {u, v}, creating endpoints as needed, and
 // updates κ for every affected edge. It reports whether the edge was new.
 func (en *Engine) InsertEdge(u, v graph.Vertex) bool {
-	if u == v {
-		panic(fmt.Sprintf("dynamic: self-loop on vertex %d", u))
-	}
-	e := graph.NewEdge(u, v)
-	if en.g.HasEdgeE(e) {
-		return false
-	}
-	en.g.AddEdgeE(e)
-	en.kappa[e] = 0
-	en.notifyKappa(e, -1, 0)
-	en.stats.Insertions++
-
-	// The new edge forms one triangle per common neighbor. Activate them
-	// one at a time (Algorithm 2 step 1 / Algorithm 5 outer loop): all
-	// start excluded, then each is switched on and processed.
-	tris := en.trianglesOn(e)
-	for _, t := range tris {
-		en.off[t] = true
-	}
-	for _, t := range tris {
-		delete(en.off, t)
-		en.processTriangleInsert(t)
-	}
-	return true
+	var tris []int32
+	return en.insertEdgeCanon(u, v, &tris)
 }
 
 // DeleteEdge removes the edge {u, v} and updates κ for every affected
 // edge. Endpoints are kept. It reports whether the edge existed.
 func (en *Engine) DeleteEdge(u, v graph.Vertex) bool {
-	e := graph.NewEdge(u, v)
-	if !en.g.HasEdgeE(e) {
+	var tris []int32
+	return en.deleteEdgeCanon(u, v, &tris)
+}
+
+// insertEdgeCanon is InsertEdge with a caller-supplied triangle buffer, so
+// batch application can amortize it across many operations.
+func (en *Engine) insertEdgeCanon(u, v graph.Vertex, tris *[]int32) bool {
+	if u == v {
+		panic(fmt.Sprintf("dynamic: self-loop on vertex %d", u))
+	}
+	eid, added := en.d.AddEdgeV(u, v)
+	if !added {
+		return false
+	}
+	en.ensureEdgeCap()
+	en.ensureVertexCap()
+	en.kappa[eid] = 0
+	en.transition(eid, -1, 0)
+	en.stats.Insertions++
+
+	// The new edge forms one triangle per common neighbor. Activate them
+	// one at a time (Algorithm 2 step 1 / Algorithm 5 outer loop): all
+	// start excluded, then each is switched on and processed.
+	du, dv := en.d.EdgeEndpoints(eid)
+	en.beginOff(du, dv)
+	buf := (*tris)[:0]
+	en.d.ForEachTriangleEdgeD(du, dv, func(w, e1, e2 int32) bool {
+		en.offStamp[w] = en.offGen
+		buf = append(buf, w, e1, e2)
+		return true
+	})
+	for i := 0; i < len(buf); i += 3 {
+		en.offStamp[buf[i]] = 0
+		en.processTriangleInsert(eid, buf[i+1], buf[i+2])
+	}
+	*tris = buf
+	en.endOff(buf)
+	return true
+}
+
+// deleteEdgeCanon is DeleteEdge with a caller-supplied triangle buffer.
+func (en *Engine) deleteEdgeCanon(u, v graph.Vertex, tris *[]int32) bool {
+	eid := en.d.EdgeIDV(u, v)
+	if eid < 0 {
 		return false
 	}
 	en.stats.Deletions++
-	tris := en.trianglesOn(e)
-	for _, t := range tris {
-		en.off[t] = true
-		en.processTriangleDelete(t)
+	du, dv := en.d.EdgeEndpoints(eid)
+	en.beginOff(du, dv)
+	buf := (*tris)[:0]
+	en.d.ForEachTriangleEdgeD(du, dv, func(w, e1, e2 int32) bool {
+		buf = append(buf, w, e1, e2)
+		return true
+	})
+	for i := 0; i < len(buf); i += 3 {
+		en.offStamp[buf[i]] = en.offGen
+		en.processTriangleDelete(eid, buf[i+1], buf[i+2])
 	}
-	if k := en.kappa[e]; k != 0 {
-		// Every triangle on e has been deactivated, so a correct update
-		// must have driven κ(e) to zero.
-		panic(fmt.Sprintf("dynamic: κ(%v)=%d after deactivating all its triangles", e, k))
+	if k := en.kappa[eid]; k != 0 {
+		// Every triangle on the edge has been deactivated, so a correct
+		// update must have driven its κ to zero.
+		panic(fmt.Sprintf("dynamic: κ(%v)=%d after deactivating all its triangles", en.d.EdgeAt(eid), k))
 	}
-	en.g.RemoveEdgeE(e)
-	delete(en.kappa, e)
-	en.notifyKappa(e, 0, -1)
-	for _, t := range tris {
-		delete(en.off, t)
-	}
+	// Notify removal before the substrate forgets the endpoints, so
+	// observers can still resolve the edge.
+	en.transition(eid, 0, -1)
+	en.d.RemoveEdgeByID(eid)
+	*tris = buf
+	en.endOff(buf)
 	return true
+}
+
+// beginOff opens an off-set epoch for the edge with dense endpoints
+// (du, dv).
+func (en *Engine) beginOff(du, dv int32) {
+	en.offGen++
+	if en.offGen == 0 {
+		// Generation counter wrapped: stale stamps could collide, so wipe
+		// them all once per 2^32 updates.
+		for i := range en.offStamp {
+			en.offStamp[i] = 0
+		}
+		en.offGen = 1
+	}
+	en.offU, en.offV = du, dv
+}
+
+// endOff closes the epoch, clearing the stamps of the listed (w, e1, e2)
+// triples. The generation bump in beginOff already retires them; clearing
+// keeps stamps from surviving a full generation wrap.
+func (en *Engine) endOff(tris []int32) {
+	for i := 0; i < len(tris); i += 3 {
+		en.offStamp[tris[i]] = 0
+	}
+	en.offU, en.offV = -1, -1
+}
+
+// triOff reports whether the triangle over dense vertices {p, q, w} is in
+// the off set: it contains the updating edge {offU, offV} and its third
+// vertex carries the current generation stamp.
+func (en *Engine) triOff(p, q, w int32) bool {
+	var third int32
+	switch {
+	case (p == en.offU && q == en.offV) || (p == en.offV && q == en.offU):
+		third = w
+	case (p == en.offU && w == en.offV) || (p == en.offV && w == en.offU):
+		third = q
+	case (q == en.offU && w == en.offV) || (q == en.offV && w == en.offU):
+		third = p
+	default:
+		return false
+	}
+	return en.offStamp[third] == en.offGen
+}
+
+// forEachActiveTriangleOn iterates the active triangles containing edge
+// eid, passing the third dense vertex and the other two dense edge ids.
+func (en *Engine) forEachActiveTriangleOn(eid int32, fn func(w, e1, e2 int32) bool) {
+	u, v := en.d.EdgeEndpoints(eid)
+	en.d.ForEachTriangleEdgeD(u, v, func(w, e1, e2 int32) bool {
+		if en.triOff(u, v, w) {
+			return true
+		}
+		return fn(w, e1, e2)
+	})
 }
 
 // InsertEdgeE and DeleteEdgeE are the Edge-value forms.
@@ -198,43 +390,23 @@ func (en *Engine) InsertEdgeE(e graph.Edge) bool { return en.InsertEdge(e.U, e.V
 func (en *Engine) DeleteEdgeE(e graph.Edge) bool { return en.DeleteEdge(e.U, e.V) }
 
 // ApplyDiff applies a snapshot diff: removed edges, removed vertices,
-// added vertices, then added edges, maintaining κ throughout.
-func (en *Engine) ApplyDiff(d graph.Diff) {
-	for _, e := range d.RemovedEdges {
-		en.DeleteEdgeE(e)
+// added vertices, then added edges, maintaining κ throughout. The edge
+// portions go through ApplyBatch.
+func (en *Engine) ApplyDiff(df graph.Diff) {
+	ops := make([]EdgeOp, 0, len(df.RemovedEdges))
+	for _, e := range df.RemovedEdges {
+		ops = append(ops, EdgeOp{U: e.U, V: e.V, Del: true})
 	}
-	for _, v := range d.RemovedVertices {
+	en.ApplyBatch(ops)
+	for _, v := range df.RemovedVertices {
 		en.RemoveVertex(v)
 	}
-	for _, v := range d.AddedVertices {
+	for _, v := range df.AddedVertices {
 		en.AddVertex(v)
 	}
-	for _, e := range d.AddedEdges {
-		en.InsertEdgeE(e)
+	ops = ops[:0]
+	for _, e := range df.AddedEdges {
+		ops = append(ops, EdgeOp{U: e.U, V: e.V})
 	}
-}
-
-// trianglesOn returns the triangles of the current graph containing e, in
-// deterministic (ascending third-vertex) order.
-func (en *Engine) trianglesOn(e graph.Edge) []graph.Triangle {
-	var out []graph.Triangle
-	for _, w := range en.g.CommonNeighbors(e.U, e.V) {
-		out = append(out, graph.NewTriangle(e.U, e.V, w))
-	}
-	return out
-}
-
-// active reports whether triangle t is in the active triangle set.
-func (en *Engine) active(t graph.Triangle) bool { return !en.off[t] }
-
-// forEachActiveTriangleOn iterates the active triangles containing e,
-// passing the other two edges of each.
-func (en *Engine) forEachActiveTriangleOn(e graph.Edge, fn func(t graph.Triangle, e1, e2 graph.Edge) bool) {
-	en.g.ForEachTriangleEdge(e.U, e.V, func(w graph.Vertex, e1, e2 graph.Edge) bool {
-		t := graph.NewTriangle(e.U, e.V, w)
-		if !en.active(t) {
-			return true
-		}
-		return fn(t, e1, e2)
-	})
+	en.ApplyBatch(ops)
 }

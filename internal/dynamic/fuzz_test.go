@@ -8,9 +8,12 @@ import (
 )
 
 // FuzzEngineOps interprets fuzz bytes as a sequence of edge toggles over
-// a small vertex universe and verifies the engine's κ against a full
-// recomputation at the end (and invariants throughout via the
-// DeleteEdge consistency panic built into the engine).
+// a small vertex universe and verifies three engines against each other
+// and against a full recomputation at the end: one applying the ops one
+// by one, one applying them through ApplyBatch in chunks, and a
+// TrackedEngine (whose witness invariants are checked too). Toggles are
+// resolved into explicit insert/delete ops against the per-op engine's
+// state, so all three see the same operation stream.
 func FuzzEngineOps(f *testing.F) {
 	f.Add([]byte{0x12, 0x34, 0x56})
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
@@ -20,22 +23,35 @@ func FuzzEngineOps(f *testing.F) {
 			ops = ops[:64] // keep each case cheap
 		}
 		en := NewEngine(graph.New())
+		bat := NewEngine(graph.New())
 		te := NewTrackedEngine(graph.New())
 		const n = 10
+		const chunk = 4
+		var pending []EdgeOp
+		flush := func() {
+			bat.ApplyBatch(pending)
+			pending = pending[:0]
+		}
 		for _, b := range ops {
 			u := graph.Vertex(b % n)
 			v := graph.Vertex((b / n) % n)
 			if u == v {
 				continue
 			}
-			if en.Graph().HasEdge(u, v) {
+			del := en.HasEdge(u, v)
+			if del {
 				en.DeleteEdge(u, v)
 				te.DeleteEdge(u, v)
 			} else {
 				en.InsertEdge(u, v)
 				te.InsertEdge(u, v)
 			}
+			pending = append(pending, EdgeOp{U: u, V: v, Del: del})
+			if len(pending) == chunk {
+				flush()
+			}
 		}
+		flush()
 		want := core.Decompose(en.Graph()).EdgeKappas()
 		got := en.EdgeKappas()
 		if len(got) != len(want) {
@@ -45,6 +61,18 @@ func FuzzEngineOps(f *testing.F) {
 			if got[e] != k {
 				t.Fatalf("κ(%v) = %d, recompute says %d (ops %v)", e, got[e], k, ops)
 			}
+		}
+		batGot := bat.EdgeKappas()
+		if len(batGot) != len(want) {
+			t.Fatalf("batched edge count drift: %d vs %d (ops %v)", len(batGot), len(want), ops)
+		}
+		for e, k := range want {
+			if batGot[e] != k {
+				t.Fatalf("batched κ(%v) = %d, recompute says %d (ops %v)", e, batGot[e], k, ops)
+			}
+		}
+		if err := bat.VerifyConsistency(); err != nil {
+			t.Fatalf("batched engine: %v (ops %v)", err, ops)
 		}
 		if err := te.CheckInvariants(); err != nil {
 			t.Fatalf("tracked invariants: %v (ops %v)", err, ops)

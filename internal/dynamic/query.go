@@ -2,6 +2,7 @@ package dynamic
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"trikcore/internal/core"
@@ -13,12 +14,12 @@ import (
 // κ ≥ κ(e) — computed from the engine's live κ values without re-running
 // Algorithm 1. The boolean is false if e is not a current edge.
 func (en *Engine) MaxCoreOf(e graph.Edge) (*graph.Graph, bool) {
-	k, ok := en.kappa[e]
-	if !ok {
+	eid := en.d.EdgeIDV(e.U, e.V)
+	if eid < 0 {
 		return nil, false
 	}
 	sub := graph.New()
-	for _, ce := range en.triangleComponent(e, k) {
+	for _, ce := range en.triangleComponent(eid, en.kappa[eid], make([]bool, en.d.EdgeCap())) {
 		sub.AddEdgeE(ce)
 	}
 	return sub, true
@@ -29,41 +30,44 @@ func (en *Engine) MaxCoreOf(e graph.Edge) (*graph.Graph, bool) {
 // ordered by first edge — the dynamic counterpart of
 // core.Decomposition.Communities.
 func (en *Engine) Communities(k int32) [][]graph.Edge {
-	seen := make(map[graph.Edge]bool)
-	var starts []graph.Edge
-	for e, kv := range en.kappa {
-		if kv >= k {
-			starts = append(starts, e)
-		}
+	type start struct {
+		e   graph.Edge
+		eid int32
 	}
-	sort.Slice(starts, func(i, j int) bool { return starts[i].Less(starts[j]) })
+	var starts []start
+	en.d.ForEachEdgeID(func(eid int32) bool {
+		if en.kappa[eid] >= k {
+			starts = append(starts, start{en.d.EdgeAt(eid), eid})
+		}
+		return true
+	})
+	sort.Slice(starts, func(i, j int) bool { return starts[i].e.Less(starts[j].e) })
+	seen := make([]bool, en.d.EdgeCap())
 	var comms [][]graph.Edge
 	for _, s := range starts {
-		if seen[s] {
+		if seen[s.eid] {
 			continue
 		}
-		comp := en.triangleComponent(s, k)
-		for _, e := range comp {
-			seen[e] = true
-		}
-		comms = append(comms, comp)
+		comms = append(comms, en.triangleComponent(s.eid, k, seen))
 	}
 	return comms
 }
 
 // triangleComponent returns the edges reachable from start through
-// triangles whose three edges all carry κ ≥ k, sorted.
-func (en *Engine) triangleComponent(start graph.Edge, k int32) []graph.Edge {
-	seen := map[graph.Edge]bool{start: true}
-	queue := []graph.Edge{start}
-	for len(queue) > 0 {
-		e := queue[0]
-		queue = queue[1:]
-		en.g.ForEachTriangleEdge(e.U, e.V, func(w graph.Vertex, e1, e2 graph.Edge) bool {
+// triangles whose three edges all carry κ ≥ k, sorted. Visited edges are
+// marked in seen (indexed by dense edge id), which the caller owns.
+func (en *Engine) triangleComponent(start int32, k int32, seen []bool) []graph.Edge {
+	seen[start] = true
+	queue := []int32{start}
+	out := []graph.Edge{}
+	for head := 0; head < len(queue); head++ {
+		eid := queue[head]
+		out = append(out, en.d.EdgeAt(eid))
+		en.forEachActiveTriangleOn(eid, func(_, e1, e2 int32) bool {
 			if en.kappa[e1] < k || en.kappa[e2] < k {
 				return true
 			}
-			for _, nxt := range [2]graph.Edge{e1, e2} {
+			for _, nxt := range [2]int32{e1, e2} {
 				if !seen[nxt] {
 					seen[nxt] = true
 					queue = append(queue, nxt)
@@ -71,10 +75,6 @@ func (en *Engine) triangleComponent(start graph.Edge, k int32) []graph.Edge {
 			}
 			return true
 		})
-	}
-	out := make([]graph.Edge, 0, len(seen))
-	for e := range seen {
-		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
@@ -96,19 +96,25 @@ func (en *Engine) triangleComponent(start graph.Edge, k int32) []graph.Edge {
 // implements Rule 1 without any maintained order state; see DESIGN.md
 // §3.2. TrackedEngine additionally keeps these sets materialized.
 func (en *Engine) RuleOneWitness(e graph.Edge) ([]graph.Triangle, bool) {
-	k, ok := en.kappa[e]
-	if !ok {
+	eid := en.d.EdgeIDV(e.U, e.V)
+	if eid < 0 {
 		return nil, false
 	}
+	k := en.kappa[eid]
+	var thirds []graph.Vertex
+	en.forEachActiveTriangleOn(eid, func(w, e1, e2 int32) bool {
+		if en.kappa[e1] >= k && en.kappa[e2] >= k {
+			thirds = append(thirds, en.d.OrigOf(w))
+		}
+		return true
+	})
+	slices.Sort(thirds)
 	out := make([]graph.Triangle, 0, k)
-	for _, w := range en.g.CommonNeighbors(e.U, e.V) {
+	for _, w := range thirds {
 		if int32(len(out)) == k {
 			break
 		}
-		e1, e2 := graph.NewEdge(e.U, w), graph.NewEdge(e.V, w)
-		if en.kappa[e1] >= k && en.kappa[e2] >= k {
-			out = append(out, graph.NewTriangle(e.U, e.V, w))
-		}
+		out = append(out, graph.NewTriangle(e.U, e.V, w))
 	}
 	return out, true
 }
@@ -116,37 +122,53 @@ func (en *Engine) RuleOneWitness(e graph.Edge) ([]graph.Triangle, bool) {
 // CoCliqueSizes returns the plotting quantity κ(e)+2 for every live edge
 // (Algorithm 3 step 2, over maintained values).
 func (en *Engine) CoCliqueSizes() map[graph.Edge]int {
-	out := make(map[graph.Edge]int, len(en.kappa))
-	for e, k := range en.kappa {
-		out[e] = int(k) + 2
-	}
+	out := make(map[graph.Edge]int, en.d.NumEdges())
+	en.d.ForEachEdgeID(func(eid int32) bool {
+		out[en.d.EdgeAt(eid)] = int(en.kappa[eid]) + 2
+		return true
+	})
 	return out
 }
 
 // KappaHistogram returns, for each live κ value, the number of edges
-// carrying it.
+// carrying it — served from the maintained histogram, O(maxκ).
 func (en *Engine) KappaHistogram() map[int32]int {
-	h := make(map[int32]int)
-	for _, k := range en.kappa {
-		h[k]++
+	h := make(map[int32]int, en.maxK+1)
+	for k, n := range en.hist {
+		if n > 0 {
+			h[int32(k)] = n
+		}
 	}
 	return h
 }
 
 // VerifyConsistency recomputes the decomposition from scratch on the
 // current graph and returns an error describing the first disagreement
-// with the maintained κ values (nil when fully consistent). It is a
-// diagnostic for embedders; the test suite uses full recomputation
+// with the maintained κ values or histogram (nil when fully consistent).
+// It is a diagnostic for embedders; the test suite uses full recomputation
 // externally in the same way.
 func (en *Engine) VerifyConsistency() error {
-	d := core.Decompose(en.g)
-	want := d.EdgeKappas()
-	if len(want) != len(en.kappa) {
-		return fmt.Errorf("dynamic: engine tracks %d edges, graph has %d", len(en.kappa), len(want))
+	d := core.Decompose(en.d.Materialize())
+	if got, want := en.d.NumEdges(), d.S.NumEdges(); got != want {
+		return fmt.Errorf("dynamic: engine tracks %d edges, graph has %d", got, want)
 	}
-	for e, k := range want {
-		if got := en.kappa[e]; int(got) != k {
+	for i, k := range d.Kappa {
+		e := d.S.EdgeAt(int32(i))
+		eid := en.d.EdgeIDV(e.U, e.V)
+		if eid < 0 {
+			return fmt.Errorf("dynamic: edge %v missing from substrate", e)
+		}
+		if got := en.kappa[eid]; got != k {
 			return fmt.Errorf("dynamic: κ(%v) = %d, recompute says %d", e, got, k)
+		}
+	}
+	if en.maxK != d.MaxKappa {
+		return fmt.Errorf("dynamic: maintained maxκ = %d, recompute says %d", en.maxK, d.MaxKappa)
+	}
+	want := d.KappaHistogram()
+	for k, n := range en.KappaHistogram() {
+		if want[k] != n {
+			return fmt.Errorf("dynamic: histogram[%d] = %d, recompute says %d", k, n, want[k])
 		}
 	}
 	return nil

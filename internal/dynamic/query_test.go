@@ -97,11 +97,12 @@ func TestVerifyConsistency(t *testing.T) {
 	if err := en.VerifyConsistency(); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt the state deliberately; the check must notice.
-	for e := range en.kappa {
-		en.kappa[e]++
-		break
-	}
+	// Corrupt the state deliberately (on a live edge id); the check must
+	// notice.
+	en.d.ForEachEdgeID(func(eid int32) bool {
+		en.kappa[eid]++
+		return false
+	})
 	if err := en.VerifyConsistency(); err == nil {
 		t.Fatal("corrupted engine passed consistency check")
 	}

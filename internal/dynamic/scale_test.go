@@ -28,7 +28,7 @@ func TestRealisticChurnOnClusteredGraph(t *testing.T) {
 		if u == v {
 			continue
 		}
-		if en.Graph().HasEdge(u, v) {
+		if en.HasEdge(u, v) {
 			en.DeleteEdge(u, v)
 			del++
 		} else {

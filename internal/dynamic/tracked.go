@@ -5,7 +5,6 @@ import (
 	"slices"
 	"sort"
 
-	"trikcore/internal/core"
 	"trikcore/internal/graph"
 )
 
@@ -26,87 +25,93 @@ import (
 // setting (statically, Rule 1 reconstructs the same sets from the
 // processing order; see core.Decomposition.CoreTriangles).
 //
-// Membership repair after an update is local: only edges whose κ changed,
-// edges that lost a triangle, and edges whose stored witness referenced a
-// demoted edge need their sets rebuilt, found through a reverse index
-// from triangles to the edges witnessing them.
+// Membership lives in packed form on the dense substrate: cores[eid] is
+// the sorted list of dense third vertices whose triangles witness edge
+// eid. No reverse index is needed — a triangle can only be witnessed by
+// its own three edges, so the edges whose witness references a triangle
+// through e are found by iterating e's triangles and binary-searching the
+// two co-edges' third lists. Membership repair after an update is local:
+// only edges whose κ changed, edges that lost a triangle, and edges whose
+// stored witness referenced a demoted edge need their sets rebuilt.
 type TrackedEngine struct {
 	*Engine
-	// cores holds the witness triangle set of each edge.
-	cores map[graph.Edge]map[graph.Triangle]bool
-	// usedBy indexes, for each triangle, the edges whose witness set
-	// contains it.
-	usedBy map[graph.Triangle]map[graph.Edge]bool
-	// dirty accumulates edges needing repair during one public update.
-	dirty map[graph.Edge]bool
+	// cores[eid] holds the witness of live edge eid as sorted dense third
+	// vertices; free edge slots keep empty lists.
+	cores [][]int32
+	// dirty lists edges needing repair during one public update, with
+	// dirtyMark deduplicating by edge id.
+	dirty     []int32
+	dirtyMark []bool
 }
 
 // NewTrackedEngine builds a tracked engine over a copy of g. Initial
-// membership comes from Rule 1 applied to the static decomposition.
+// membership comes from Rule 1 applied to the maintained κ values: the
+// first κ(e) triangles of e (by third vertex) whose other edges carry
+// κ ≥ κ(e) are a valid witness by Theorem 1, so no second decomposition
+// is needed.
 func NewTrackedEngine(g *graph.Graph) *TrackedEngine {
-	te := &TrackedEngine{
-		Engine: NewEngine(g),
-		cores:  make(map[graph.Edge]map[graph.Triangle]bool, g.NumEdges()),
-		usedBy: make(map[graph.Triangle]map[graph.Edge]bool),
-	}
+	te := &TrackedEngine{Engine: NewEngine(g)}
 	te.Engine.onKappaChange = te.observe
-	d := core.Decompose(te.Engine.g)
-	for _, e := range te.Engine.g.Edges() {
-		tris, _ := d.CoreTriangles(e)
-		set := make(map[graph.Triangle]bool, len(tris))
-		for _, t := range tris {
-			set[t] = true
-			te.use(t, e)
-		}
-		te.cores[e] = set
-	}
+	te.ensureCap()
+	te.d.ForEachEdgeID(func(eid int32) bool {
+		te.cores[eid] = te.selectWitnessInto(nil, eid, te.kappa[eid])
+		return true
+	})
 	return te
 }
 
-func (te *TrackedEngine) use(t graph.Triangle, e graph.Edge) {
-	m := te.usedBy[t]
-	if m == nil {
-		m = make(map[graph.Edge]bool, 3)
-		te.usedBy[t] = m
-	}
-	m[e] = true
-}
-
-func (te *TrackedEngine) unuse(t graph.Triangle, e graph.Edge) {
-	if m := te.usedBy[t]; m != nil {
-		delete(m, e)
-		if len(m) == 0 {
-			delete(te.usedBy, t)
-		}
+// ensureCap grows membership state to the dense edge capacity.
+func (te *TrackedEngine) ensureCap() {
+	c := te.d.EdgeCap()
+	for len(te.cores) < c {
+		te.cores = append(te.cores, nil)
+		te.dirtyMark = append(te.dirtyMark, false)
 	}
 }
 
-// observe collects κ transitions; repairs run after the whole edge update
-// completes (the engine applies one public update as several per-triangle
+func (te *TrackedEngine) markDirty(eid int32) {
+	if !te.dirtyMark[eid] {
+		te.dirtyMark[eid] = true
+		te.dirty = append(te.dirty, eid)
+	}
+}
+
+// observe collects κ transitions; repairs run after the whole public
+// update completes (the engine applies one update as several per-triangle
 // steps, and membership is only required to be consistent between public
-// updates).
-func (te *TrackedEngine) observe(e graph.Edge, old, new int32) {
-	if te.dirty == nil {
-		te.dirty = make(map[graph.Edge]bool)
-	}
-	te.dirty[e] = true
+// updates). Removal transitions arrive while the edge and its triangles
+// are still present, which is what lets dependents be found here rather
+// than by a pre-mutation hook.
+func (te *TrackedEngine) observe(eid, old, new int32) {
+	te.ensureCap()
+	te.markDirty(eid)
 	if new < old {
-		// Demotion (or removal): any edge whose witness uses a triangle
-		// through e may now violate Theorem 1.
-		te.markDependents(e)
+		// Demotion or removal: any edge whose witness uses a triangle
+		// through this edge may now violate Theorem 1.
+		te.markDependents(eid)
 	}
 }
 
 // markDependents marks edges whose stored witness contains a triangle
-// through e.
-func (te *TrackedEngine) markDependents(e graph.Edge) {
-	te.Engine.g.ForEachCommonNeighbor(e.U, e.V, func(w graph.Vertex) bool {
-		t := graph.NewTriangle(e.U, e.V, w)
-		for dep := range te.usedBy[t] {
-			te.dirty[dep] = true
+// through edge eid. A triangle {u, v, w} can only be witnessed by its own
+// three edges, so for each triangle on eid = {u, v} it suffices to probe
+// the co-edges {u, w} (third vertex v) and {v, w} (third vertex u).
+func (te *TrackedEngine) markDependents(eid int32) {
+	u, v := te.d.EdgeEndpoints(eid)
+	te.d.ForEachTriangleEdgeD(u, v, func(w, e1, e2 int32) bool {
+		if containsSorted(te.cores[e1], v) {
+			te.markDirty(e1)
+		}
+		if containsSorted(te.cores[e2], u) {
+			te.markDirty(e2)
 		}
 		return true
 	})
+}
+
+func containsSorted(s []int32, x int32) bool {
+	_, ok := slices.BinarySearch(s, x)
+	return ok
 }
 
 // InsertEdge inserts {u, v} and repairs membership. It reports whether
@@ -117,17 +122,9 @@ func (te *TrackedEngine) InsertEdge(u, v graph.Vertex) bool {
 	return ok
 }
 
-// DeleteEdge removes {u, v} and repairs membership. The deleted edge's
-// vanished triangles may have been witnesses for surviving edges, so
-// dependents are marked before the engine mutates the graph.
+// DeleteEdge removes {u, v} and repairs membership. It reports whether
+// the edge existed.
 func (te *TrackedEngine) DeleteEdge(u, v graph.Vertex) bool {
-	e := graph.NewEdge(u, v)
-	if te.Engine.g.HasEdgeE(e) {
-		if te.dirty == nil {
-			te.dirty = make(map[graph.Edge]bool)
-		}
-		te.markDependents(e)
-	}
 	ok := te.Engine.DeleteEdge(u, v)
 	te.repair()
 	return ok
@@ -141,90 +138,73 @@ func (te *TrackedEngine) DeleteEdgeE(e graph.Edge) bool { return te.DeleteEdge(e
 
 // RemoveVertex deletes v and its incident edges, repairing membership.
 func (te *TrackedEngine) RemoveVertex(v graph.Vertex) bool {
-	if !te.Engine.g.HasVertex(v) {
-		return false
-	}
-	for _, w := range te.Engine.g.NeighborsSorted(v) {
-		te.DeleteEdge(v, w)
-	}
-	return te.Engine.g.RemoveVertex(v)
+	ok := te.Engine.RemoveVertex(v)
+	te.repair()
+	return ok
+}
+
+// ApplyBatch applies a batch of edge operations and repairs membership
+// once at the end, so edges touched by several operations of the batch are
+// rebuilt a single time.
+func (te *TrackedEngine) ApplyBatch(ops []EdgeOp) (added, removed int) {
+	added, removed = te.Engine.ApplyBatch(ops)
+	te.repair()
+	return added, removed
 }
 
 // ApplyDiff applies a snapshot diff with membership maintained.
 func (te *TrackedEngine) ApplyDiff(d graph.Diff) {
-	for _, e := range d.RemovedEdges {
-		te.DeleteEdgeE(e)
-	}
-	for _, v := range d.RemovedVertices {
-		te.RemoveVertex(v)
-	}
-	for _, v := range d.AddedVertices {
-		te.AddVertex(v)
-	}
-	for _, e := range d.AddedEdges {
-		te.InsertEdgeE(e)
-	}
+	te.Engine.ApplyDiff(d)
+	te.repair()
 }
 
-// repair rebuilds the witness sets of all dirty edges.
+// repair rebuilds the witness lists of all dirty edges.
 func (te *TrackedEngine) repair() {
-	for e := range te.dirty {
-		// Clear the old witness.
-		if old := te.cores[e]; old != nil {
-			for t := range old {
-				te.unuse(t, e)
-			}
-		}
-		k, exists := te.Engine.kappa[e]
-		if !exists {
-			delete(te.cores, e)
+	for _, eid := range te.dirty {
+		te.dirtyMark[eid] = false
+		if !te.d.EdgeLive(eid) {
+			te.cores[eid] = te.cores[eid][:0]
 			continue
 		}
-		te.cores[e] = te.selectWitness(e, k)
-		for t := range te.cores[e] {
-			te.use(t, e)
-		}
+		te.cores[eid] = te.selectWitnessInto(te.cores[eid][:0], eid, te.kappa[eid])
 	}
-	te.dirty = nil
+	te.dirty = te.dirty[:0]
 }
 
-// selectWitness picks κ(e) triangles on e whose other edges carry
-// κ ≥ κ(e), preferring smaller third vertices for determinism. Such
-// triangles always exist when κ is correct (e belongs to a Triangle
-// κ(e)-Core, whose member edges all carry κ ≥ κ(e)).
-func (te *TrackedEngine) selectWitness(e graph.Edge, k int32) map[graph.Triangle]bool {
-	set := make(map[graph.Triangle]bool, k)
+// selectWitnessInto appends to buf the dense third vertices of the first
+// κ(e) triangles on edge eid (ascending third vertex) whose other edges
+// carry κ ≥ κ(e). Such triangles always exist when κ is correct (the edge
+// belongs to a Triangle κ(e)-Core, whose member edges all carry κ ≥ κ(e)).
+func (te *TrackedEngine) selectWitnessInto(buf []int32, eid int32, k int32) []int32 {
 	if k == 0 {
-		return set
+		return buf
 	}
-	var thirds []graph.Vertex
-	te.Engine.g.ForEachTriangleEdge(e.U, e.V, func(w graph.Vertex, e1, e2 graph.Edge) bool {
-		if te.Engine.kappa[e1] >= k && te.Engine.kappa[e2] >= k {
-			thirds = append(thirds, w)
+	u, v := te.d.EdgeEndpoints(eid)
+	te.d.ForEachTriangleEdgeD(u, v, func(w, e1, e2 int32) bool {
+		if te.kappa[e1] >= k && te.kappa[e2] >= k {
+			buf = append(buf, w)
 		}
-		return true
+		return int32(len(buf)) < k
 	})
-	if int32(len(thirds)) < k {
-		panic(fmt.Sprintf("dynamic: edge %v has only %d eligible witness triangles for κ=%d", e, len(thirds), k))
+	if int32(len(buf)) < k {
+		panic(fmt.Sprintf("dynamic: edge %v has only %d eligible witness triangles for κ=%d",
+			te.d.EdgeAt(eid), len(buf), k))
 	}
-	slices.Sort(thirds)
-	for _, w := range thirds[:k] {
-		set[graph.NewTriangle(e.U, e.V, w)] = true
-	}
-	return set
+	return buf
 }
 
 // CoreTriangles returns the stored witness of e's maximum Triangle
 // K-Core: κ(e) triangles satisfying Theorem 1. The boolean is false if e
 // is not an edge of the current graph.
 func (te *TrackedEngine) CoreTriangles(e graph.Edge) ([]graph.Triangle, bool) {
-	set, ok := te.cores[e]
-	if !ok {
+	eid := te.d.EdgeIDV(e.U, e.V)
+	if eid < 0 {
 		return nil, false
 	}
-	out := make([]graph.Triangle, 0, len(set))
-	for t := range set {
-		out = append(out, t)
+	thirds := te.cores[eid]
+	out := make([]graph.Triangle, 0, len(thirds))
+	for _, w := range thirds {
+		out = append(out, graph.NewTriangle(e.U, e.V, te.d.OrigOf(w)))
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -243,29 +223,36 @@ func (te *TrackedEngine) CoreTriangles(e graph.Edge) ([]graph.Triangle, bool) {
 // every edge, returning the first violation found. Tests call this after
 // randomized churn.
 func (te *TrackedEngine) CheckInvariants() error {
-	if len(te.cores) != len(te.Engine.kappa) {
-		return fmt.Errorf("membership tracks %d edges, engine has %d", len(te.cores), len(te.Engine.kappa))
+	if len(te.cores) < te.d.EdgeCap() {
+		return fmt.Errorf("membership tracks %d edge slots, substrate has %d", len(te.cores), te.d.EdgeCap())
 	}
-	for e, set := range te.cores {
-		k := te.Engine.kappa[e]
-		if int32(len(set)) != k {
-			return fmt.Errorf("edge %v: |core| = %d, κ = %d", e, len(set), k)
+	for i := range te.cores {
+		eid := int32(i)
+		thirds := te.cores[i]
+		if !te.d.EdgeLive(eid) {
+			if len(thirds) != 0 {
+				return fmt.Errorf("free edge slot %d holds %d witness entries", eid, len(thirds))
+			}
+			continue
 		}
-		for t := range set {
-			if !t.HasEdge(e) {
-				return fmt.Errorf("edge %v: witness %v does not contain it", e, t)
+		e := te.d.EdgeAt(eid)
+		k := te.kappa[eid]
+		if int32(len(thirds)) != k {
+			return fmt.Errorf("edge %v: |core| = %d, κ = %d", e, len(thirds), k)
+		}
+		u, v := te.d.EdgeEndpoints(eid)
+		for j, w := range thirds {
+			if j > 0 && thirds[j-1] >= w {
+				return fmt.Errorf("edge %v: witness thirds not strictly sorted", e)
 			}
-			for _, oe := range t.Edges() {
-				if !te.Engine.g.HasEdgeE(oe) {
-					return fmt.Errorf("edge %v: witness %v uses absent edge %v", e, t, oe)
-				}
-				if te.Engine.kappa[oe] < k {
-					return fmt.Errorf("edge %v: witness %v violates Theorem 1 via %v (κ %d < %d)",
-						e, t, oe, te.Engine.kappa[oe], k)
-				}
+			e1 := te.d.EdgeIDD(u, w)
+			e2 := te.d.EdgeIDD(v, w)
+			if e1 < 0 || e2 < 0 {
+				return fmt.Errorf("edge %v: witness third %d uses an absent edge", e, te.d.OrigOf(w))
 			}
-			if !te.usedBy[t][e] {
-				return fmt.Errorf("edge %v: witness %v missing from reverse index", e, t)
+			if te.kappa[e1] < k || te.kappa[e2] < k {
+				return fmt.Errorf("edge %v: witness third %d violates Theorem 1 (κ %d/%d < %d)",
+					e, te.d.OrigOf(w), te.kappa[e1], te.kappa[e2], k)
 			}
 		}
 	}

@@ -1,29 +1,41 @@
 package dynamic
 
-import "trikcore/internal/graph"
-
 // processTriangleInsert performs the per-triangle insertion step of
-// Algorithm 2: triangle t has just been activated, μ is the minimum κ of
-// its edges, and by Rule 0 exactly the κ=μ edges triangle-connected to t
-// may rise to μ+1.
-func (en *Engine) processTriangleInsert(t graph.Triangle) {
+// Algorithm 2: the triangle over edges (e0, e1, e2) has just been
+// activated, μ is the minimum κ of its edges, and by Rule 0 exactly the
+// κ=μ edges triangle-connected to it may rise to μ+1.
+func (en *Engine) processTriangleInsert(e0, e1, e2 int32) {
 	en.stats.TrianglesProcessed++
-	mu := en.minKappa(t)
+	mu := en.kappa[e0]
+	if k := en.kappa[e1]; k < mu {
+		mu = k
+	}
+	if k := en.kappa[e2]; k < mu {
+		mu = k
+	}
 
-	ins := &insertSearch{en: en, mu: mu, st: make(map[graph.Edge]int8)}
-	for _, e := range t.Edges() {
+	ins := insertSearch{en: en, mu: mu}
+	for _, e := range [3]int32{e0, e1, e2} {
 		if en.kappa[e] == mu {
-			ins.roots = append(ins.roots, e)
+			ins.roots[ins.nRoots] = e
+			ins.nRoots++
 		}
 	}
 	ins.run()
-	for e, s := range ins.st {
-		if s == stLive {
+
+	// Promote the surviving live candidates and reset the step's marks.
+	// touched may hold duplicates (forgotten then re-discovered edges);
+	// zeroing st on first visit makes the loop idempotent.
+	sc := &en.sc
+	for _, e := range sc.touched {
+		if sc.st[e] == stLive {
 			en.kappa[e] = mu + 1
-			en.notifyKappa(e, mu, mu+1)
+			en.transition(e, mu, mu+1)
 			en.stats.Promotions++
 		}
+		sc.st[e] = 0
 	}
+	sc.touched = sc.touched[:0]
 }
 
 // insertSearch resolves which κ=μ edges rise to μ+1 after one triangle
@@ -42,19 +54,20 @@ func (en *Engine) processTriangleInsert(t graph.Triangle) {
 // frontier has no live referencer and is dropped without being explored,
 // so the traversal never sweeps an entire κ=μ shell just to promote
 // nothing.
+//
+// All per-edge state (st, es, evictedAt) lives in the engine's scratch
+// arrays indexed by dense edge id; the touched list records every edge
+// whose st mark went nonzero so the caller resets exactly the visited
+// region. evictedAt stamps the order in which edges were evicted: a
+// triangle's contribution to a live candidate must be withdrawn exactly
+// once — by the FIRST of its other two edges to be evicted — and when a
+// cascade evicts both in one wave, the stamps decide who withdraws.
 type insertSearch struct {
-	en    *Engine
-	mu    int32
-	roots []graph.Edge
-	st    map[graph.Edge]int8
-	es    map[graph.Edge]int32
-	stack []graph.Edge
-	// evictedAt stamps the order in which edges were evicted. A triangle's
-	// contribution to a live candidate must be withdrawn exactly once —
-	// by the FIRST of its other two edges to be evicted — and when a
-	// cascade evicts both in one wave, the stamps decide who withdraws.
-	evictedAt map[graph.Edge]int32
-	evictSeq  int32
+	en       *Engine
+	mu       int32
+	roots    [3]int32
+	nRoots   int
+	evictSeq int32
 }
 
 const (
@@ -63,28 +76,37 @@ const (
 	stEvicted int8 = 3 // resolved: cannot be promoted
 )
 
+func (s *insertSearch) isRoot(e int32) bool {
+	for i := 0; i < s.nRoots; i++ {
+		if s.roots[i] == e {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *insertSearch) run() {
-	if len(s.roots) == 0 {
+	if s.nRoots == 0 {
 		return
 	}
-	s.es = make(map[graph.Edge]int32)
-	s.evictedAt = make(map[graph.Edge]int32)
-	isRoot := make(map[graph.Edge]bool, len(s.roots))
-	for _, e := range s.roots {
-		isRoot[e] = true
-		s.st[e] = stQueued
-		s.stack = append(s.stack, e)
+	sc := &s.en.sc
+	sc.stack = sc.stack[:0]
+	for i := 0; i < s.nRoots; i++ {
+		e := s.roots[i]
+		sc.st[e] = stQueued
+		sc.touched = append(sc.touched, e)
+		sc.stack = append(sc.stack, e)
 	}
-	for len(s.stack) > 0 {
-		e := s.stack[len(s.stack)-1]
-		s.stack = s.stack[:len(s.stack)-1]
-		if s.st[e] != stQueued {
+	for len(sc.stack) > 0 {
+		e := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		if sc.st[e] != stQueued {
 			continue
 		}
-		if !isRoot[e] && !s.referencedByLive(e) {
+		if !s.isRoot(e) && !s.referencedByLive(e) {
 			// No live candidate needs e anymore; forget it. A candidate
 			// turning live later re-discovers it.
-			delete(s.st, e)
+			sc.st[e] = 0
 			continue
 		}
 		s.resolve(e)
@@ -93,17 +115,18 @@ func (s *insertSearch) run() {
 
 // qualifies reports whether edge z can still sit at level ≥ μ+1: it is
 // above μ already, or at μ and not (yet) evicted.
-func (s *insertSearch) qualifies(z graph.Edge) bool {
+func (s *insertSearch) qualifies(z int32) bool {
 	k := s.en.kappa[z]
-	return k > s.mu || (k == s.mu && s.st[z] != stEvicted)
+	return k > s.mu || (k == s.mu && s.en.sc.st[z] != stEvicted)
 }
 
 // referencedByLive reports whether some live candidate counts a triangle
 // through e (so e's resolution is still needed).
-func (s *insertSearch) referencedByLive(e graph.Edge) bool {
+func (s *insertSearch) referencedByLive(e int32) bool {
+	st := s.en.sc.st
 	found := false
-	s.en.forEachActiveTriangleOn(e, func(_ graph.Triangle, a, b graph.Edge) bool {
-		if (s.st[a] == stLive && s.qualifies(b)) || (s.st[b] == stLive && s.qualifies(a)) {
+	s.en.forEachActiveTriangleOn(e, func(_, a, b int32) bool {
+		if (st[a] == stLive && s.qualifies(b)) || (st[b] == stLive && s.qualifies(a)) {
 			found = true
 			return false
 		}
@@ -114,33 +137,33 @@ func (s *insertSearch) referencedByLive(e graph.Edge) bool {
 
 // resolve computes e's optimistic effective support and marks it live or
 // evicted, expanding or cascading accordingly.
-func (s *insertSearch) resolve(e graph.Edge) {
+func (s *insertSearch) resolve(e int32) {
 	s.en.stats.EdgesVisited++
+	sc := &s.en.sc
 	n := int32(0)
-	s.en.forEachActiveTriangleOn(e, func(_ graph.Triangle, a, b graph.Edge) bool {
+	s.en.forEachActiveTriangleOn(e, func(_, a, b int32) bool {
 		if s.qualifies(a) && s.qualifies(b) {
 			n++
 		}
 		return true
 	})
-	s.es[e] = n
+	sc.es[e] = n
 	if n < s.mu+1 {
 		s.evict(e)
 		s.cascade(e)
 		return
 	}
-	s.st[e] = stLive
+	sc.st[e] = stLive
 	// Demand the unresolved κ=μ co-edges of e's qualifying triangles.
-	s.en.forEachActiveTriangleOn(e, func(_ graph.Triangle, a, b graph.Edge) bool {
+	s.en.forEachActiveTriangleOn(e, func(_, a, b int32) bool {
 		if !s.qualifies(a) || !s.qualifies(b) {
 			return true
 		}
-		for _, ne := range [2]graph.Edge{a, b} {
-			if s.en.kappa[ne] == s.mu {
-				if _, seen := s.st[ne]; !seen {
-					s.st[ne] = stQueued
-					s.stack = append(s.stack, ne)
-				}
+		for _, ne := range [2]int32{a, b} {
+			if s.en.kappa[ne] == s.mu && sc.st[ne] == 0 {
+				sc.st[ne] = stQueued
+				sc.touched = append(sc.touched, ne)
+				sc.stack = append(sc.stack, ne)
 			}
 		}
 		return true
@@ -148,10 +171,10 @@ func (s *insertSearch) resolve(e graph.Edge) {
 }
 
 // evict marks e evicted and stamps its eviction order.
-func (s *insertSearch) evict(e graph.Edge) {
-	s.st[e] = stEvicted
+func (s *insertSearch) evict(e int32) {
+	s.en.sc.st[e] = stEvicted
 	s.evictSeq++
-	s.evictedAt[e] = s.evictSeq
+	s.en.sc.evictedAt[e] = s.evictSeq
 }
 
 // cascade withdraws e's contribution from resolved live candidates,
@@ -160,28 +183,30 @@ func (s *insertSearch) evict(e graph.Edge) {
 // strictly earlier — in that case z's cascade already withdrew it (it ran
 // while x still qualified). The stamps make this exactly-once even when
 // x and z fall in the same cascade wave.
-func (s *insertSearch) cascade(e graph.Edge) {
-	work := []graph.Edge{e}
-	for len(work) > 0 {
-		x := work[len(work)-1]
-		work = work[:len(work)-1]
-		xAt := s.evictedAt[x]
-		s.en.forEachActiveTriangleOn(x, func(_ graph.Triangle, a, b graph.Edge) bool {
-			for _, pair := range [2][2]graph.Edge{{a, b}, {b, a}} {
+func (s *insertSearch) cascade(e int32) {
+	sc := &s.en.sc
+	work := [...]int32{e}
+	stack := work[:]
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		xAt := sc.evictedAt[x]
+		s.en.forEachActiveTriangleOn(x, func(_, a, b int32) bool {
+			for _, pair := range [2][2]int32{{a, b}, {b, a}} {
 				c, z := pair[0], pair[1]
-				if s.st[c] != stLive {
+				if sc.st[c] != stLive {
 					continue
 				}
-				if zAt, evicted := s.evictedAt[z]; evicted && zAt < xAt {
+				if sc.st[z] == stEvicted && sc.evictedAt[z] < xAt {
 					continue // z's earlier eviction already withdrew it
 				}
 				if s.en.kappa[z] < s.mu {
 					continue // never counted for c in the first place
 				}
-				s.es[c]--
-				if s.es[c] < s.mu+1 {
+				sc.es[c]--
+				if sc.es[c] < s.mu+1 {
 					s.evict(c)
-					work = append(work, c)
+					stack = append(stack, c)
 				}
 			}
 			return true
@@ -190,39 +215,46 @@ func (s *insertSearch) cascade(e graph.Edge) {
 }
 
 // processTriangleDelete performs the per-triangle deletion step of
-// Algorithm 2: triangle t has just been deactivated, μ is the minimum κ of
-// its edges, and by Rule 0 exactly κ=μ edges may fall to μ-1.
-func (en *Engine) processTriangleDelete(t graph.Triangle) {
+// Algorithm 2: the triangle over edges (e0, e1, e2) has just been
+// deactivated, μ is the minimum κ of its edges, and by Rule 0 exactly κ=μ
+// edges may fall to μ-1.
+func (en *Engine) processTriangleDelete(e0, e1, e2 int32) {
 	en.stats.TrianglesProcessed++
-	mu := en.minKappa(t)
+	mu := en.kappa[e0]
+	if k := en.kappa[e1]; k < mu {
+		mu = k
+	}
+	if k := en.kappa[e2]; k < mu {
+		mu = k
+	}
 	if mu == 0 {
 		// κ=0 edges cannot fall further, and by Rule 0 nothing else moves.
 		return
 	}
 
-	// Recheck queue, seeded with t's κ=μ edges. An edge keeps κ=μ iff it
-	// still has ≥ μ active triangles whose other edges carry κ ≥ μ;
-	// otherwise it demotes to μ-1 and its loss cascades to κ=μ edges that
-	// shared qualifying triangles with it.
-	var queue []graph.Edge
-	inQueue := make(map[graph.Edge]bool)
-	for _, e := range t.Edges() {
-		if en.kappa[e] == mu && !inQueue[e] {
-			inQueue[e] = true
+	// Recheck queue, seeded with the triangle's κ=μ edges. An edge keeps
+	// κ=μ iff it still has ≥ μ active triangles whose other edges carry
+	// κ ≥ μ; otherwise it demotes to μ-1 and its loss cascades to κ=μ
+	// edges that shared qualifying triangles with it. The inQueue marks
+	// are self-cleaning: every enqueued edge is popped exactly once.
+	sc := &en.sc
+	queue := sc.queue[:0]
+	for _, e := range [3]int32{e0, e1, e2} {
+		if en.kappa[e] == mu && !sc.inQueue[e] {
+			sc.inQueue[e] = true
 			queue = append(queue, e)
 		}
 	}
-	for len(queue) > 0 {
-		e := queue[0]
-		queue = queue[1:]
-		inQueue[e] = false
+	for head := 0; head < len(queue); head++ {
+		e := queue[head]
+		sc.inQueue[e] = false
 		if en.kappa[e] != mu {
 			continue // already demoted by an earlier cascade step
 		}
 		en.stats.EdgesVisited++
 		n := int32(0)
-		en.forEachActiveTriangleOn(e, func(_ graph.Triangle, e1, e2 graph.Edge) bool {
-			if en.kappa[e1] >= mu && en.kappa[e2] >= mu {
+		en.forEachActiveTriangleOn(e, func(_, a, b int32) bool {
+			if en.kappa[a] >= mu && en.kappa[b] >= mu {
 				n++
 			}
 			return true
@@ -231,34 +263,23 @@ func (en *Engine) processTriangleDelete(t graph.Triangle) {
 			continue
 		}
 		en.kappa[e] = mu - 1
-		en.notifyKappa(e, mu, mu-1)
+		en.transition(e, mu, mu-1)
 		en.stats.Demotions++
 		// Neighbors at level μ that used a triangle through e must be
 		// rechecked; the triangle qualified only if its third edge was
 		// also at level ≥ μ.
-		en.forEachActiveTriangleOn(e, func(_ graph.Triangle, e1, e2 graph.Edge) bool {
-			if en.kappa[e1] < mu || en.kappa[e2] < mu {
+		en.forEachActiveTriangleOn(e, func(_, a, b int32) bool {
+			if en.kappa[a] < mu || en.kappa[b] < mu {
 				return true
 			}
-			for _, ne := range [2]graph.Edge{e1, e2} {
-				if en.kappa[ne] == mu && !inQueue[ne] {
-					inQueue[ne] = true
+			for _, ne := range [2]int32{a, b} {
+				if en.kappa[ne] == mu && !sc.inQueue[ne] {
+					sc.inQueue[ne] = true
 					queue = append(queue, ne)
 				}
 			}
 			return true
 		})
 	}
-}
-
-// minKappa returns μ: the minimum κ among t's three edges.
-func (en *Engine) minKappa(t graph.Triangle) int32 {
-	edges := t.Edges()
-	mu := en.kappa[edges[0]]
-	for _, e := range edges[1:] {
-		if k := en.kappa[e]; k < mu {
-			mu = k
-		}
-	}
-	return mu
+	sc.queue = queue[:0]
 }

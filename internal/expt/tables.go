@@ -100,15 +100,19 @@ func TableIII(cfg Config) (*table.Table, error) {
 			rng := rand.New(rand.NewSource(int64(7700 + run)))
 			adds, dels := churnPlan(g, changed, rng)
 
-			// Incremental update on an engine holding the base graph.
+			// Incremental update on an engine holding the base graph,
+			// applied as one batch (the deployment shape of the dynamic
+			// path: deletions before insertions, shared scratch).
+			ops := make([]dynamic.EdgeOp, 0, len(dels)+len(adds))
+			for _, e := range dels {
+				ops = append(ops, dynamic.EdgeOp{U: e.U, V: e.V, Del: true})
+			}
+			for _, e := range adds {
+				ops = append(ops, dynamic.EdgeOp{U: e.U, V: e.V})
+			}
 			en := dynamic.NewEngine(g)
 			update.AddDuration(stats.Timed(func() {
-				for _, e := range dels {
-					en.DeleteEdgeE(e)
-				}
-				for _, e := range adds {
-					en.InsertEdgeE(e)
-				}
+				en.ApplyBatch(ops)
 			}))
 
 			// Re-compute on the changed graph: freeze and count support

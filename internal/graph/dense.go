@@ -1,0 +1,367 @@
+package graph
+
+import "fmt"
+
+// Dense is the mutable, index-oriented counterpart of Static: an
+// undirected simple graph whose vertices are interned to dense int32 ids
+// and whose edges carry dense int32 ids handed out by an allocator with a
+// free list. It is the substrate the dynamic maintenance engine runs on —
+// per-edge algorithm state (κ, traversal marks, witness sets) lives in
+// flat slices indexed by edge id instead of maps keyed by Edge values.
+//
+// Adjacency is one packed row per vertex: sorted (neighbor << 32 | edge id)
+// int64 entries, exactly the LiveAdj layout, but each row is an
+// independently growable slice so insertion works too. Inserting into a
+// row is a binary search plus a tail shift; Go's append doubles row
+// capacity, so the shift amortizes and rows keep slack for future inserts.
+// Common-neighbor queries merge two sorted rows (galloping over the larger
+// row when badly skewed) and hand back edge ids with no lookup structure.
+//
+// Intern tables: Pos-style external↔dense vertex mapping is kept in both
+// directions (a map one way, a slice the other); the Edge↔id mapping needs
+// no table at all — EdgeIDD binary-searches the smaller endpoint row, and
+// EdgeAt reads the endpoint arrays.
+//
+// Dense slots are recycled: removing an edge pushes its id on a free list
+// and the next insertion pops it, so edge ids stay packed in [0, EdgeCap)
+// and flat per-edge state never needs compaction. Vertex slots recycle the
+// same way once a vertex is removed.
+//
+// Dense is not safe for concurrent mutation; concurrent reads are safe.
+type Dense struct {
+	pos   map[Vertex]int32 // external id → dense id (live vertices only)
+	orig  []Vertex         // dense id → external id (stale on free slots)
+	vlive []bool           // vertex slot liveness
+	rows  [][]int64        // per-vertex sorted packed (nbr<<32 | eid)
+	edgeU []int32          // dense endpoints of edge i, edgeU < edgeV; -1 = free slot
+	edgeV []int32
+	freeE []int32 // freed edge ids, reused LIFO
+	freeV []int32 // freed vertex slots, reused LIFO
+	nv    int     // live vertices
+	ne    int     // live edges
+}
+
+// NewDense returns an empty dense graph.
+func NewDense() *Dense {
+	return &Dense{pos: make(map[Vertex]int32)}
+}
+
+// NewDenseFromStatic builds a Dense holding the same graph as s, with
+// identical dense vertex positions and edge ids — the bridge that lets a
+// fresh static decomposition's flat κ array be adopted by a dynamic
+// engine verbatim. The Static view is not retained.
+func NewDenseFromStatic(s *Static) *Dense {
+	n := s.NumVertices()
+	m := s.NumEdges()
+	d := &Dense{
+		pos:   make(map[Vertex]int32, n),
+		orig:  append([]Vertex(nil), s.OrigID...),
+		vlive: make([]bool, n),
+		rows:  make([][]int64, n),
+		edgeU: append([]int32(nil), s.EdgeU...),
+		edgeV: append([]int32(nil), s.EdgeV...),
+		nv:    n,
+		ne:    m,
+	}
+	for v, p := range s.Pos {
+		d.pos[v] = p
+	}
+	// One backing array for the initial rows; rows that later outgrow
+	// their segment are moved out by append's reallocation.
+	backing := make([]int64, len(s.AdjNbr))
+	for p, w := range s.AdjNbr {
+		backing[p] = packLive(w, s.AdjEdgeID[p])
+	}
+	for u := 0; u < n; u++ {
+		d.vlive[u] = true
+		d.rows[u] = backing[s.RowPtr[u]:s.RowPtr[u+1]:s.RowPtr[u+1]]
+	}
+	return d
+}
+
+// NumVertices returns the number of live vertices.
+func (d *Dense) NumVertices() int { return d.nv }
+
+// NumEdges returns the number of live edges.
+func (d *Dense) NumEdges() int { return d.ne }
+
+// VertexCap returns the number of dense vertex slots ever allocated;
+// per-vertex flat state should be sized to it.
+func (d *Dense) VertexCap() int { return len(d.orig) }
+
+// EdgeCap returns the number of dense edge slots ever allocated;
+// per-edge flat state should be sized to it.
+func (d *Dense) EdgeCap() int { return len(d.edgeU) }
+
+// DenseOf returns the dense id of a live external vertex.
+func (d *Dense) DenseOf(v Vertex) (int32, bool) {
+	p, ok := d.pos[v]
+	return p, ok
+}
+
+// OrigOf returns the external id of dense vertex u.
+func (d *Dense) OrigOf(u int32) Vertex { return d.orig[u] }
+
+// HasVertex reports whether external vertex v is live.
+func (d *Dense) HasVertex(v Vertex) bool {
+	_, ok := d.pos[v]
+	return ok
+}
+
+// Intern returns the dense id of external vertex v, allocating (or
+// recycling) a slot if v is not present. The boolean reports whether the
+// vertex was newly added.
+func (d *Dense) Intern(v Vertex) (int32, bool) {
+	if p, ok := d.pos[v]; ok {
+		return p, false
+	}
+	var p int32
+	if n := len(d.freeV); n > 0 {
+		p = d.freeV[n-1]
+		d.freeV = d.freeV[:n-1]
+		d.orig[p] = v
+		d.vlive[p] = true
+		d.rows[p] = d.rows[p][:0]
+	} else {
+		p = int32(len(d.orig))
+		d.orig = append(d.orig, v)
+		d.vlive = append(d.vlive, true)
+		d.rows = append(d.rows, nil)
+	}
+	d.pos[v] = p
+	d.nv++
+	return p, true
+}
+
+// RemoveVertexV frees the slot of external vertex v. The vertex must be
+// isolated (all incident edges already removed); it panics otherwise so a
+// dangling row can never corrupt later merges.
+func (d *Dense) RemoveVertexV(v Vertex) bool {
+	p, ok := d.pos[v]
+	if !ok {
+		return false
+	}
+	if len(d.rows[p]) != 0 {
+		panic(fmt.Sprintf("graph: RemoveVertexV(%d) with %d incident edges", v, len(d.rows[p])))
+	}
+	delete(d.pos, v)
+	d.vlive[p] = false
+	d.freeV = append(d.freeV, p)
+	d.nv--
+	return true
+}
+
+// packedSearch binary-searches sorted packed row for neighbor w, returning
+// the insertion index and whether the entry there is w.
+func packedSearch(row []int64, w int32) (int, bool) {
+	key := int64(w) << 32
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(row) && row[lo]>>32 == int64(w)
+}
+
+// insertPacked inserts entry into sorted row at position at.
+func insertPacked(row []int64, at int, entry int64) []int64 {
+	row = append(row, 0)
+	copy(row[at+1:], row[at:])
+	row[at] = entry
+	return row
+}
+
+// AddEdgeV inserts the undirected edge {u, v} over external ids, interning
+// endpoints as needed, and returns the edge's dense id. If the edge
+// already exists its current id is returned with added = false. It panics
+// on self-loops.
+func (d *Dense) AddEdgeV(u, v Vertex) (int32, bool) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on vertex %d", u))
+	}
+	du, _ := d.Intern(u)
+	dv, _ := d.Intern(v)
+	atU, ok := packedSearch(d.rows[du], dv)
+	if ok {
+		return int32(uint32(d.rows[du][atU])), false
+	}
+	var eid int32
+	if n := len(d.freeE); n > 0 {
+		eid = d.freeE[n-1]
+		d.freeE = d.freeE[:n-1]
+	} else {
+		eid = int32(len(d.edgeU))
+		d.edgeU = append(d.edgeU, 0)
+		d.edgeV = append(d.edgeV, 0)
+	}
+	a, b := du, dv
+	if a > b {
+		a, b = b, a
+	}
+	d.edgeU[eid], d.edgeV[eid] = a, b
+	d.rows[du] = insertPacked(d.rows[du], atU, packLive(dv, eid))
+	atV, _ := packedSearch(d.rows[dv], du)
+	d.rows[dv] = insertPacked(d.rows[dv], atV, packLive(du, eid))
+	d.ne++
+	return eid, true
+}
+
+// RemoveEdgeByID deletes live edge eid from both endpoint rows and
+// recycles its id.
+func (d *Dense) RemoveEdgeByID(eid int32) {
+	u, v := d.edgeU[eid], d.edgeV[eid]
+	if u < 0 {
+		panic(fmt.Sprintf("graph: RemoveEdgeByID(%d) on a free edge slot", eid))
+	}
+	d.removeFromRow(u, v)
+	d.removeFromRow(v, u)
+	d.edgeU[eid], d.edgeV[eid] = -1, -1
+	d.freeE = append(d.freeE, eid)
+	d.ne--
+}
+
+func (d *Dense) removeFromRow(u, w int32) {
+	row := d.rows[u]
+	at, ok := packedSearch(row, w)
+	if !ok {
+		panic(fmt.Sprintf("graph: dense row %d missing neighbor %d", u, w))
+	}
+	copy(row[at:], row[at+1:])
+	d.rows[u] = row[:len(row)-1]
+}
+
+// EdgeLive reports whether eid names a live edge.
+func (d *Dense) EdgeLive(eid int32) bool {
+	return eid >= 0 && int(eid) < len(d.edgeU) && d.edgeU[eid] >= 0
+}
+
+// EdgeEndpoints returns the dense endpoints of live edge eid.
+func (d *Dense) EdgeEndpoints(eid int32) (int32, int32) { return d.edgeU[eid], d.edgeV[eid] }
+
+// EdgeAt returns live edge eid as a canonical Edge over external ids.
+func (d *Dense) EdgeAt(eid int32) Edge {
+	return NewEdge(d.orig[d.edgeU[eid]], d.orig[d.edgeV[eid]])
+}
+
+// EdgeIDD returns the dense id of the edge between dense vertices u and v,
+// or -1, by binary search over the smaller row.
+func (d *Dense) EdgeIDD(u, v int32) int32 {
+	if len(d.rows[u]) > len(d.rows[v]) {
+		u, v = v, u
+	}
+	if at, ok := packedSearch(d.rows[u], v); ok {
+		return int32(uint32(d.rows[u][at]))
+	}
+	return -1
+}
+
+// EdgeIDV is EdgeIDD over external vertex ids.
+func (d *Dense) EdgeIDV(u, v Vertex) int32 {
+	du, okU := d.pos[u]
+	dv, okV := d.pos[v]
+	if !okU || !okV {
+		return -1
+	}
+	return d.EdgeIDD(du, dv)
+}
+
+// HasEdgeV reports whether the edge {u, v} (external ids) is present.
+func (d *Dense) HasEdgeV(u, v Vertex) bool { return d.EdgeIDV(u, v) >= 0 }
+
+// DegreeD returns the degree of dense vertex u.
+func (d *Dense) DegreeD(u int32) int { return len(d.rows[u]) }
+
+// ForEachNeighborD calls fn for each neighbor of dense vertex u in
+// ascending dense order, with the connecting edge id. If fn returns false
+// the iteration stops.
+func (d *Dense) ForEachNeighborD(u int32, fn func(w, eid int32) bool) {
+	for _, p := range d.rows[u] {
+		if !fn(int32(p>>32), int32(uint32(p))) {
+			return
+		}
+	}
+}
+
+// ForEachEdgeID calls fn for every live edge id in ascending id order.
+// If fn returns false the iteration stops.
+func (d *Dense) ForEachEdgeID(fn func(eid int32) bool) {
+	for i := range d.edgeU {
+		if d.edgeU[i] >= 0 {
+			if !fn(int32(i)) {
+				return
+			}
+		}
+	}
+}
+
+// ForEachTriangleEdgeD calls fn for each triangle {u, v, w} on the edge
+// between dense vertices u and v, passing the third vertex w (ascending
+// dense order) and the dense edge ids e1 = {u, w}, e2 = {v, w}. Balanced
+// rows are intersected by linear merge; badly skewed pairs switch to
+// binary search over the larger row. If fn returns false the iteration
+// stops.
+func (d *Dense) ForEachTriangleEdgeD(u, v int32, fn func(w, e1, e2 int32) bool) {
+	ra, rb := d.rows[u], d.rows[v]
+	if len(ra) > 16*len(rb) || len(rb) > 16*len(ra) {
+		swapped := len(ra) > len(rb)
+		if swapped {
+			ra, rb = rb, ra
+		}
+		j := 0
+		for _, pa := range ra {
+			w := int32(pa >> 32)
+			at, ok := packedSearch(rb[j:], w)
+			j += at
+			if !ok {
+				continue
+			}
+			e1, e2 := int32(uint32(pa)), int32(uint32(rb[j]))
+			if swapped {
+				e1, e2 = e2, e1
+			}
+			if !fn(w, e1, e2) {
+				return
+			}
+			j++
+		}
+		return
+	}
+	i, j := 0, 0
+	for i < len(ra) && j < len(rb) {
+		x, y := ra[i]>>32, rb[j]>>32
+		switch {
+		case x < y:
+			i++
+		case x > y:
+			j++
+		default:
+			if !fn(int32(x), int32(uint32(ra[i])), int32(uint32(rb[j]))) {
+				return
+			}
+			i++
+			j++
+		}
+	}
+}
+
+// Materialize builds a standalone mutable Graph holding the same vertices
+// and edges. It shares nothing with the Dense view.
+func (d *Dense) Materialize() *Graph {
+	g := NewWithCapacity(d.nv)
+	for p, v := range d.orig {
+		if !d.vlive[p] {
+			continue
+		}
+		g.AddVertex(v)
+		for _, packed := range d.rows[p] {
+			if w := int32(packed >> 32); int32(p) < w {
+				g.AddEdge(v, d.orig[w])
+			}
+		}
+	}
+	return g
+}

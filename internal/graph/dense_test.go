@@ -1,0 +1,221 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestDenseRandomOpsMirrorsGraph drives a Dense and a map-backed Graph
+// through the same randomized insert/delete stream and checks that every
+// membership query, count, and triangle listing agrees.
+func TestDenseRandomOpsMirrorsGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDense()
+	g := New()
+	const nv = 24
+	for step := 0; step < 4000; step++ {
+		u := Vertex(rng.Intn(nv))
+		v := Vertex(rng.Intn(nv))
+		if u == v {
+			continue
+		}
+		if g.HasEdge(u, v) {
+			eid := d.EdgeIDV(u, v)
+			if eid < 0 {
+				t.Fatalf("step %d: edge {%d,%d} in Graph but not Dense", step, u, v)
+			}
+			d.RemoveEdgeByID(eid)
+			g.RemoveEdge(u, v)
+		} else {
+			if _, added := d.AddEdgeV(u, v); !added {
+				t.Fatalf("step %d: Dense had edge {%d,%d} that Graph lacked", step, u, v)
+			}
+			g.AddEdge(u, v)
+		}
+		if d.NumEdges() != g.NumEdges() {
+			t.Fatalf("step %d: NumEdges %d != %d", step, d.NumEdges(), g.NumEdges())
+		}
+	}
+
+	// Every Graph edge resolves in Dense with consistent endpoints.
+	for _, e := range g.Edges() {
+		eid := d.EdgeIDV(e.U, e.V)
+		if eid < 0 {
+			t.Fatalf("edge %v missing from Dense", e)
+		}
+		if !d.EdgeLive(eid) {
+			t.Fatalf("edge %v id %d not live", e, eid)
+		}
+		if got := d.EdgeAt(eid); got != e {
+			t.Fatalf("EdgeAt(%d) = %v, want %v", eid, got, e)
+		}
+	}
+	// Triangle kernel agrees with the map-backed graph on every edge.
+	for _, e := range g.Edges() {
+		want := g.CommonNeighbors(e.U, e.V)
+		if want == nil {
+			want = []Vertex{}
+		}
+		du, _ := d.DenseOf(e.U)
+		dv, _ := d.DenseOf(e.V)
+		got := []Vertex{}
+		d.ForEachTriangleEdgeD(du, dv, func(w, e1, e2 int32) bool {
+			ow := d.OrigOf(w)
+			got = append(got, ow)
+			if a := d.EdgeAt(e1); a != NewEdge(e.U, ow) && a != NewEdge(e.V, ow) {
+				t.Fatalf("e1 of triangle {%v,%d}: got %v", e, ow, a)
+			}
+			if b := d.EdgeAt(e2); b != NewEdge(e.V, ow) {
+				t.Fatalf("e2 of triangle {%v,%d}: got %v, want %v", e, ow, b, NewEdge(e.V, ow))
+			}
+			return true
+		})
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("triangles on %v: got thirds %v, want %v", e, got, want)
+		}
+	}
+	// Materialize round-trips to an equal graph.
+	mg := d.Materialize()
+	if !reflect.DeepEqual(mg.Edges(), g.Edges()) {
+		t.Fatalf("Materialize edges mismatch")
+	}
+	if !reflect.DeepEqual(mg.Vertices(), g.Vertices()) {
+		t.Fatalf("Materialize vertices mismatch: got %v, want %v", mg.Vertices(), g.Vertices())
+	}
+}
+
+// TestDenseEdgeIDReuse checks the allocator recycles freed ids LIFO and
+// keeps ids packed below EdgeCap.
+func TestDenseEdgeIDReuse(t *testing.T) {
+	d := NewDense()
+	e0, _ := d.AddEdgeV(1, 2)
+	e1, _ := d.AddEdgeV(2, 3)
+	e2, _ := d.AddEdgeV(3, 1)
+	if e0 != 0 || e1 != 1 || e2 != 2 {
+		t.Fatalf("fresh ids = %d,%d,%d, want 0,1,2", e0, e1, e2)
+	}
+	d.RemoveEdgeByID(e1)
+	if d.EdgeLive(e1) {
+		t.Fatal("freed id still live")
+	}
+	r, added := d.AddEdgeV(5, 6)
+	if !added || r != e1 {
+		t.Fatalf("recycled id = %d (added=%v), want %d", r, added, e1)
+	}
+	if d.EdgeCap() != 3 {
+		t.Fatalf("EdgeCap = %d, want 3", d.EdgeCap())
+	}
+	if got := d.EdgeAt(r); got != NewEdge(5, 6) {
+		t.Fatalf("EdgeAt(recycled) = %v", got)
+	}
+}
+
+// TestDenseVertexReuse checks vertex slot recycling and the isolated-only
+// removal contract.
+func TestDenseVertexReuse(t *testing.T) {
+	d := NewDense()
+	d.AddEdgeV(10, 20)
+	p20, _ := d.DenseOf(20)
+	if d.RemoveVertexV(99) {
+		t.Fatal("removed an absent vertex")
+	}
+	eid := d.EdgeIDV(10, 20)
+	d.RemoveEdgeByID(eid)
+	if !d.RemoveVertexV(20) {
+		t.Fatal("failed to remove isolated vertex")
+	}
+	if d.HasVertex(20) {
+		t.Fatal("vertex 20 still present")
+	}
+	p, added := d.Intern(33)
+	if !added || p != p20 {
+		t.Fatalf("Intern(33) = slot %d (added=%v), want recycled slot %d", p, added, p20)
+	}
+	if d.NumVertices() != 2 {
+		t.Fatalf("NumVertices = %d, want 2", d.NumVertices())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RemoveVertexV on a non-isolated vertex did not panic")
+		}
+	}()
+	d.AddEdgeV(33, 10)
+	d.RemoveVertexV(33)
+}
+
+// TestDenseFromStatic checks that NewDenseFromStatic preserves the Static
+// view's dense vertex positions and edge ids exactly, and that the copy is
+// independently mutable.
+func TestDenseFromStatic(t *testing.T) {
+	g := FromPairs(1, 2, 2, 3, 3, 1, 3, 4, 4, 5, 5, 3, 1, 9)
+	s := FreezeStatic(g)
+	d := NewDenseFromStatic(s)
+
+	if d.NumVertices() != s.NumVertices() || d.NumEdges() != s.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d",
+			d.NumVertices(), d.NumEdges(), s.NumVertices(), s.NumEdges())
+	}
+	for i := 0; i < s.NumEdges(); i++ {
+		se := s.EdgeAt(int32(i))
+		if ge := d.EdgeAt(int32(i)); ge != se {
+			t.Fatalf("edge id %d: Dense %v != Static %v", i, ge, se)
+		}
+		if got := d.EdgeIDV(se.U, se.V); got != int32(i) {
+			t.Fatalf("EdgeIDV(%v) = %d, want %d", se, got, i)
+		}
+	}
+	for v, p := range s.Pos {
+		if dp, ok := d.DenseOf(v); !ok || dp != p {
+			t.Fatalf("DenseOf(%d) = %d, want %d", v, dp, p)
+		}
+	}
+
+	// Mutating the Dense copy must not disturb preserved ids: grow a row
+	// past its borrowed segment, then delete an original edge.
+	d.AddEdgeV(1, 100)
+	d.AddEdgeV(1, 101)
+	d.AddEdgeV(1, 102)
+	d.RemoveEdgeByID(d.EdgeIDV(3, 4))
+	if d.EdgeIDV(3, 4) >= 0 {
+		t.Fatal("deleted edge still resolves")
+	}
+	for _, e := range []Edge{NewEdge(1, 2), NewEdge(3, 5), NewEdge(1, 9)} {
+		if d.EdgeIDV(e.U, e.V) < 0 {
+			t.Fatalf("edge %v lost after mutation", e)
+		}
+	}
+}
+
+// TestDenseSkewedTriangleMerge exercises the galloping path: one endpoint
+// with a fat row against a degree-2 endpoint.
+func TestDenseSkewedTriangleMerge(t *testing.T) {
+	d := NewDense()
+	// Hub 0 connected to 1..100; vertex 200 connected to 0 and to a few
+	// of the hub's neighbors — each gives a triangle on edge {0, 200}.
+	for v := Vertex(1); v <= 100; v++ {
+		d.AddEdgeV(0, v)
+	}
+	d.AddEdgeV(0, 200)
+	wantThirds := []Vertex{7, 42, 99}
+	for _, w := range wantThirds {
+		d.AddEdgeV(200, w)
+	}
+	du, _ := d.DenseOf(0)
+	dv, _ := d.DenseOf(200)
+	var got []Vertex
+	d.ForEachTriangleEdgeD(du, dv, func(w, e1, e2 int32) bool {
+		got = append(got, d.OrigOf(w))
+		if d.EdgeIDD(du, w) != e1 || d.EdgeIDD(dv, w) != e2 {
+			t.Fatalf("edge ids wrong for third %d", d.OrigOf(w))
+		}
+		return true
+	})
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !reflect.DeepEqual(got, wantThirds) {
+		t.Fatalf("thirds = %v, want %v", got, wantThirds)
+	}
+}

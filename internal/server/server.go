@@ -7,18 +7,23 @@
 //
 // Endpoints (all JSON unless noted):
 //
-//	GET  /stats                     graph and κ summary
+//	GET  /healthz                   liveness probe
+//	GET  /stats                     graph and κ summary (O(1), maintained)
 //	GET  /kappa?u=U&v=V             κ and co-clique size of one edge
-//	GET  /histogram                 κ value → edge count
+//	GET  /histogram                 κ value → edge count (maintained)
 //	POST /edges                     {"add":[[u,v],...],"remove":[[u,v],...]}
 //	GET  /core?u=U&v=V              the edge's maximum Triangle K-Core
 //	GET  /communities?k=K           triangle-connected communities at level K
 //	GET  /plot.svg                  density plot (image/svg+xml)
 //	GET  /plot.txt                  density plot (text/plain ASCII)
+//
+// POST /edges applies the whole request as one dynamic.Engine.ApplyBatch,
+// and its body is capped at maxEdgesBody bytes.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"slices"
@@ -30,6 +35,11 @@ import (
 	"trikcore/internal/graph"
 	"trikcore/internal/plot"
 )
+
+// maxEdgesBody bounds the POST /edges request body (16 MiB ≈ a couple of
+// million edge operations), keeping a misbehaving client from ballooning
+// server memory.
+const maxEdgesBody = 16 << 20
 
 // Server wraps a dynamic engine with an HTTP API.
 type Server struct {
@@ -52,6 +62,7 @@ func New(g *graph.Graph) *Server {
 // Handler returns the route multiplexer.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /kappa", s.handleKappa)
 	mux.HandleFunc("GET /histogram", s.handleHistogram)
@@ -64,13 +75,17 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// writeJSON marshals v with a 200 status.
+// writeJSON marshals v with a 200 status. Marshaling happens before any
+// byte reaches the wire, so an encode failure still surfaces as a 500
+// instead of a silently truncated 200.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Too late for a status change; nothing useful to do.
+	data, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode response: %v", err)
 		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
 }
 
 // httpError writes a JSON error body.
@@ -105,17 +120,23 @@ type StatsReply struct {
 	Updates dynamic.Stats `json:"updates"`
 }
 
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	// MaxKappa, NumEdges and NumVertices are all maintained by the engine,
+	// so this handler does no per-request graph scan.
 	mk := s.en.MaxKappa()
 	proxy := mk + 2
-	if s.en.Graph().NumEdges() == 0 {
+	if s.en.NumEdges() == 0 {
 		proxy = 0
 	}
 	writeJSON(w, StatsReply{
-		Vertices:       s.en.Graph().NumVertices(),
-		Edges:          s.en.Graph().NumEdges(),
+		Vertices:       s.en.NumVertices(),
+		Edges:          s.en.NumEdges(),
 		MaxKappa:       mk,
 		MaxCliqueProxy: proxy,
 		Updates:        s.en.Stats(),
@@ -170,29 +191,37 @@ type EdgesReply struct {
 }
 
 func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxEdgesBody)
 	var req EdgesRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "bad body: %v", err)
 		return
 	}
-	for _, p := range append(append([][2]graph.Vertex{}, req.Add...), req.Remove...) {
+	// Removals precede additions, so an edge named in both ends up present
+	// (ApplyBatch lets the later op win), matching sequential semantics.
+	ops := make([]dynamic.EdgeOp, 0, len(req.Add)+len(req.Remove))
+	for _, p := range req.Remove {
 		if p[0] == p[1] {
 			httpError(w, http.StatusBadRequest, "self-loop on vertex %d", p[0])
 			return
 		}
+		ops = append(ops, dynamic.EdgeOp{U: p[0], V: p[1], Del: true})
+	}
+	for _, p := range req.Add {
+		if p[0] == p[1] {
+			httpError(w, http.StatusBadRequest, "self-loop on vertex %d", p[0])
+			return
+		}
+		ops = append(ops, dynamic.EdgeOp{U: p[0], V: p[1]})
 	}
 	var rep EdgesReply
 	s.mu.Lock()
-	for _, p := range req.Remove {
-		if s.en.DeleteEdge(p[0], p[1]) {
-			rep.Removed++
-		}
-	}
-	for _, p := range req.Add {
-		if s.en.InsertEdge(p[0], p[1]) {
-			rep.Added++
-		}
-	}
+	rep.Added, rep.Removed = s.en.ApplyBatch(ops)
 	s.mu.Unlock()
 	writeJSON(w, rep)
 }

@@ -237,3 +237,68 @@ func TestStatsEmptyGraph(t *testing.T) {
 		t.Fatalf("empty stats = %+v", rep)
 	}
 }
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	var rep map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &rep); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if rep["status"] != "ok" {
+		t.Fatalf("healthz = %v", rep)
+	}
+}
+
+func TestEdgesBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t)
+	// A syntactically endless "add" array larger than the body cap.
+	body := io.MultiReader(
+		strings.NewReader(`{"add":[`),
+		strings.NewReader(strings.Repeat("[1,2],", maxEdgesBody/6+1)),
+	)
+	resp, err := http.Post(ts.URL+"/edges", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status %d, want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+}
+
+// TestHistogramAfterUpdates checks the maintained histogram and stats stay
+// correct through batched updates: completing K6 then deleting it again.
+func TestHistogramAfterUpdates(t *testing.T) {
+	_, ts := newTestServer(t)
+	post := func(req EdgesRequest) {
+		t.Helper()
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/edges", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	post(EdgesRequest{Add: [][2]graph.Vertex{{6, 1}, {6, 2}, {6, 3}, {6, 4}, {6, 5}}})
+	var hist map[string]int
+	getJSON(t, ts.URL+"/histogram", &hist)
+	if hist["4"] != 15 || hist["0"] != 1 {
+		t.Fatalf("after K6 histogram = %v", hist)
+	}
+	var rep StatsReply
+	getJSON(t, ts.URL+"/stats", &rep)
+	if rep.MaxKappa != 4 || rep.Edges != 16 {
+		t.Fatalf("after K6 stats = %+v", rep)
+	}
+	// Remove vertex 6's edges again; everything returns to the seed state.
+	post(EdgesRequest{Remove: [][2]graph.Vertex{{6, 1}, {6, 2}, {6, 3}, {6, 4}, {6, 5}}})
+	hist = nil // Decode merges into a non-nil map; start fresh.
+	getJSON(t, ts.URL+"/histogram", &hist)
+	if hist["3"] != 10 || hist["0"] != 1 || len(hist) != 2 {
+		t.Fatalf("after teardown histogram = %v", hist)
+	}
+	getJSON(t, ts.URL+"/stats", &rep)
+	if rep.MaxKappa != 3 || rep.Edges != 11 {
+		t.Fatalf("after teardown stats = %+v", rep)
+	}
+}

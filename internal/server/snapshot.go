@@ -33,7 +33,9 @@ type SnapshotReply struct {
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	s.snapshot = s.en.Graph().Clone()
+	// Engine.Graph materializes a standalone snapshot already; no clone
+	// needed.
+	s.snapshot = s.en.Graph()
 	rep := SnapshotReply{Vertices: s.snapshot.NumVertices(), Edges: s.snapshot.NumEdges()}
 	s.mu.Unlock()
 	writeJSON(w, rep)
@@ -124,7 +126,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	snap := s.snapshot
-	live := s.en.Graph().Clone()
+	live := s.en.Graph()
 	s.mu.RUnlock()
 	if snap == nil {
 		httpError(w, http.StatusConflict, "no snapshot bookmarked; POST /snapshot first")

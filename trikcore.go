@@ -63,6 +63,8 @@ type (
 	Decomposition = core.Decomposition
 	// Engine maintains κ(e) incrementally under edge updates.
 	Engine = dynamic.Engine
+	// EdgeOp is one edge insertion or deletion for Engine.ApplyBatch.
+	EdgeOp = dynamic.EdgeOp
 	// EngineStats aggregates the work counters of an Engine.
 	EngineStats = dynamic.Stats
 	// Series is a density plot: vertices in traversal order with heights.
@@ -143,7 +145,9 @@ func Decompose(g *Graph) *Decomposition { return core.Decompose(g) }
 
 // NewEngine builds an incremental maintenance engine over a copy of g,
 // with κ initialized by Algorithm 1. Subsequent InsertEdge and DeleteEdge
-// calls keep κ exact (Algorithm 2).
+// calls keep κ exact (Algorithm 2); ApplyBatch applies a whole []EdgeOp
+// slice at once, deduplicating repeated edges and reusing traversal
+// scratch across operations.
 func NewEngine(g *Graph) *Engine { return dynamic.NewEngine(g) }
 
 // DensityPlot renders the clique-distribution plot of g from a Triangle
