@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fuzz ci
+.PHONY: all build test vet lint race debugrace bench fuzz fuzzchurn ci
 
 all: ci
 
@@ -13,10 +13,23 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Project static analysis: the trikcheck invariant rules (κ-funnel
+# discipline, deterministic output, guarded narrowing, no stdout in
+# libraries, no discarded errors) over every package. Exits non-zero on
+# the first finding.
+lint:
+	$(GO) run ./cmd/trikcheck
+
 # Race-enabled run of the packages with concurrent code paths (parallel
 # FreezeStatic build, work-stealing ComputeSupport) plus the full suite.
 race:
 	$(GO) test -race ./...
+
+# The core packages with every mutating operation asserting the full
+# Dense/Engine invariant suite (see internal/*/invariants.go), under the
+# race detector: the deepest correctness oracle the repo has.
+debugrace:
+	$(GO) test -tags trikdebug -race ./internal/graph ./internal/dynamic
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFreezeStatic$$|BenchmarkDecomposeStatic$$|BenchmarkTriangleCountStatic$$|BenchmarkEngineChurn$$' -benchmem -benchtime 3s .
@@ -24,4 +37,8 @@ bench:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFreezeStatic -fuzztime 30s ./internal/graph
 
-ci: vet build test race
+# Short invariant-checked fuzz of the dynamic engine (CI runs this too).
+fuzzchurn:
+	$(GO) test -run '^$$' -fuzz FuzzEngineChurn -fuzztime 20s -tags trikdebug ./internal/dynamic
+
+ci: vet lint build test race debugrace

@@ -1,0 +1,78 @@
+// trikcheck runs trikcore's in-tree static analyzer over every package
+// of the module and prints one line per finding:
+//
+//	internal/dynamic/engine.go:42:2: write to Engine.kappa outside the κ funnel (...) [kappa-funnel]
+//
+// It exits 1 when anything is reported, so `make lint` (and CI) fail on
+// the first invariant regression. Built entirely on the standard
+// library; see internal/analysis for the rules.
+//
+// Usage:
+//
+//	trikcheck [-C dir] [-rules name,name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"trikcore/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory inside the module to analyze")
+	ruleNames := flag.String("rules", "", "comma-separated rule subset (default: all)")
+	flag.Parse()
+
+	diags, err := run(*dir, *ruleNames)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trikcheck:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s:%d:%d: %s [%s]\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "trikcheck: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func run(dir, ruleNames string) ([]analysis.Diagnostic, error) {
+	root, err := analysis.FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	rules := analysis.AllRules()
+	if ruleNames != "" {
+		rules = rules[:0]
+		for _, name := range strings.Split(ruleNames, ",") {
+			r, ok := analysis.RuleByName(strings.TrimSpace(name))
+			if !ok {
+				return nil, fmt.Errorf("unknown rule %q", name)
+			}
+			rules = append(rules, r)
+		}
+	}
+	l, err := analysis.NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	var diags []analysis.Diagnostic
+	for _, p := range pkgs {
+		for _, d := range analysis.RunRules(p, rules) {
+			if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+				d.Pos.Filename = rel
+			}
+			diags = append(diags, d)
+		}
+	}
+	return diags, nil
+}

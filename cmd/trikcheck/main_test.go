@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+// TestTreeIsClean runs every rule over every package of the module and
+// requires zero findings — the repository itself must satisfy its own
+// invariants. A failure here prints the same lines `make lint` would.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short")
+	}
+	diags, err := run(".", "")
+	if err != nil {
+		t.Fatalf("trikcheck: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+	}
+}

@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"sort"
 
 	"trikcore"
 )
@@ -25,7 +26,19 @@ func main() {
 	// Algorithm 1: κ(e) for every edge.
 	d := trikcore.Decompose(g)
 	fmt.Println("edge κ values (maximum Triangle K-Core numbers):")
-	for e, k := range d.EdgeKappas() {
+	kappas := d.EdgeKappas()
+	edges := make([]trikcore.Edge, 0, len(kappas))
+	for e := range kappas {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	for _, e := range edges {
+		k := kappas[e]
 		fmt.Printf("  %-6s κ=%d  (participates in a clique of about %d vertices)\n", e, k, k+2)
 	}
 	fmt.Printf("max κ: %d → the densest structure is about a %d-clique\n\n", d.MaxKappa, d.MaxKappa+2)

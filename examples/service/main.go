@@ -50,8 +50,9 @@ func main() {
 	body, _ := json.Marshal(payload)
 	resp, err := http.Post(srv.URL+"/edges", "application/json", bytes.NewReader(body))
 	must(err)
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	must(err)
+	must(resp.Body.Close())
 	fmt.Printf("\n--> POST /edges (%d new links)\n", len(payload.Add))
 
 	fmt.Printf("\n--> GET /kappa?u=600&v=601\n%s", get("/kappa?u=600&v=601"))

@@ -1,0 +1,160 @@
+// Package analysis is trikcore's in-tree static analyzer: a small driver
+// built entirely on the standard library (go/parser, go/types and the
+// source importer — no golang.org/x/tools dependency) plus the project
+// rules cmd/trikcheck runs over every package of the module.
+//
+// The rules encode invariants the test suite cannot see syntactically:
+//
+//	kappa-funnel     κ state is only written through the engine funnel
+//	map-order        output packages never emit map-ordered data
+//	unchecked-narrow int32/uint32 narrowing in core packages is guarded
+//	no-stdout        library packages do not print to stdout
+//	discarded-error  error results are not silently dropped
+//
+// Each rule runs over one type-checked Package at a time and reports
+// position-anchored Diagnostics. Fixture packages under testdata exercise
+// every rule with vet-style `// want "regexp"` annotations.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+}
+
+// Rule is one check. Applies gates it by module-relative package
+// directory ("" is the module root); Run inspects the package through the
+// Pass and reports findings.
+type Rule struct {
+	Name    string
+	Doc     string
+	Applies func(rel string) bool
+	Run     func(p *Pass)
+}
+
+// Pass carries one rule's execution over one package.
+type Pass struct {
+	Pkg   *Package
+	Rule  string
+	diags []Diagnostic
+
+	checkedLines map[string]map[int]bool // filename → lines carrying //trikcheck:checked
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Rule:    p.Rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// checkedMarker is the annotation that acknowledges a reviewed narrowing
+// conversion; it suppresses unchecked-narrow on its own line and the line
+// directly below it.
+const checkedMarker = "trikcheck:checked"
+
+// Checked reports whether pos sits on (or directly below) a line carrying
+// a //trikcheck:checked annotation.
+func (p *Pass) Checked(pos token.Pos) bool {
+	if p.checkedLines == nil {
+		p.checkedLines = make(map[string]map[int]bool)
+		for _, f := range p.Pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.Contains(c.Text, checkedMarker) {
+						continue
+					}
+					cp := p.Pkg.Fset.Position(c.Pos())
+					lines := p.checkedLines[cp.Filename]
+					if lines == nil {
+						lines = make(map[int]bool)
+						p.checkedLines[cp.Filename] = lines
+					}
+					lines[cp.Line] = true
+				}
+			}
+		}
+	}
+	at := p.Pkg.Fset.Position(pos)
+	lines := p.checkedLines[at.Filename]
+	return lines[at.Line] || lines[at.Line-1]
+}
+
+// AllRules returns every rule trikcheck runs, in reporting order.
+func AllRules() []Rule {
+	return []Rule{KappaFunnel, MapOrder, UncheckedNarrow, NoStdout, DiscardedError}
+}
+
+// RuleByName returns the named rule, or false.
+func RuleByName(name string) (Rule, bool) {
+	for _, r := range AllRules() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// RunRules executes the given rules over one package, honoring each
+// rule's Applies gate, and returns the findings sorted by position.
+func RunRules(pkg *Package, rules []Rule) []Diagnostic {
+	var out []Diagnostic
+	for _, r := range rules {
+		if r.Applies != nil && !r.Applies(pkg.Rel) {
+			continue
+		}
+		pass := &Pass{Pkg: pkg, Rule: r.Name}
+		r.Run(pass)
+		out = append(out, pass.diags...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// funcDecls yields every top-level function declaration with a body.
+func funcDecls(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// wantRe parses vet-style fixture annotations: `// want "regexp"`.
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+var (
+	loaderOnce sync.Once
+	loaderInst *Loader
+	loaderErr  error
+)
+
+// fixtureLoader shares one Loader (and so one type-checked standard
+// library) across all fixture tests.
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		var root string
+		root, loaderErr = FindModuleRoot(".")
+		if loaderErr != nil {
+			return
+		}
+		loaderInst, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("building fixture loader: %v", loaderErr)
+	}
+	return loaderInst
+}
+
+// TestRules runs each rule over its golden fixture package and compares
+// the findings against the vet-style `// want "regexp"` annotations: a
+// diagnostic must land on an annotated line and match its regexp, every
+// annotation must be hit, and unannotated lines must stay silent.
+func TestRules(t *testing.T) {
+	cases := []struct {
+		dir  string // fixture directory under testdata
+		rel  string // module-relative path the fixture pretends to live at
+		rule string
+	}{
+		{"kappafunnel", "internal/dynamic", "kappa-funnel"},
+		{"maporder", "internal/plot", "map-order"},
+		{"narrow", "internal/graph", "unchecked-narrow"},
+		{"nostdout", "internal/report", "no-stdout"},
+		{"nostdout_cmd", "cmd/demo", "no-stdout"}, // Applies gate: binaries may print
+		{"discarderr", "internal/store", "discarded-error"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			l := fixtureLoader(t)
+			pkg, err := l.LoadDir(filepath.Join("testdata", tc.dir), tc.rel)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			rule, ok := RuleByName(tc.rule)
+			if !ok {
+				t.Fatalf("unknown rule %q", tc.rule)
+			}
+			checkFixture(t, pkg, rule)
+		})
+	}
+}
+
+type expectation struct {
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func checkFixture(t *testing.T, pkg *Package, rule Rule) {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants[pos.Filename] = append(wants[pos.Filename], &expectation{line: pos.Line, re: re})
+			}
+		}
+	}
+
+	for _, d := range RunRules(pkg, []Rule{rule}) {
+		matched := false
+		for _, w := range wants[d.Pos.Filename] {
+			if w.line == d.Pos.Line && !w.hit && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for file, ws := range wants {
+		for _, w := range ws {
+			if !w.hit {
+				t.Errorf("%s:%d: no diagnostic matched %q", file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// TestRuleMetadata keeps the rule set well-formed: unique names, docs,
+// and an Applies gate on every rule.
+func TestRuleMetadata(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, r := range AllRules() {
+		if r.Name == "" || r.Doc == "" || r.Applies == nil || r.Run == nil {
+			t.Errorf("rule %+v incompletely defined", r.Name)
+		}
+		if seen[r.Name] {
+			t.Errorf("duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+}

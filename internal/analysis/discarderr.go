@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DiscardedError flags error results that are dropped on the floor: a
+// call used as a bare statement, or an assignment whose left side is all
+// blanks, when the call returns an error. Dropped errors in this codebase
+// have concrete failure modes — a CSV row that never reached disk, a
+// truncated SVG — so a discard must either handle the error or keep a
+// visible `_ = err` acknowledging why not. Exempt by construction:
+//
+//   - deferred and go'ed calls (defer f.Close() cleanup idiom);
+//   - fmt.Print/Printf/Println — terminal printing is best-effort, and
+//     the no-stdout rule already restricts where it may happen;
+//   - writes whose sink cannot fail or has nowhere to report: a
+//     strings.Builder, bytes.Buffer, http.ResponseWriter, or os.Stderr /
+//     os.Stdout via the fmt.Fprint family.
+var DiscardedError = Rule{
+	Name:    "discarded-error",
+	Doc:     "error results must be handled or visibly acknowledged",
+	Applies: func(rel string) bool { return true },
+	Run:     runDiscardedError,
+}
+
+func runDiscardedError(p *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	info := p.Pkg.Info
+
+	returnsError := func(call *ast.CallExpr) bool {
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return false // conversion, not a call
+		}
+		tv, ok := info.Types[call]
+		if !ok {
+			return false
+		}
+		switch t := tv.Type.(type) {
+		case *types.Tuple:
+			return t.Len() > 0 && types.Identical(t.At(t.Len()-1).Type(), errType)
+		default:
+			return types.Identical(tv.Type, errType)
+		}
+	}
+
+	flag := func(call *ast.CallExpr) {
+		if exemptDiscard(p, call) {
+			return
+		}
+		p.Reportf(call.Pos(), "call to %s discards its error result", types.ExprString(call.Fun))
+	}
+
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok && returnsError(call) {
+					flag(call)
+				}
+			case *ast.AssignStmt:
+				allBlank := true
+				for _, lhs := range stmt.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						allBlank = false
+						break
+					}
+				}
+				if allBlank && len(stmt.Rhs) == 1 {
+					if call, ok := stmt.Rhs[0].(*ast.CallExpr); ok && returnsError(call) {
+						flag(call)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// exemptDiscard reports whether a discarded error is acceptable: console
+// printing, or a write into a sink that cannot meaningfully fail.
+func exemptDiscard(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	info := p.Pkg.Info
+
+	// fmt.Print family, and fmt.Fprint family into an exempt sink.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			if stdoutPrinters[sel.Sel.Name] {
+				return true
+			}
+			if strings.HasPrefix(sel.Sel.Name, "Fprint") && len(call.Args) > 0 {
+				arg := ast.Unparen(call.Args[0])
+				switch types.ExprString(arg) {
+				case "os.Stderr", "os.Stdout":
+					return true
+				}
+				if tv, ok := info.Types[arg]; ok && infallibleSink(tv.Type) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+
+	// Method call on an infallible sink (b.WriteString, w.Write, ...).
+	if s, ok := info.Selections[sel]; ok && infallibleSink(s.Recv()) {
+		return true
+	}
+	return false
+}
+
+// infallibleSink reports whether t is a writer whose errors are either
+// impossible (in-memory builders) or unreportable past this point (an
+// HTTP response already in flight).
+func infallibleSink(t types.Type) bool {
+	s := strings.TrimPrefix(t.String(), "*")
+	switch s {
+	case "strings.Builder", "bytes.Buffer", "net/http.ResponseWriter":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// kappaFunnelAllowed are the functions permitted to write κ state:
+// transition (the funnel itself, maintaining hist and maxK), setKappa
+// (the κ-array write paired with its transition), NewEngine (engine
+// construction) and ensureEdgeCap (growing the κ array for new slots).
+var kappaFunnelAllowed = map[string]bool{
+	"transition":    true,
+	"setKappa":      true,
+	"NewEngine":     true,
+	"ensureEdgeCap": true,
+}
+
+// KappaFunnel enforces the engine's central bookkeeping discipline: the
+// kappa, hist and maxK fields of Engine are written only inside the
+// funnel functions above. Everything else must go through setKappa /
+// transition, which keep the histogram, maxK and the change observer in
+// lockstep with the κ array — a direct field write elsewhere silently
+// desynchronizes all three.
+var KappaFunnel = Rule{
+	Name:    "kappa-funnel",
+	Doc:     "Engine.kappa/hist/maxK are written only via transition/setKappa and construction",
+	Applies: func(rel string) bool { return rel == "internal/dynamic" },
+	Run:     runKappaFunnel,
+}
+
+func runKappaFunnel(p *Pass) {
+	obj := p.Pkg.Types.Scope().Lookup("Engine")
+	if obj == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	guarded := make(map[*types.Var]string)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch f.Name() {
+		case "kappa", "hist", "maxK":
+			guarded[f] = f.Name()
+		}
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	report := func(pos ast.Expr, name string) {
+		p.Reportf(pos.Pos(),
+			"write to Engine.%s outside the κ funnel (allowed: transition, setKappa, NewEngine, ensureEdgeCap)",
+			name)
+	}
+	check := func(e ast.Expr) {
+		for {
+			switch x := e.(type) {
+			case *ast.IndexExpr:
+				e = x.X
+				continue
+			case *ast.ParenExpr:
+				e = x.X
+				continue
+			case *ast.StarExpr:
+				e = x.X
+				continue
+			}
+			break
+		}
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		s, ok := p.Pkg.Info.Selections[sel]
+		if !ok {
+			return
+		}
+		if v, ok := s.Obj().(*types.Var); ok {
+			if name, hit := guarded[v]; hit {
+				report(sel, name)
+			}
+		}
+	}
+
+	for _, fd := range funcDecls(p.Pkg) {
+		if kappaFunnelAllowed[fd.Name.Name] {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range stmt.Lhs {
+					check(lhs)
+				}
+			case *ast.IncDecStmt:
+				check(stmt.X)
+			}
+			return true
+		})
+	}
+}

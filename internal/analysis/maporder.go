@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// mapOrderPackages are the output-producing packages where map-ordered
+// emission would make plots, reports, tables or HTTP responses differ
+// between identical runs.
+var mapOrderPackages = map[string]bool{
+	"internal/plot":   true,
+	"internal/report": true,
+	"internal/expt":   true,
+	"internal/server": true,
+	"internal/table":  true,
+}
+
+// mapOrderWriterMethods are method/function names that emit bytes; a call
+// to one inside a map range writes in random order with no later fix
+// possible.
+var mapOrderWriterMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// MapOrder flags `for range` over a map in output packages when the loop
+// body appends to a slice that is never sorted afterwards, or writes
+// directly to an encoder/writer. Go randomizes map iteration order, so
+// either pattern makes two runs over the same graph produce different
+// bytes. Ranging a map to build another map (or a sum) is fine — order
+// does not reach the output.
+var MapOrder = Rule{
+	Name:    "map-order",
+	Doc:     "output packages must sort before emitting data gathered from a map range",
+	Applies: func(rel string) bool { return mapOrderPackages[rel] },
+	Run:     runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, fd := range funcDecls(p.Pkg) {
+		// Gather every sort-like call in the function with its position,
+		// so a range loop can be cleared by a sort that runs after it.
+		type sortCall struct {
+			end     ast.Node
+			argText string
+		}
+		var sorts []sortCall
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if isSortCall(call) {
+				sorts = append(sorts, sortCall{end: call, argText: types.ExprString(call.Args[0])})
+			}
+			return true
+		})
+		sortedAfter := func(n ast.Node, slice string) bool {
+			for _, s := range sorts {
+				if s.end.Pos() > n.End() && s.argText == slice {
+					return true
+				}
+			}
+			return false
+		}
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rng.Body, func(b ast.Node) bool {
+				switch stmt := b.(type) {
+				case *ast.AssignStmt:
+					for i, rhs := range stmt.Rhs {
+						call, ok := rhs.(*ast.CallExpr)
+						if !ok || !isBuiltinAppend(p, call) || i >= len(stmt.Lhs) {
+							continue
+						}
+						slice := types.ExprString(stmt.Lhs[i])
+						if !sortedAfter(rng, slice) {
+							p.Reportf(rng.For,
+								"appends to %s while ranging over a map and never sorts it; map iteration order varies run to run", slice)
+						}
+					}
+				case *ast.CallExpr:
+					if sel, ok := stmt.Fun.(*ast.SelectorExpr); ok && mapOrderWriterMethods[sel.Sel.Name] {
+						p.Reportf(rng.For,
+							"writes output via %s.%s while ranging over a map; map iteration order varies run to run",
+							types.ExprString(sel.X), sel.Sel.Name)
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Pkg.Info.Uses[id]
+	_, builtin := obj.(*types.Builtin)
+	return builtin && id.Name == "append"
+}
+
+// isSortCall recognizes sort.*/slices.Sort* calls plus any function whose
+// name mentions sorting (a project helper).
+func isSortCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok && (x.Name == "sort" || x.Name == "slices") {
+			return x.Name == "sort" || strings.HasPrefix(fun.Sel.Name, "Sort")
+		}
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	}
+	return false
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// UncheckedNarrow flags int32/uint32 conversions in the core packages
+// (internal/graph, internal/dynamic) whose operand is a wider integer and
+// which carry no evidence of a bounds guard. The dense substrate packs
+// vertex positions and edge ids into 32 bits; an unguarded narrowing of a
+// length or index silently corrupts adjacency rows once a graph crosses
+// 2^31 entities. A conversion is accepted when:
+//
+//   - the operand is a constant (the checker has already ranged it);
+//   - the operand is itself ≤32 bits wide (widening or sign-flip only);
+//   - the operand is `x >> c` with c ≥ 32 (extracting the packed high half);
+//   - it is the inner half of the int32(uint32(x)) low-half idiom;
+//   - the line (or the line above) carries a //trikcheck:checked
+//     annotation naming the guard that bounds the value.
+var UncheckedNarrow = Rule{
+	Name:    "unchecked-narrow",
+	Doc:     "int32/uint32 narrowing in core packages needs a guard or //trikcheck:checked",
+	Applies: func(rel string) bool { return rel == "internal/graph" || rel == "internal/dynamic" },
+	Run:     runUncheckedNarrow,
+}
+
+func runUncheckedNarrow(p *Pass) {
+	info := p.Pkg.Info
+
+	conversionTo := func(call *ast.CallExpr, kinds ...types.BasicKind) bool {
+		if len(call.Args) != 1 {
+			return false
+		}
+		tv, ok := info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok {
+			return false
+		}
+		for _, k := range kinds {
+			if b.Kind() == k {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, f := range p.Pkg.Files {
+		// First pass: the masking idiom int32(uint32(x)) deliberately keeps
+		// the low 32 bits; its inner conversion is exempt.
+		maskingInner := make(map[*ast.CallExpr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			outer, ok := n.(*ast.CallExpr)
+			if !ok || !conversionTo(outer, types.Int32) {
+				return true
+			}
+			if inner, ok := ast.Unparen(outer.Args[0]).(*ast.CallExpr); ok && conversionTo(inner, types.Uint32) {
+				maskingInner[inner] = true
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || maskingInner[call] || !conversionTo(call, types.Int32, types.Uint32) {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			atv := info.Types[arg]
+			if atv.Value != nil {
+				return true // constant: already range-checked by the compiler
+			}
+			if b, ok := atv.Type.Underlying().(*types.Basic); ok {
+				switch b.Kind() {
+				case types.Int8, types.Int16, types.Int32, types.Uint8, types.Uint16, types.Uint32, types.Bool:
+					return true // operand no wider than the target
+				}
+			}
+			if isHighHalfShift(info, arg) {
+				return true
+			}
+			if p.Checked(call.Pos()) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"unchecked narrowing %s: guard the value or annotate the guard with //trikcheck:checked",
+				types.ExprString(call))
+			return true
+		})
+	}
+}
+
+// isHighHalfShift reports whether e is `x >> c` with constant c ≥ 32 —
+// the packed-adjacency high-half extraction, whose result always fits.
+func isHighHalfShift(info *types.Info, e ast.Expr) bool {
+	bin, ok := e.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.SHR {
+		return false
+	}
+	tv, ok := info.Types[bin.Y]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	c, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return ok && c >= 32
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoStdout flags stdout writes — fmt.Print/Printf/Println calls and any
+// mention of os.Stdout — in library packages. Binaries (cmd/, examples/)
+// and the experiment driver internal/expt own the terminal; a library
+// that prints corrupts machine-readable output (the server's JSON, the
+// experiment CSVs) and cannot be silenced by its embedder. Libraries that
+// need to emit text take an io.Writer.
+var NoStdout = Rule{
+	Name: "no-stdout",
+	Doc:  "library packages must not print to stdout",
+	Applies: func(rel string) bool {
+		if rel == "cmd" || strings.HasPrefix(rel, "cmd/") {
+			return false
+		}
+		if rel == "examples" || strings.HasPrefix(rel, "examples/") {
+			return false
+		}
+		return rel != "internal/expt"
+	},
+	Run: runNoStdout,
+}
+
+var stdoutPrinters = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+func runNoStdout(p *Pass) {
+	isPkg := func(x ast.Expr, path string) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+		return ok && pn.Imported().Path() == path
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case stdoutPrinters[sel.Sel.Name] && isPkg(sel.X, "fmt"):
+				p.Reportf(sel.Pos(), "library package writes to stdout via fmt.%s; take an io.Writer instead", sel.Sel.Name)
+			case sel.Sel.Name == "Stdout" && isPkg(sel.X, "os"):
+				p.Reportf(sel.Pos(), "library package writes to stdout via os.Stdout; take an io.Writer instead")
+			}
+			return true
+		})
+	}
+}

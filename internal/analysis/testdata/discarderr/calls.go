@@ -1,0 +1,40 @@
+// Fixture for the discarded-error rule: silently dropped errors against
+// the handled, acknowledged and infallible-sink shapes that are fine.
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func flush() error       { return nil }
+func read() (int, error) { return 0, nil }
+func count() int         { return 0 }
+
+func bad(f *os.File) {
+	flush()       // want "call to flush discards its error result"
+	_ = flush()   // want "call to flush discards its error result"
+	_, _ = read() // want "call to read discards its error result"
+	f.Sync()      // want "call to f.Sync discards its error result"
+}
+
+func good(f *os.File) error {
+	if err := flush(); err != nil {
+		return err
+	}
+	n, _ := read() // ok: the value is kept, the drop is visible
+	count()        // ok: no error to lose
+
+	var b strings.Builder
+	b.WriteString("rows: ")  // ok: Builder writes cannot fail
+	fmt.Fprintf(&b, "%d", n) // ok: Builder sink
+	var buf bytes.Buffer
+	buf.WriteByte('\n')            // ok: Buffer writes cannot fail
+	fmt.Println(b.String())        // ok: console printing is best-effort
+	fmt.Fprintln(os.Stderr, "bye") // ok: stderr sink
+
+	defer f.Close() // ok: deferred cleanup
+	return nil
+}

@@ -1,0 +1,63 @@
+// Fixture for the map-order rule: map ranges that leak iteration order
+// into output, and the sorted/slice-backed shapes that are fine.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "appends to keys while ranging over a map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func streamDirectly(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "writes output via w.Write while ranging over a map"
+		w.Write([]byte(fmt.Sprint(k, v)))
+	}
+}
+
+func printDirectly(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "writes output via fmt.Fprintf while ranging over a map"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // ok: sorted before anything is emitted
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectSortedSlices(m map[string]int) []int {
+	var vals []int
+	for _, v := range m { // ok: sorted before anything is emitted
+		vals = append(vals, v)
+	}
+	sortInts(vals)
+	return vals
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+func overSlice(w io.Writer, xs []string) {
+	for _, x := range xs { // ok: slices iterate deterministically
+		fmt.Fprintln(w, x)
+	}
+}
+
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m { // ok: order never reaches the output
+		out[k] = v * 2
+	}
+	return out
+}

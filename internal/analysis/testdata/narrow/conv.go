@@ -1,0 +1,40 @@
+// Fixture for the unchecked-narrow rule: 64→32 bit conversions with and
+// without guards, plus the packed-word idioms that are exempt by shape.
+package graph
+
+func lengths(xs []int64, n int) (int32, int32) {
+	a := int32(len(xs)) // want "unchecked narrowing int32"
+	b := int32(n)       // want "unchecked narrowing int32"
+	return a, b
+}
+
+func toUnsigned(v int64) uint32 {
+	return uint32(v) // want "unchecked narrowing uint32"
+}
+
+func guardedLength(xs []int64) int32 {
+	if len(xs) >= 1<<31 {
+		panic("too many")
+	}
+	return int32(len(xs)) //trikcheck:checked bounded by the panic above
+}
+
+func guardedAbove(n int) int32 {
+	//trikcheck:checked caller bounds n to the vertex capacity
+	return int32(n)
+}
+
+func packedHalves(packed int64) (int32, int32) {
+	hi := int32(packed >> 32)   // ok: high half always fits
+	lo := int32(uint32(packed)) // ok: deliberate low-half masking
+	return hi, lo
+}
+
+func smallOperands(a int16, b uint32, c int32) (int32, int32, uint32) {
+	return int32(a), int32(b), uint32(c) // ok: operands are ≤32 bits already
+}
+
+func constants() int32 {
+	const big = 1 << 20
+	return int32(big) + int32(0) // ok: constants are compiler-checked
+}

@@ -1,0 +1,28 @@
+// Fixture for the no-stdout rule: terminal printing from a library
+// package, against the io.Writer shapes libraries should use.
+package report
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func announce(x int) {
+	fmt.Println("result:", x)         // want "library package writes to stdout via fmt.Println"
+	fmt.Printf("result: %d\n", x)     // want "library package writes to stdout via fmt.Printf"
+	fmt.Print(x)                      // want "library package writes to stdout via fmt.Print"
+	fmt.Fprintf(os.Stdout, "%d\n", x) // want "library package writes to stdout via os.Stdout"
+}
+
+func logWarning(x int) {
+	fmt.Fprintln(os.Stderr, "warning:", x) // ok: stderr is not machine-read output
+}
+
+func render(w io.Writer, x int) {
+	fmt.Fprintf(w, "result: %d\n", x) // ok: the embedder chooses the sink
+}
+
+func format(x int) string {
+	return fmt.Sprintf("result: %d", x) // ok: no I/O at all
+}

@@ -1,0 +1,15 @@
+// Negative fixture for the no-stdout rule: the same printing is fine in
+// a cmd/ package, where the binary owns the terminal. The harness checks
+// the rule's Applies gate leaves this package untouched.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	fmt.Println("hello") // ok: binaries own stdout
+	fmt.Printf("%d\n", 42)
+	fmt.Fprintln(os.Stdout, "direct")
+}

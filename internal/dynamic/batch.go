@@ -82,5 +82,6 @@ func (en *Engine) ApplyBatch(ops []EdgeOp) (added, removed int) {
 			}
 		}
 	}
+	en.debugAssert()
 	return added, removed
 }

@@ -1,0 +1,8 @@
+//go:build trikdebug
+
+package dynamic
+
+// debugChecks enables the invariant assertions after every public
+// mutating engine operation. Build (or test) with -tags trikdebug to turn
+// the suite into a deep consistency oracle: `make debugrace`.
+const debugChecks = true

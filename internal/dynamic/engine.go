@@ -154,6 +154,15 @@ func (en *Engine) ensureVertexCap() {
 	}
 }
 
+// setKappa writes κ(eid) = new and records the transition from old. With
+// transition it is the funnel every κ write outside engine construction
+// goes through; trikcheck's kappa-funnel rule rejects direct writes to
+// kappa, hist or maxK anywhere else.
+func (en *Engine) setKappa(eid, old, new int32) {
+	en.kappa[eid] = new
+	en.transition(eid, old, new)
+}
+
 // transition records a κ change of edge eid (old or new may be -1 for
 // edge creation/removal), maintaining the histogram, maxK and the change
 // observer. It is the single funnel every κ movement goes through.
@@ -162,7 +171,7 @@ func (en *Engine) transition(eid, old, new int32) {
 		en.hist[old]--
 	}
 	if new >= 0 {
-		for int32(len(en.hist)) <= new {
+		for int32(len(en.hist)) <= new { //trikcheck:checked hist has maxK+1 ≤ int32 buckets
 			en.hist = append(en.hist, 0)
 		}
 		en.hist[new]++
@@ -225,6 +234,7 @@ func (en *Engine) MaxKappa() int32 { return en.maxK }
 func (en *Engine) AddVertex(v graph.Vertex) bool {
 	_, added := en.d.Intern(v)
 	en.ensureVertexCap()
+	en.debugAssert()
 	return added
 }
 
@@ -243,21 +253,27 @@ func (en *Engine) RemoveVertex(v graph.Vertex) bool {
 	for _, w := range nbrs {
 		en.DeleteEdge(v, w)
 	}
-	return en.d.RemoveVertexV(v)
+	ok = en.d.RemoveVertexV(v)
+	en.debugAssert()
+	return ok
 }
 
 // InsertEdge adds the edge {u, v}, creating endpoints as needed, and
 // updates κ for every affected edge. It reports whether the edge was new.
 func (en *Engine) InsertEdge(u, v graph.Vertex) bool {
 	var tris []int32
-	return en.insertEdgeCanon(u, v, &tris)
+	added := en.insertEdgeCanon(u, v, &tris)
+	en.debugAssert()
+	return added
 }
 
 // DeleteEdge removes the edge {u, v} and updates κ for every affected
 // edge. Endpoints are kept. It reports whether the edge existed.
 func (en *Engine) DeleteEdge(u, v graph.Vertex) bool {
 	var tris []int32
-	return en.deleteEdgeCanon(u, v, &tris)
+	removed := en.deleteEdgeCanon(u, v, &tris)
+	en.debugAssert()
+	return removed
 }
 
 // insertEdgeCanon is InsertEdge with a caller-supplied triangle buffer, so
@@ -272,8 +288,7 @@ func (en *Engine) insertEdgeCanon(u, v graph.Vertex, tris *[]int32) bool {
 	}
 	en.ensureEdgeCap()
 	en.ensureVertexCap()
-	en.kappa[eid] = 0
-	en.transition(eid, -1, 0)
+	en.setKappa(eid, -1, 0)
 	en.stats.Insertions++
 
 	// The new edge forms one triangle per common neighbor. Activate them

@@ -7,14 +7,22 @@ import (
 	"trikcore/internal/graph"
 )
 
-// FuzzEngineOps interprets fuzz bytes as a sequence of edge toggles over
-// a small vertex universe and verifies three engines against each other
-// and against a full recomputation at the end: one applying the ops one
-// by one, one applying them through ApplyBatch in chunks, and a
+// FuzzEngineChurn interprets fuzz bytes as a sequence of edge toggles
+// over a small vertex universe and verifies three engines against each
+// other and against a full recomputation at the end: one applying the
+// ops one by one, one applying them through ApplyBatch in chunks, and a
 // TrackedEngine (whose witness invariants are checked too). Toggles are
 // resolved into explicit insert/delete ops against the per-op engine's
 // state, so all three see the same operation stream.
-func FuzzEngineOps(f *testing.F) {
+//
+// Under `-tags trikdebug` every single operation is followed by a full
+// CheckInvariants sweep of both the substrate and the κ bookkeeping (on
+// top of the debugAssert each mutating op already runs internally), so a
+// corrupting op is caught at the op that corrupted, not at the final
+// comparison. CI runs this fuzzer for a short wall-clock budget with the
+// tag on; the committed corpus under testdata/fuzz replays known-gnarly
+// churn sequences on every plain `go test` run.
+func FuzzEngineChurn(f *testing.F) {
 	f.Add([]byte{0x12, 0x34, 0x56})
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
 	f.Add([]byte{})
@@ -28,11 +36,27 @@ func FuzzEngineOps(f *testing.F) {
 		const n = 10
 		const chunk = 4
 		var pending []EdgeOp
+		assertAll := func(step int) {
+			if !debugChecks {
+				return
+			}
+			if err := en.CheckInvariants(); err != nil {
+				t.Fatalf("engine invariants after op %d: %v (ops %v)", step, err, ops)
+			}
+			if err := te.CheckInvariants(); err != nil {
+				t.Fatalf("tracked invariants after op %d: %v (ops %v)", step, err, ops)
+			}
+		}
 		flush := func() {
 			bat.ApplyBatch(pending)
 			pending = pending[:0]
+			if debugChecks {
+				if err := bat.CheckInvariants(); err != nil {
+					t.Fatalf("batched invariants after flush: %v (ops %v)", err, ops)
+				}
+			}
 		}
-		for _, b := range ops {
+		for step, b := range ops {
 			u := graph.Vertex(b % n)
 			v := graph.Vertex((b / n) % n)
 			if u == v {
@@ -46,6 +70,7 @@ func FuzzEngineOps(f *testing.F) {
 				en.InsertEdge(u, v)
 				te.InsertEdge(u, v)
 			}
+			assertAll(step)
 			pending = append(pending, EdgeOp{U: u, V: v, Del: del})
 			if len(pending) == chunk {
 				flush()

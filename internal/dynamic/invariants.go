@@ -1,0 +1,113 @@
+package dynamic
+
+import "fmt"
+
+// CheckInvariants verifies the engine's internal consistency without
+// re-running the decomposition: the substrate's structural invariants,
+// the sizing of every edge-indexed state array, the agreement of the
+// maintained histogram and max κ with the live κ values, and the
+// cleanliness of the traversal scratch between public updates. It returns
+// the first violation found, or nil.
+//
+// It is O(V + E log deg) — cheap enough that, under the trikdebug build
+// tag, every public mutating operation asserts it (see debugAssert),
+// turning the whole test suite into a consistency oracle. For the far
+// more expensive κ-correctness check against a from-scratch
+// recomputation, see VerifyConsistency.
+func (en *Engine) CheckInvariants() error {
+	if err := en.d.CheckInvariants(); err != nil {
+		return fmt.Errorf("dynamic: substrate: %w", err)
+	}
+	c := en.d.EdgeCap()
+	if len(en.kappa) < c {
+		return fmt.Errorf("dynamic: kappa tracks %d edge slots, substrate has %d", len(en.kappa), c)
+	}
+	for _, s := range [][]int32{en.sc.es, en.sc.evictedAt} {
+		if len(s) < c {
+			return fmt.Errorf("dynamic: scratch tracks %d edge slots, substrate has %d", len(s), c)
+		}
+	}
+	if len(en.sc.st) < c || len(en.sc.inQueue) < c {
+		return fmt.Errorf("dynamic: scratch marks track %d/%d edge slots, substrate has %d",
+			len(en.sc.st), len(en.sc.inQueue), c)
+	}
+	if len(en.offStamp) < en.d.VertexCap() {
+		return fmt.Errorf("dynamic: off stamps track %d vertex slots, substrate has %d",
+			len(en.offStamp), en.d.VertexCap())
+	}
+
+	// Between public updates no off epoch is open and no traversal marks
+	// linger; a leak here means a later update would silently skip edges.
+	if en.offU != -1 || en.offV != -1 {
+		return fmt.Errorf("dynamic: off epoch still open on dense edge {%d, %d}", en.offU, en.offV)
+	}
+	if len(en.sc.touched) != 0 {
+		return fmt.Errorf("dynamic: %d traversal marks not reset", len(en.sc.touched))
+	}
+	for eid, st := range en.sc.st {
+		if st != 0 {
+			return fmt.Errorf("dynamic: edge %d left with traversal state %d", eid, st)
+		}
+	}
+	for eid, q := range en.sc.inQueue {
+		if q {
+			return fmt.Errorf("dynamic: edge %d left marked in-queue", eid)
+		}
+	}
+
+	// Histogram and max κ must agree exactly with the live κ values.
+	counts := make([]int, len(en.hist))
+	live := 0
+	var bad error
+	en.d.ForEachEdgeID(func(eid int32) bool {
+		k := en.kappa[eid]
+		if k < 0 || int(k) >= len(en.hist) {
+			bad = fmt.Errorf("dynamic: κ(%v) = %d outside histogram of length %d",
+				en.d.EdgeAt(eid), k, len(en.hist))
+			return false
+		}
+		counts[k]++
+		live++
+		return true
+	})
+	if bad != nil {
+		return bad
+	}
+	if live != en.d.NumEdges() {
+		return fmt.Errorf("dynamic: iterated %d live edges, substrate reports %d", live, en.d.NumEdges())
+	}
+	total := 0
+	for k, n := range counts {
+		if en.hist[k] != n {
+			return fmt.Errorf("dynamic: hist[%d] = %d, live edges say %d", k, en.hist[k], n)
+		}
+		total += n
+	}
+	if total != en.d.NumEdges() {
+		return fmt.Errorf("dynamic: histogram sums to %d, %d edges live", total, en.d.NumEdges())
+	}
+	if int(en.maxK) >= len(en.hist) {
+		return fmt.Errorf("dynamic: maxκ = %d outside histogram of length %d", en.maxK, len(en.hist))
+	}
+	if en.maxK > 0 && en.hist[en.maxK] == 0 {
+		return fmt.Errorf("dynamic: hist[maxκ=%d] is empty", en.maxK)
+	}
+	for k := int(en.maxK) + 1; k < len(en.hist); k++ {
+		if en.hist[k] != 0 {
+			return fmt.Errorf("dynamic: hist[%d] = %d above maxκ = %d", k, en.hist[k], en.maxK)
+		}
+	}
+	return nil
+}
+
+// debugAssert panics on the first invariant violation when the trikdebug
+// build tag is set, and compiles to nothing otherwise. Every public
+// mutating operation calls it on exit.
+func (en *Engine) debugAssert() {
+	if !debugChecks {
+		return
+	}
+	if err := en.CheckInvariants(); err != nil {
+		panic("trikdebug: " + err.Error())
+	}
+}

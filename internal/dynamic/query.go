@@ -111,7 +111,7 @@ func (en *Engine) RuleOneWitness(e graph.Edge) ([]graph.Triangle, bool) {
 	slices.Sort(thirds)
 	out := make([]graph.Triangle, 0, k)
 	for _, w := range thirds {
-		if int32(len(out)) == k {
+		if int32(len(out)) == k { //trikcheck:checked out holds at most k triangles
 			break
 		}
 		out = append(out, graph.NewTriangle(e.U, e.V, w))
@@ -136,7 +136,7 @@ func (en *Engine) KappaHistogram() map[int32]int {
 	h := make(map[int32]int, en.maxK+1)
 	for k, n := range en.hist {
 		if n > 0 {
-			h[int32(k)] = n
+			h[int32(k)] = n //trikcheck:checked k indexes hist, whose length is maxK+1 ≤ int32
 		}
 	}
 	return h
@@ -153,7 +153,7 @@ func (en *Engine) VerifyConsistency() error {
 		return fmt.Errorf("dynamic: engine tracks %d edges, graph has %d", got, want)
 	}
 	for i, k := range d.Kappa {
-		e := d.S.EdgeAt(int32(i))
+		e := d.S.EdgeAt(int32(i)) //trikcheck:checked i indexes Kappa, bounded to int32 by FreezeStatic
 		eid := en.d.EdgeIDV(e.U, e.V)
 		if eid < 0 {
 			return fmt.Errorf("dynamic: edge %v missing from substrate", e)

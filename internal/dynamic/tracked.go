@@ -169,6 +169,18 @@ func (te *TrackedEngine) repair() {
 		te.cores[eid] = te.selectWitnessInto(te.cores[eid][:0], eid, te.kappa[eid])
 	}
 	te.dirty = te.dirty[:0]
+	te.debugAssert()
+}
+
+// debugAssert shadows Engine.debugAssert with the tracked variant, so the
+// membership contract is asserted too when trikdebug is on.
+func (te *TrackedEngine) debugAssert() {
+	if !debugChecks {
+		return
+	}
+	if err := te.CheckInvariants(); err != nil {
+		panic("trikdebug: " + err.Error())
+	}
 }
 
 // selectWitnessInto appends to buf the dense third vertices of the first
@@ -184,9 +196,9 @@ func (te *TrackedEngine) selectWitnessInto(buf []int32, eid int32, k int32) []in
 		if te.kappa[e1] >= k && te.kappa[e2] >= k {
 			buf = append(buf, w)
 		}
-		return int32(len(buf)) < k
+		return int32(len(buf)) < k //trikcheck:checked buf holds at most k witnesses
 	})
-	if int32(len(buf)) < k {
+	if int32(len(buf)) < k { //trikcheck:checked buf holds at most k witnesses
 		panic(fmt.Sprintf("dynamic: edge %v has only %d eligible witness triangles for κ=%d",
 			te.d.EdgeAt(eid), len(buf), k))
 	}
@@ -219,15 +231,19 @@ func (te *TrackedEngine) CoreTriangles(e graph.Edge) ([]graph.Triangle, bool) {
 	return out, true
 }
 
-// CheckInvariants verifies the membership contract (I1 and I2 above) for
-// every edge, returning the first violation found. Tests call this after
-// randomized churn.
+// CheckInvariants verifies the underlying engine's invariants plus the
+// membership contract (I1 and I2 above) for every edge, returning the
+// first violation found. Tests call this after randomized churn; under
+// the trikdebug build tag every public mutating operation asserts it.
 func (te *TrackedEngine) CheckInvariants() error {
+	if err := te.Engine.CheckInvariants(); err != nil {
+		return err
+	}
 	if len(te.cores) < te.d.EdgeCap() {
 		return fmt.Errorf("membership tracks %d edge slots, substrate has %d", len(te.cores), te.d.EdgeCap())
 	}
 	for i := range te.cores {
-		eid := int32(i)
+		eid := int32(i) //trikcheck:checked i indexes cores, sized to the int32-bounded edge capacity
 		thirds := te.cores[i]
 		if !te.d.EdgeLive(eid) {
 			if len(thirds) != 0 {
@@ -237,7 +253,7 @@ func (te *TrackedEngine) CheckInvariants() error {
 		}
 		e := te.d.EdgeAt(eid)
 		k := te.kappa[eid]
-		if int32(len(thirds)) != k {
+		if int32(len(thirds)) != k { //trikcheck:checked witness lists hold κ ≤ int32 entries
 			return fmt.Errorf("edge %v: |core| = %d, κ = %d", e, len(thirds), k)
 		}
 		u, v := te.d.EdgeEndpoints(eid)

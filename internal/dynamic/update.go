@@ -29,8 +29,7 @@ func (en *Engine) processTriangleInsert(e0, e1, e2 int32) {
 	sc := &en.sc
 	for _, e := range sc.touched {
 		if sc.st[e] == stLive {
-			en.kappa[e] = mu + 1
-			en.transition(e, mu, mu+1)
+			en.setKappa(e, mu, mu+1)
 			en.stats.Promotions++
 		}
 		sc.st[e] = 0
@@ -262,8 +261,7 @@ func (en *Engine) processTriangleDelete(e0, e1, e2 int32) {
 		if n >= mu {
 			continue
 		}
-		en.kappa[e] = mu - 1
-		en.transition(e, mu, mu-1)
+		en.setKappa(e, mu, mu-1)
 		en.stats.Demotions++
 		// Neighbors at level μ that used a triangle through e must be
 		// rechecked; the triangle qualified only if its third edge was

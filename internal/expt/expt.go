@@ -61,7 +61,10 @@ func (c Config) normalized() Config {
 }
 
 func (c Config) logf(format string, args ...any) {
-	fmt.Fprintf(c.Log, format+"\n", args...)
+	// Logging is best-effort: a failing log writer must not abort a long
+	// experiment run, so the write error is deliberately dropped.
+	_, err := fmt.Fprintf(c.Log, format+"\n", args...)
+	_ = err
 }
 
 // instance builds a dataset at the configured scale (using the cached

@@ -3,6 +3,7 @@ package graph
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -117,7 +118,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		if cur > 1<<31-1 {
 			return nil, fmt.Errorf("graph: vertex id %d overflows int32", cur)
 		}
-		g.AddVertex(Vertex(cur))
+		g.AddVertex(Vertex(cur)) //trikcheck:checked cur overflow-checked above
 	}
 	ne, err := readUvarint("edge count")
 	if err != nil {
@@ -144,10 +145,12 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		if v > 1<<31-1 {
 			return nil, fmt.Errorf("graph: vertex id %d overflows int32", v)
 		}
-		if !g.HasVertex(Vertex(curU)) || !g.HasVertex(Vertex(v)) {
+		// v = curU + vOff with vOff ≥ 1, so the overflow check on v above
+		// bounds curU as well.
+		if !g.HasVertex(Vertex(curU)) || !g.HasVertex(Vertex(v)) { //trikcheck:checked v (and so curU < v) overflow-checked above
 			return nil, fmt.Errorf("graph: edge %d-%d references undeclared vertex", curU, v)
 		}
-		if !g.AddEdge(Vertex(curU), Vertex(v)) {
+		if !g.AddEdge(Vertex(curU), Vertex(v)) { //trikcheck:checked v (and so curU < v) overflow-checked above
 			return nil, fmt.Errorf("graph: duplicate edge %d-%d in snapshot", curU, v)
 		}
 	}
@@ -161,8 +164,7 @@ func SaveBinaryFile(path string, g *Graph) error {
 		return fmt.Errorf("graph: %w", err)
 	}
 	if err := WriteBinary(f, g); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

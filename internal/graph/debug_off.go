@@ -1,0 +1,7 @@
+//go:build !trikdebug
+
+package graph
+
+// debugChecks is off in normal builds; the assertions behind it compile
+// to nothing. See debug_on.go.
+const debugChecks = false

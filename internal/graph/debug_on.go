@@ -1,0 +1,8 @@
+//go:build trikdebug
+
+package graph
+
+// debugChecks enables the Dense invariant assertions after every mutating
+// operation. Build (or test) with -tags trikdebug to turn the suite into
+// a deep consistency oracle: `make debugrace`.
+const debugChecks = true

@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Dense is the mutable, index-oriented counterpart of Static: an
 // undirected simple graph whose vertices are interned to dense int32 ids
@@ -123,13 +126,17 @@ func (d *Dense) Intern(v Vertex) (int32, bool) {
 		d.vlive[p] = true
 		d.rows[p] = d.rows[p][:0]
 	} else {
-		p = int32(len(d.orig))
+		if len(d.orig) >= math.MaxInt32 {
+			panic("graph: dense vertex capacity exceeds int32")
+		}
+		p = int32(len(d.orig)) //trikcheck:checked capacity panic above bounds len to int32
 		d.orig = append(d.orig, v)
 		d.vlive = append(d.vlive, true)
 		d.rows = append(d.rows, nil)
 	}
 	d.pos[v] = p
 	d.nv++
+	d.debugAssert()
 	return p, true
 }
 
@@ -148,6 +155,7 @@ func (d *Dense) RemoveVertexV(v Vertex) bool {
 	d.vlive[p] = false
 	d.freeV = append(d.freeV, p)
 	d.nv--
+	d.debugAssert()
 	return true
 }
 
@@ -194,7 +202,10 @@ func (d *Dense) AddEdgeV(u, v Vertex) (int32, bool) {
 		eid = d.freeE[n-1]
 		d.freeE = d.freeE[:n-1]
 	} else {
-		eid = int32(len(d.edgeU))
+		if len(d.edgeU) >= math.MaxInt32 {
+			panic("graph: dense edge capacity exceeds int32")
+		}
+		eid = int32(len(d.edgeU)) //trikcheck:checked capacity panic above bounds len to int32
 		d.edgeU = append(d.edgeU, 0)
 		d.edgeV = append(d.edgeV, 0)
 	}
@@ -207,6 +218,7 @@ func (d *Dense) AddEdgeV(u, v Vertex) (int32, bool) {
 	atV, _ := packedSearch(d.rows[dv], du)
 	d.rows[dv] = insertPacked(d.rows[dv], atV, packLive(du, eid))
 	d.ne++
+	d.debugAssert()
 	return eid, true
 }
 
@@ -222,6 +234,7 @@ func (d *Dense) RemoveEdgeByID(eid int32) {
 	d.edgeU[eid], d.edgeV[eid] = -1, -1
 	d.freeE = append(d.freeE, eid)
 	d.ne--
+	d.debugAssert()
 }
 
 func (d *Dense) removeFromRow(u, w int32) {
@@ -291,7 +304,7 @@ func (d *Dense) ForEachNeighborD(u int32, fn func(w, eid int32) bool) {
 func (d *Dense) ForEachEdgeID(fn func(eid int32) bool) {
 	for i := range d.edgeU {
 		if d.edgeU[i] >= 0 {
-			if !fn(int32(i)) {
+			if !fn(int32(i)) { //trikcheck:checked i indexes edgeU, bounded to int32 by AddEdgeV
 				return
 			}
 		}
@@ -339,7 +352,7 @@ func (d *Dense) ForEachTriangleEdgeD(u, v int32, fn func(w, e1, e2 int32) bool) 
 		case x > y:
 			j++
 		default:
-			if !fn(int32(x), int32(uint32(ra[i])), int32(uint32(rb[j]))) {
+			if !fn(int32(x), int32(uint32(ra[i])), int32(uint32(rb[j]))) { //trikcheck:checked x = packed>>32, a dense position
 				return
 			}
 			i++
@@ -358,7 +371,7 @@ func (d *Dense) Materialize() *Graph {
 		}
 		g.AddVertex(v)
 		for _, packed := range d.rows[p] {
-			if w := int32(packed >> 32); int32(p) < w {
+			if w := int32(packed >> 32); int32(p) < w { //trikcheck:checked p indexes rows, bounded to int32 by Intern
 				g.AddEdge(v, d.orig[w])
 			}
 		}

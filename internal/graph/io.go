@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -39,7 +40,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if u == v {
 			return nil, fmt.Errorf("graph: line %d: self-loop on vertex %d", lineNo, u)
 		}
-		g.AddEdge(Vertex(u), Vertex(v))
+		g.AddEdge(Vertex(u), Vertex(v)) //trikcheck:checked ParseInt bitSize 32 bounds both
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("graph: reading edge list: %w", err)
@@ -75,8 +76,7 @@ func SaveEdgeListFile(path string, g *Graph) error {
 		return fmt.Errorf("graph: %w", err)
 	}
 	if err := WriteEdgeList(f, g); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

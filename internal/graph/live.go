@@ -124,7 +124,7 @@ func (la *LiveAdj) ForEachTriangleEdge(u, v int32, fn func(w, e1, e2 int32) bool
 		case x > y:
 			j++
 		default:
-			if !fn(int32(x), int32(uint32(a[i])), int32(uint32(a[j]))) {
+			if !fn(int32(x), int32(uint32(a[i])), int32(uint32(a[j]))) { //trikcheck:checked x = packed>>32, a dense position
 				return
 			}
 			i++

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"runtime"
 	"slices"
 	"sync"
@@ -56,18 +57,28 @@ const freezeBlock = 256
 func FreezeStatic(g *Graph) *Static {
 	verts := g.Vertices()
 	n := len(verts)
+	m := g.NumEdges()
+	// Every CSR index — vertex positions, edge ids and the 2M adjacency
+	// offsets — is an int32. Refuse graphs that would overflow instead of
+	// silently truncating; the //trikcheck:checked annotations on the
+	// int32 narrowings below all cite this guard.
+	if n >= math.MaxInt32 {
+		panic("graph: FreezeStatic vertex count exceeds int32 capacity")
+	}
+	if m > math.MaxInt32/2 {
+		panic("graph: FreezeStatic edge count exceeds int32 capacity")
+	}
 	s := &Static{
 		OrigID: verts,
 		Pos:    make(map[Vertex]int32, n),
 		RowPtr: make([]int32, n+1),
 	}
 	for i, v := range verts {
-		s.Pos[v] = int32(i)
+		s.Pos[v] = int32(i) //trikcheck:checked i < n, guarded above
 	}
 	for i, v := range verts {
-		s.RowPtr[i+1] = s.RowPtr[i] + int32(g.Degree(v))
+		s.RowPtr[i+1] = s.RowPtr[i] + int32(g.Degree(v)) //trikcheck:checked degree ≤ 2m, guarded above
 	}
-	m := g.NumEdges()
 	s.AdjNbr = make([]int32, 2*m)
 	s.AdjEdgeID = make([]int32, 2*m)
 	s.EdgeU = make([]int32, m)
@@ -94,8 +105,8 @@ func FreezeStatic(g *Graph) *Static {
 	parallelBlocks(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := s.AdjNbr[s.RowPtr[i]:s.RowPtr[i+1]]
-			split, _ := slices.BinarySearch(row, int32(i))
-			edgeStart[i+1] = int32(len(row) - split)
+			split, _ := slices.BinarySearch(row, int32(i)) //trikcheck:checked i < n, guarded above
+			edgeStart[i+1] = int32(len(row) - split)       //trikcheck:checked row lengths sum to 2m, guarded above
 		}
 	})
 	for i := 0; i < n; i++ {
@@ -109,21 +120,21 @@ func FreezeStatic(g *Graph) *Static {
 	// slots its rows own, so the passes are data-race free.
 	parallelBlocks(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			u := int32(i)
+			u := int32(i) //trikcheck:checked i < n, guarded above
 			base := s.RowPtr[i]
 			row := s.AdjNbr[base:s.RowPtr[i+1]]
 			split, _ := slices.BinarySearch(row, u)
 			for k, w := range row {
 				if w > u {
-					id := edgeStart[i] + int32(k-split)
-					s.AdjEdgeID[base+int32(k)] = id
+					id := edgeStart[i] + int32(k-split) //trikcheck:checked k < len(row) ≤ 2m, guarded above
+					s.AdjEdgeID[base+int32(k)] = id     //trikcheck:checked k < len(row) ≤ 2m, guarded above
 					s.EdgeU[id] = u
 					s.EdgeV[id] = w
 				} else {
 					wrow := s.AdjNbr[s.RowPtr[w]:s.RowPtr[w+1]]
 					wsplit, _ := slices.BinarySearch(wrow, w)
 					pos, _ := slices.BinarySearch(wrow, u)
-					s.AdjEdgeID[base+int32(k)] = edgeStart[w] + int32(pos-wsplit)
+					s.AdjEdgeID[base+int32(k)] = edgeStart[w] + int32(pos-wsplit) //trikcheck:checked indices bounded by 2m, guarded above
 				}
 			}
 		}
@@ -134,7 +145,7 @@ func FreezeStatic(g *Graph) *Static {
 	s.OutPtr = make([]int32, n+1)
 	parallelBlocks(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			u := int32(i)
+			u := int32(i) //trikcheck:checked i < n, guarded above
 			c := int32(0)
 			for _, w := range s.Neighbors(u) {
 				if s.rankLess(u, w) {
@@ -151,13 +162,13 @@ func FreezeStatic(g *Graph) *Static {
 	s.OutEdgeID = make([]int32, m)
 	parallelBlocks(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			u := int32(i)
+			u := int32(i) //trikcheck:checked i < n, guarded above
 			base := s.RowPtr[i]
 			p := s.OutPtr[i]
 			for k, w := range s.Neighbors(u) {
 				if s.rankLess(u, w) {
 					s.OutNbr[p] = w
-					s.OutEdgeID[p] = s.AdjEdgeID[base+int32(k)]
+					s.OutEdgeID[p] = s.AdjEdgeID[base+int32(k)] //trikcheck:checked k < len(row) ≤ 2m, guarded above
 					p++
 				}
 			}
@@ -230,7 +241,7 @@ func (s *Static) EdgeIndex(u, v int32) int32 {
 	base := s.RowPtr[u]
 	row := s.AdjNbr[base:s.RowPtr[u+1]]
 	if j, ok := slices.BinarySearch(row, v); ok {
-		return s.AdjEdgeID[base+int32(j)]
+		return s.AdjEdgeID[base+int32(j)] //trikcheck:checked j < len(row) ≤ 2m, bounded at freeze
 	}
 	return -1
 }

@@ -1,0 +1,57 @@
+package plot
+
+import (
+	"bytes"
+	"testing"
+
+	"trikcore/internal/core"
+	"trikcore/internal/graph"
+)
+
+// TestWritersDeterministic renders the density plot of the same graph
+// content twice — once with edges inserted forward, once reversed — and
+// requires the CSV, SVG and ASCII writers to produce identical bytes.
+// The co-clique values arrive in a map, so any place the pipeline ranges
+// over it without sorting shows up here as flaky bytes.
+func TestWritersDeterministic(t *testing.T) {
+	var edges [][2]graph.Vertex
+	for i := graph.Vertex(0); i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			if (i+j)%3 != 0 {
+				edges = append(edges, [2]graph.Vertex{i, j})
+			}
+		}
+	}
+	edges = append(edges, [2]graph.Vertex{30, 31}, [2]graph.Vertex{31, 32}, [2]graph.Vertex{30, 32})
+
+	render := func(reverse bool) (string, string, string) {
+		g := graph.New()
+		if reverse {
+			for i := len(edges) - 1; i >= 0; i-- {
+				g.AddEdge(edges[i][0], edges[i][1])
+			}
+		} else {
+			for _, e := range edges {
+				g.AddEdge(e[0], e[1])
+			}
+		}
+		s := Density(g, FromDecomposition(core.Decompose(g)))
+		var csv bytes.Buffer
+		if err := s.WriteCSV(&csv); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		return csv.String(), RenderSVG(s, SVGOptions{Title: "t"}), RenderASCII(s, 80, 12)
+	}
+
+	csv1, svg1, txt1 := render(false)
+	csv2, svg2, txt2 := render(true)
+	if csv1 != csv2 {
+		t.Errorf("WriteCSV differs across insertion orders:\n%s\n---\n%s", csv1, csv2)
+	}
+	if svg1 != svg2 {
+		t.Errorf("RenderSVG differs across insertion orders")
+	}
+	if txt1 != txt2 {
+		t.Errorf("RenderASCII differs across insertion orders")
+	}
+}

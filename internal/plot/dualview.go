@@ -97,9 +97,14 @@ func BuildDualViewFromValues(old, new *graph.Graph, oldCo, newCo EdgeValues, opt
 				mk.NewVertices = append(mk.NewVertices, v)
 			}
 		}
-		var oldVerts []graph.Vertex
-		for v := range inOld {
-			oldVerts = append(oldVerts, v)
+		// Collect by walking the peak's vertex list, not the membership
+		// set: map iteration order would shuffle the marker positions from
+		// run to run.
+		oldVerts := make([]graph.Vertex, 0, len(inOld))
+		for _, v := range pk.Vertices {
+			if inOld[v] {
+				oldVerts = append(oldVerts, v)
+			}
 		}
 		mk.BeforePositions = before.Positions(oldVerts)
 		dv.Markers = append(dv.Markers, mk)

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"trikcore/internal/graph"
+)
+
+// determinismGraph builds the same graph content twice with opposite
+// edge-insertion orders, so any map-order leak in the engine or the
+// handlers shows up as a byte difference between the two servers.
+func determinismGraphs() (*graph.Graph, *graph.Graph) {
+	var edges [][2]graph.Vertex
+	for i := graph.Vertex(1); i <= 7; i++ {
+		for j := i + 1; j <= 7; j++ {
+			edges = append(edges, [2]graph.Vertex{i, j})
+		}
+	}
+	edges = append(edges, [2]graph.Vertex{20, 21}, [2]graph.Vertex{21, 22}, [2]graph.Vertex{20, 22})
+	fwd, rev := graph.New(), graph.New()
+	for _, e := range edges {
+		fwd.AddEdge(e[0], e[1])
+	}
+	for i := len(edges) - 1; i >= 0; i-- {
+		rev.AddEdge(edges[i][0], edges[i][1])
+	}
+	return fwd, rev
+}
+
+func fetchBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestResponsesDeterministic requires every read endpoint to return
+// byte-identical bodies (a) on repeated requests to one server and
+// (b) across two servers whose graphs were built in opposite edge
+// orders. JSON object key order, plot sample order and histogram order
+// must therefore never depend on Go's randomized map iteration.
+func TestResponsesDeterministic(t *testing.T) {
+	g1, g2 := determinismGraphs()
+	ts1 := httptest.NewServer(New(g1).Handler())
+	ts2 := httptest.NewServer(New(g2).Handler())
+	t.Cleanup(ts1.Close)
+	t.Cleanup(ts2.Close)
+
+	paths := []string{
+		"/stats",
+		"/histogram",
+		"/kappa?u=1&v=2",
+		"/core?u=1&v=2",
+		"/communities?k=3",
+		"/plot.svg",
+		"/plot.txt",
+	}
+	for _, path := range paths {
+		first := fetchBody(t, ts1.URL+path)
+		if again := fetchBody(t, ts1.URL+path); string(again) != string(first) {
+			t.Errorf("%s: same server, two requests, different bytes:\n%s\n---\n%s", path, first, again)
+		}
+		if other := fetchBody(t, ts2.URL+path); string(other) != string(first) {
+			t.Errorf("%s: same graph built in reverse order, different bytes:\n%s\n---\n%s", path, first, other)
+		}
+	}
+}

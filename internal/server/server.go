@@ -88,11 +88,14 @@ func writeJSON(w http.ResponseWriter, v any) {
 	w.Write(append(data, '\n'))
 }
 
-// httpError writes a JSON error body.
+// httpError writes a JSON error body. The body is marshaled before the
+// status line goes out; a map[string]string of one printf-rendered entry
+// cannot fail to encode.
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	data, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.Write(append(data, '\n'))
 }
 
 // parseEdge extracts u and v query parameters as a canonical edge.
