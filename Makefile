@@ -27,12 +27,14 @@ race:
 
 # The core packages with every mutating operation asserting the full
 # Dense/Engine invariant suite (see internal/*/invariants.go), under the
-# race detector: the deepest correctness oracle the repo has.
+# race detector: the deepest correctness oracle the repo has. The view
+# and server packages ride along so their concurrency tests hammer the
+# publisher while the substrate self-checks.
 debugrace:
-	$(GO) test -tags trikdebug -race ./internal/graph ./internal/dynamic
+	$(GO) test -tags trikdebug -race ./internal/graph ./internal/dynamic ./internal/view ./internal/server
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkFreezeStatic$$|BenchmarkDecomposeStatic$$|BenchmarkTriangleCountStatic$$|BenchmarkEngineChurn$$' -benchmem -benchtime 3s .
+	$(GO) test -run '^$$' -bench 'BenchmarkFreezeStatic$$|BenchmarkDecomposeStatic$$|BenchmarkTriangleCountStatic$$|BenchmarkEngineChurn$$|BenchmarkServerMixedWorkload$$' -benchmem -benchtime 3s .
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFreezeStatic -fuzztime 30s ./internal/graph

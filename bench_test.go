@@ -11,9 +11,14 @@ package trikcore_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"trikcore"
@@ -30,6 +35,7 @@ import (
 	"trikcore/internal/graph"
 	"trikcore/internal/kcore"
 	"trikcore/internal/plot"
+	"trikcore/internal/server"
 	"trikcore/internal/template"
 )
 
@@ -437,6 +443,62 @@ func BenchmarkTriangleCountStatic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.TriangleCount()
 	}
+}
+
+// --- Server mixed workload (ISSUE 4) --------------------------------------
+
+// BenchmarkServerMixedWorkload drives the HTTP analytics service with the
+// read-dominated traffic mix the ROADMAP targets: 95% GET requests spread
+// over /stats, /kappa, /histogram, /plot.txt and /plot.svg, and 5%
+// POST /edges batches that toggle a small clique on and off. Requests run
+// through the real handler (no network) from parallel goroutines, so the
+// number measures the serving layer itself: snapshot acquisition, derived
+// artifact reuse and writer interference.
+func BenchmarkServerMixedWorkload(b *testing.B) {
+	g := gen.PowerLawCluster(2_000, 8, 0.5, 13)
+	h := server.New(g).Handler()
+	probe := g.Edges()[0]
+	reads := []string{
+		"/stats",
+		fmt.Sprintf("/kappa?u=%d&v=%d", probe.U, probe.V),
+		"/histogram",
+		"/plot.txt",
+		"/plot.svg",
+	}
+	// The write mix toggles a 5-clique among fresh vertex ids; ApplyBatch
+	// tolerates redundant adds/removes, so interleaving is harmless.
+	var members []graph.Vertex
+	for v := graph.Vertex(5_000); v < 5_005; v++ {
+		members = append(members, v)
+	}
+	var pairs [][2]graph.Vertex
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			pairs = append(pairs, [2]graph.Vertex{members[i], members[j]})
+		}
+	}
+	addBody, _ := json.Marshal(server.EdgesRequest{Add: pairs})
+	delBody, _ := json.Marshal(server.EdgesRequest{Remove: pairs})
+
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			if i%20 == 0 { // 5% writes, alternating add/remove batches
+				body := addBody
+				if i%40 == 0 {
+					body = delBody
+				}
+				req := httptest.NewRequest(http.MethodPost, "/edges", bytes.NewReader(body))
+				h.ServeHTTP(httptest.NewRecorder(), req)
+				continue
+			}
+			req := httptest.NewRequest(http.MethodGet, reads[i%int64(len(reads))], nil)
+			h.ServeHTTP(httptest.NewRecorder(), req)
+		}
+	})
 }
 
 // --- Facade sanity benchmark ----------------------------------------------

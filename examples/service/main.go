@@ -1,6 +1,8 @@
 // Service: run the Triangle K-Core analytics server over a live graph
 // and drive it with HTTP requests — ingest edges, watch κ respond, pull
-// the density plot.
+// the density plot, and use the versioning surface: every read names the
+// snapshot version it was served from, and a conditional request at an
+// unchanged version is answered 304 with no recomputation.
 //
 //	go run ./examples/service
 package main
@@ -59,6 +61,27 @@ func main() {
 	fmt.Printf("\n--> GET /core?u=600&v=601\n%s", get("/core?u=600&v=601"))
 	fmt.Printf("\n--> GET /communities?k=4\n%s", get("/communities?k=4"))
 	fmt.Printf("\n--> GET /stats (after ingest)\n%s", get("/stats"))
+
+	// Every read is served from an immutable published snapshot and says
+	// which one; a conditional re-read at the same version costs nothing.
+	fmt.Printf("\n--> GET /version\n%s", get("/version"))
+	head, err := http.Get(srv.URL + "/plot.svg")
+	must(err)
+	_, err = io.Copy(io.Discard, head.Body)
+	must(err)
+	must(head.Body.Close())
+	etag := head.Header.Get("ETag")
+	fmt.Printf("\n--> GET /plot.svg\nversion %s, ETag %s\n",
+		head.Header.Get("X-Trikcore-Version"), etag)
+
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/plot.svg", nil)
+	must(err)
+	req.Header.Set("If-None-Match", etag)
+	cond, err := http.DefaultClient.Do(req)
+	must(err)
+	must(cond.Body.Close())
+	fmt.Printf("\n--> GET /plot.svg with If-None-Match: %s\n%s (unchanged version, no re-render)\n",
+		etag, cond.Status)
 }
 
 func must(err error) {

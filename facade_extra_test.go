@@ -134,3 +134,31 @@ func TestFacadeEngineQueries(t *testing.T) {
 		t.Fatalf("RuleOneWitness = %v", w)
 	}
 }
+
+func TestFacadePublisher(t *testing.T) {
+	p := trikcore.NewPublisher(cliqueGraph(5))
+	sn := p.Acquire()
+	if sn.NumEdges() != 10 || sn.MaxCliqueProxy() != 5 {
+		t.Fatalf("initial snapshot: %d edges, proxy %d", sn.NumEdges(), sn.MaxCliqueProxy())
+	}
+	p.Apply([]trikcore.EdgeOp{{U: 0, V: 9}, {U: 1, V: 9}})
+	sn2 := p.Acquire()
+	if sn2.Version <= sn.Version || sn2.NumEdges() != 12 {
+		t.Fatalf("after apply: v%d→v%d, %d edges", sn.Version, sn2.Version, sn2.NumEdges())
+	}
+	if k, ok := sn2.KappaOf(trikcore.NewEdge(0, 9)); !ok || k != 1 {
+		t.Fatalf("κ(0,9) = %d,%v", k, ok)
+	}
+	if _, ok := sn.KappaOf(trikcore.NewEdge(0, 9)); ok {
+		t.Fatal("old snapshot sees the new edge")
+	}
+	if len(sn2.PlotSVG()) == 0 || len(sn2.Communities(3)) != 1 {
+		t.Fatal("derived artifacts missing")
+	}
+
+	en := trikcore.NewEngine(cliqueGraph(4))
+	p2 := trikcore.NewPublisherFromEngine(en)
+	if got := p2.Acquire().NumEdges(); got != 6 {
+		t.Fatalf("engine-wrapped publisher sees %d edges", got)
+	}
+}

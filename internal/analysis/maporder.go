@@ -15,6 +15,7 @@ var mapOrderPackages = map[string]bool{
 	"internal/expt":   true,
 	"internal/server": true,
 	"internal/table":  true,
+	"internal/view":   true,
 }
 
 // mapOrderWriterMethods are method/function names that emit bytes; a call

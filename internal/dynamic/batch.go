@@ -82,6 +82,11 @@ func (en *Engine) ApplyBatch(ops []EdgeOp) (added, removed int) {
 			}
 		}
 	}
+	// One version step per effective batch: a batch whose ops all cancel
+	// or no-op leaves the version (and thus published snapshots) alone.
+	if added+removed > 0 {
+		en.bumpVersion()
+	}
 	en.debugAssert()
 	return added, removed
 }

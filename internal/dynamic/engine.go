@@ -71,6 +71,12 @@ type Engine struct {
 	// explicit core membership.
 	onKappaChange func(eid int32, old, new int32)
 
+	// version counts effective graph changes: it moves exactly when a
+	// public mutation (or batch of them) actually changed the vertex or
+	// edge set, and never on a no-op. Snapshot publishers key immutable
+	// views and derived-artifact caches off it.
+	version uint64
+
 	stats Stats
 }
 
@@ -189,8 +195,36 @@ func (en *Engine) transition(eid, old, new int32) {
 
 // Graph materializes the engine's current graph as a standalone snapshot;
 // mutating it does not affect the engine. For membership and size queries
-// prefer HasEdge/NumEdges/NumVertices, which read the live substrate.
+// prefer HasEdge/NumEdges/NumVertices, which read the live substrate; for
+// serving read traffic prefer FreezeView, which shares the packed rows'
+// layout and carries κ along.
 func (en *Engine) Graph() *graph.Graph { return en.d.Materialize() }
+
+// Version returns the engine's monotone change counter. It advances
+// exactly when a mutation — a single InsertEdge/DeleteEdge/AddVertex/
+// RemoveVertex, or a whole ApplyBatch — effectively changed the graph;
+// no-op mutations (re-inserting a present edge, deleting an absent one,
+// an empty or self-canceling batch) leave it untouched. Two equal
+// versions therefore always name the same graph and κ assignment.
+func (en *Engine) Version() uint64 { return en.version }
+
+// bumpVersion records one effective mutation.
+func (en *Engine) bumpVersion() { en.version++ }
+
+// FreezeView freezes the engine's current graph into an immutable Static
+// CSR view plus the matching κ-by-static-edge-id array, with no
+// intermediate Graph and no re-decomposition: Dense.Freeze hands back the
+// static→dense edge-id map and κ is projected through it. The result
+// shares nothing with the engine; readers may use it concurrently with
+// further engine mutation.
+func (en *Engine) FreezeView() (*graph.Static, []int32) {
+	s, edgeOf := en.d.Freeze()
+	kappa := make([]int32, len(edgeOf))
+	for i, deid := range edgeOf {
+		kappa[i] = en.kappa[deid]
+	}
+	return s, kappa
+}
 
 // HasEdge reports whether the edge {u, v} is present.
 func (en *Engine) HasEdge(u, v graph.Vertex) bool { return en.d.HasEdgeV(u, v) }
@@ -234,6 +268,9 @@ func (en *Engine) MaxKappa() int32 { return en.maxK }
 func (en *Engine) AddVertex(v graph.Vertex) bool {
 	_, added := en.d.Intern(v)
 	en.ensureVertexCap()
+	if added {
+		en.bumpVersion()
+	}
 	en.debugAssert()
 	return added
 }
@@ -254,6 +291,9 @@ func (en *Engine) RemoveVertex(v graph.Vertex) bool {
 		en.DeleteEdge(v, w)
 	}
 	ok = en.d.RemoveVertexV(v)
+	if ok {
+		en.bumpVersion()
+	}
 	en.debugAssert()
 	return ok
 }
@@ -263,6 +303,9 @@ func (en *Engine) RemoveVertex(v graph.Vertex) bool {
 func (en *Engine) InsertEdge(u, v graph.Vertex) bool {
 	var tris []int32
 	added := en.insertEdgeCanon(u, v, &tris)
+	if added {
+		en.bumpVersion()
+	}
 	en.debugAssert()
 	return added
 }
@@ -272,6 +315,9 @@ func (en *Engine) InsertEdge(u, v graph.Vertex) bool {
 func (en *Engine) DeleteEdge(u, v graph.Vertex) bool {
 	var tris []int32
 	removed := en.deleteEdgeCanon(u, v, &tris)
+	if removed {
+		en.bumpVersion()
+	}
 	en.debugAssert()
 	return removed
 }

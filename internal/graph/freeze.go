@@ -1,0 +1,84 @@
+package graph
+
+import "math"
+
+// Freeze builds an immutable Static CSR view directly from the dense
+// substrate, with no intermediate Graph and no re-sorting: the packed
+// per-vertex rows are already sorted by dense neighbor id, so unpacking
+// them in slot order yields valid CSR rows as-is.
+//
+// Dense vertex positions and edge ids are preserved outright when no slot
+// is free. Otherwise live slots are compacted in ascending dense-id order;
+// because that relabeling is monotone, row sort order and the
+// EdgeU < EdgeV invariant survive it unchanged. The second return value
+// maps each static edge id back to the dense edge id it came from, so
+// callers can project flat per-edge state (κ) onto the frozen view.
+//
+// Unlike FreezeStatic, edge ids follow dense allocation order rather than
+// lexicographic (u, v) order; consumers must not assume lexicographic ids
+// on a frozen Dense. The view shares nothing with d: later mutation of d
+// does not affect it, and concurrent readers of the returned Static never
+// observe dense churn.
+func (d *Dense) Freeze() (*Static, []int32) {
+	n, m := d.nv, d.ne
+	// Same overflow stance as FreezeStatic: the 2M adjacency offsets are
+	// int32, so refuse rather than truncate. Vertex ids are already bounded
+	// by Intern's capacity panic; the annotations below cite these guards.
+	if m > math.MaxInt32/2 {
+		panic("graph: Freeze edge count exceeds int32 capacity")
+	}
+	s := &Static{
+		OrigID:    make([]Vertex, n),
+		Pos:       make(map[Vertex]int32, n),
+		RowPtr:    make([]int32, n+1),
+		AdjNbr:    make([]int32, 2*m),
+		AdjEdgeID: make([]int32, 2*m),
+		EdgeU:     make([]int32, m),
+		EdgeV:     make([]int32, m),
+	}
+	// Compact live vertex slots in ascending dense order. With no free
+	// slots posOf is the identity and dense positions carry over verbatim.
+	posOf := make([]int32, len(d.orig))
+	var p int32
+	for u, live := range d.vlive {
+		if !live {
+			posOf[u] = -1
+			continue
+		}
+		posOf[u] = p
+		s.OrigID[p] = d.orig[u]
+		s.Pos[d.orig[u]] = p
+		s.RowPtr[p+1] = s.RowPtr[p] + int32(len(d.rows[u])) //trikcheck:checked row lengths sum to 2m, guarded above
+		p++
+	}
+	// Same compaction over edge slots; edgeOf is the static→dense map.
+	eidOf := make([]int32, len(d.edgeU))
+	edgeOf := make([]int32, m)
+	var k int32
+	for i, u := range d.edgeU {
+		if u < 0 {
+			eidOf[i] = -1
+			continue
+		}
+		eidOf[i] = k
+		edgeOf[k] = int32(i) //trikcheck:checked i indexes edgeU, bounded to int32 by AddEdgeV
+		s.EdgeU[k] = posOf[u]
+		s.EdgeV[k] = posOf[d.edgeV[i]]
+		k++
+	}
+	// Unpack the rows straight into the CSR arrays, remapping both halves
+	// of each packed entry through the compaction maps.
+	at := 0
+	for u, live := range d.vlive {
+		if !live {
+			continue
+		}
+		for _, packed := range d.rows[u] {
+			s.AdjNbr[at] = posOf[packed>>32]
+			s.AdjEdgeID[at] = eidOf[int32(uint32(packed))]
+			at++
+		}
+	}
+	s.buildOriented()
+	return s, edgeOf
+}

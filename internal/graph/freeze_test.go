@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// checkFrozen verifies the full Static contract on a frozen view: CSR
+// shape, sorted rows, endpoint/edge-id cross-consistency, the edgeOf
+// projection back to dense ids, and structural agreement with an
+// independent Graph-based freeze of the same substrate.
+func checkFrozen(t *testing.T, d *Dense, s *Static, edgeOf []int32) {
+	t.Helper()
+	if s.NumVertices() != d.NumVertices() || s.NumEdges() != d.NumEdges() {
+		t.Fatalf("size mismatch: frozen %d/%d vs dense %d/%d",
+			s.NumVertices(), s.NumEdges(), d.NumVertices(), d.NumEdges())
+	}
+	if len(edgeOf) != s.NumEdges() {
+		t.Fatalf("len(edgeOf) = %d, want %d", len(edgeOf), s.NumEdges())
+	}
+	n := s.NumVertices()
+	if s.RowPtr[0] != 0 || int(s.RowPtr[n]) != 2*s.NumEdges() {
+		t.Fatalf("RowPtr endpoints %d..%d, want 0..%d", s.RowPtr[0], s.RowPtr[n], 2*s.NumEdges())
+	}
+	for u := int32(0); u < int32(n); u++ {
+		row := s.Neighbors(u)
+		base := s.RowPtr[u]
+		for k, w := range row {
+			if k > 0 && row[k-1] >= w {
+				t.Fatalf("row %d not strictly sorted at %d", u, k)
+			}
+			eid := s.AdjEdgeID[base+int32(k)]
+			a, b := u, w
+			if a > b {
+				a, b = b, a
+			}
+			if s.EdgeU[eid] != a || s.EdgeV[eid] != b {
+				t.Fatalf("AdjEdgeID row %d nbr %d: edge %d has endpoints (%d,%d), want (%d,%d)",
+					u, w, eid, s.EdgeU[eid], s.EdgeV[eid], a, b)
+			}
+		}
+	}
+	for i := range s.EdgeU {
+		if s.EdgeU[i] >= s.EdgeV[i] {
+			t.Fatalf("EdgeU ≥ EdgeV at edge %d", i)
+		}
+		if got, want := s.EdgeAt(int32(i)), d.EdgeAt(edgeOf[i]); got != want {
+			t.Fatalf("edgeOf[%d]: frozen edge %v, dense edge %v", i, got, want)
+		}
+	}
+	for p, v := range s.OrigID {
+		if s.Pos[v] != int32(p) {
+			t.Fatalf("Pos[%d] = %d, want %d", v, s.Pos[v], p)
+		}
+		if !d.HasVertex(v) {
+			t.Fatalf("frozen vertex %d not live in dense", v)
+		}
+	}
+	// Structural parity with the Graph-based freeze: triangle census and
+	// every per-edge support agree, independent of edge-id numbering.
+	ref := FreezeStatic(d.Materialize())
+	if got, want := s.TriangleCount(), ref.TriangleCount(); got != want {
+		t.Fatalf("TriangleCount = %d, want %d", got, want)
+	}
+	for i := range s.EdgeU {
+		e := s.EdgeAt(int32(i))
+		ri := ref.EdgeIndex(ref.Pos[e.U], ref.Pos[e.V])
+		if ri < 0 {
+			t.Fatalf("edge %v missing from reference freeze", e)
+		}
+		if got, want := s.Support(int32(i)), ref.Support(ri); got != want {
+			t.Fatalf("Support(%v) = %d, want %d", e, got, want)
+		}
+	}
+}
+
+// TestFreezePreservesDenseIDs checks that freezing a hole-free Dense is
+// the identity relabeling: every array of the view matches a Graph-based
+// FreezeStatic exactly (the dense ids were adopted from one), and edgeOf
+// is the identity.
+func TestFreezePreservesDenseIDs(t *testing.T) {
+	g := FromPairs(1, 2, 2, 3, 3, 1, 3, 4, 4, 5, 5, 3, 1, 9)
+	d := NewDenseFromStatic(FreezeStatic(g))
+	s, edgeOf := d.Freeze()
+	if want := FreezeStatic(g); !reflect.DeepEqual(s, want) {
+		t.Fatalf("hole-free Freeze differs from FreezeStatic:\ngot  %+v\nwant %+v", s, want)
+	}
+	for i, deid := range edgeOf {
+		if int32(i) != deid {
+			t.Fatalf("edgeOf[%d] = %d, want identity", i, deid)
+		}
+	}
+	checkFrozen(t, d, s, edgeOf)
+}
+
+// TestFreezeCompactsFreeSlots punches holes in both free lists (a removed
+// mid-range edge and a removed vertex) and checks the frozen view is
+// hole-free and structurally exact.
+func TestFreezeCompactsFreeSlots(t *testing.T) {
+	d := NewDense()
+	for u := Vertex(1); u <= 5; u++ {
+		for v := u + 1; v <= 5; v++ {
+			d.AddEdgeV(u, v)
+		}
+	}
+	d.AddEdgeV(5, 10)
+	d.RemoveEdgeByID(d.EdgeIDV(2, 4))
+	d.RemoveEdgeByID(d.EdgeIDV(5, 10))
+	d.RemoveVertexV(10)
+	if d.EdgeCap() == d.NumEdges() || d.VertexCap() == d.NumVertices() {
+		t.Fatal("test graph has no holes to compact")
+	}
+	s, edgeOf := d.Freeze()
+	checkFrozen(t, d, s, edgeOf)
+}
+
+// TestFreezeRandomChurn freezes after a long randomized insert/delete
+// stream (so the free lists are thoroughly shuffled), checks the contract,
+// then keeps churning and verifies the frozen view never moves.
+func TestFreezeRandomChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := NewDense()
+	const nv = 20
+	churn := func(steps int) {
+		for i := 0; i < steps; i++ {
+			u := Vertex(rng.Intn(nv))
+			v := Vertex(rng.Intn(nv))
+			if u == v {
+				continue
+			}
+			if eid := d.EdgeIDV(u, v); eid >= 0 {
+				d.RemoveEdgeByID(eid)
+			} else {
+				d.AddEdgeV(u, v)
+			}
+		}
+	}
+	churn(1500)
+	s, edgeOf := d.Freeze()
+	checkFrozen(t, d, s, edgeOf)
+
+	// The view shares nothing with the substrate.
+	tris := s.TriangleCount()
+	adj := append([]int32(nil), s.AdjNbr...)
+	churn(300)
+	if s.TriangleCount() != tris || !reflect.DeepEqual(adj, s.AdjNbr) {
+		t.Fatal("frozen view changed under substrate churn")
+	}
+}

@@ -140,12 +140,24 @@ func FreezeStatic(g *Graph) *Static {
 		}
 	})
 
-	// Pass 3: the oriented half. Count, prefix-sum, then filter each row
-	// down to its higher-ranked neighbors.
+	// Pass 3: the oriented half.
+	s.buildOriented()
+	return s
+}
+
+// buildOriented fills the degree-oriented half (OutPtr/OutNbr/OutEdgeID)
+// from the already-built symmetric CSR arrays: count each row's
+// higher-ranked neighbors, prefix-sum, then filter the rows down. Shared
+// by FreezeStatic and Dense.Freeze; both bound the vertex and edge counts
+// to int32 range before calling, which the //trikcheck:checked
+// annotations below cite.
+func (s *Static) buildOriented() {
+	n := s.NumVertices()
+	m := s.NumEdges()
 	s.OutPtr = make([]int32, n+1)
 	parallelBlocks(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			u := int32(i) //trikcheck:checked i < n, guarded above
+			u := int32(i) //trikcheck:checked i < n, guarded by the caller's freeze guard
 			c := int32(0)
 			for _, w := range s.Neighbors(u) {
 				if s.rankLess(u, w) {
@@ -162,19 +174,18 @@ func FreezeStatic(g *Graph) *Static {
 	s.OutEdgeID = make([]int32, m)
 	parallelBlocks(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			u := int32(i) //trikcheck:checked i < n, guarded above
+			u := int32(i) //trikcheck:checked i < n, guarded by the caller's freeze guard
 			base := s.RowPtr[i]
 			p := s.OutPtr[i]
 			for k, w := range s.Neighbors(u) {
 				if s.rankLess(u, w) {
 					s.OutNbr[p] = w
-					s.OutEdgeID[p] = s.AdjEdgeID[base+int32(k)] //trikcheck:checked k < len(row) ≤ 2m, guarded above
+					s.OutEdgeID[p] = s.AdjEdgeID[base+int32(k)] //trikcheck:checked k < len(row) ≤ 2m, guarded by the caller's freeze guard
 					p++
 				}
 			}
 		}
 	})
-	return s
 }
 
 // rankLess is the degree orientation: u ranks below w when it has smaller

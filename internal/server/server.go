@@ -1,13 +1,21 @@
 // Package server exposes a live Triangle K-Core engine over HTTP: a small
 // analytics service that ingests edge updates and answers density
 // queries — the "scalable visual-analytic framework" of the paper's
-// introduction as an operational component. All state lives in one
-// dynamic.Engine guarded by a read-write lock; reads run concurrently,
-// updates serialize.
+// introduction as an operational component.
+//
+// All state lives behind a view.Publisher: POST handlers funnel mutations
+// through its single writer, which republishes an immutable
+// view.Snapshot via an atomic pointer whenever the graph effectively
+// changed. Every GET handler acquires the current snapshot with one
+// atomic load and runs entirely lock-free on it — readers never contend
+// with writers or with each other, and expensive artifacts (density
+// plots, communities, dual views) are memoized per snapshot version so
+// repeated requests at an unchanged version are byte-copy cheap.
 //
 // Endpoints (all JSON unless noted):
 //
 //	GET  /healthz                   liveness probe
+//	GET  /version                   current published snapshot version
 //	GET  /stats                     graph and κ summary (O(1), maintained)
 //	GET  /kappa?u=U&v=V             κ and co-clique size of one edge
 //	GET  /histogram                 κ value → edge count (maintained)
@@ -17,8 +25,19 @@
 //	GET  /plot.svg                  density plot (image/svg+xml)
 //	GET  /plot.txt                  density plot (text/plain ASCII)
 //
-// POST /edges applies the whole request as one dynamic.Engine.ApplyBatch,
-// and its body is capped at maxEdgesBody bytes.
+// Versioning and caching: every GET response carries an
+// X-Trikcore-Version header naming the snapshot version it was served
+// from, and an ETag derived from it ("v<version>"; the dual-view and
+// events endpoints, whose bodies also depend on the bookmarked snapshot,
+// use "v<version>.b<bookmark version>"). A conditional request whose
+// If-None-Match names the current entity is answered 304 Not Modified
+// with no body and no recomputation. Both headers are sound because each
+// served body is a pure function of (snapshot version, request URL): the
+// version moves exactly when the graph effectively changes.
+//
+// POST /edges applies the whole request as one batch through the
+// Publisher, and its body is capped at maxEdgesBody bytes. POST
+// responses carry the X-Trikcore-Version resulting from the write.
 package server
 
 import (
@@ -28,12 +47,12 @@ import (
 	"net/http"
 	"slices"
 	"strconv"
-	"sync"
+	"strings"
+	"sync/atomic"
 
-	"trikcore/internal/core"
 	"trikcore/internal/dynamic"
 	"trikcore/internal/graph"
-	"trikcore/internal/plot"
+	"trikcore/internal/view"
 )
 
 // maxEdgesBody bounds the POST /edges request body (16 MiB ≈ a couple of
@@ -41,28 +60,26 @@ import (
 // server memory.
 const maxEdgesBody = 16 << 20
 
-// Server wraps a dynamic engine with an HTTP API.
+// Server wraps a published engine with an HTTP API. Handlers hold no
+// server-level lock: reads run on acquired snapshots, writes serialize
+// inside the Publisher.
 type Server struct {
-	mu sync.RWMutex
-	en *dynamic.Engine
-	// snapshot is the graph bookmarked by POST /snapshot (nil until
-	// then); dual views and events compare the live graph against it.
-	snapshot *graph.Graph
+	pub *view.Publisher
+	// bookmark is the snapshot pinned by POST /snapshot (nil until then);
+	// dual views and events compare the live snapshot against it.
+	bookmark atomic.Pointer[view.Snapshot]
 }
-
-// decomposeForServer is the static decomposition hook (separated for the
-// snapshot endpoints; kept trivial so the dependency stays one-way).
-func decomposeForServer(g *graph.Graph) *core.Decomposition { return core.Decompose(g) }
 
 // New builds a server over a copy of g.
 func New(g *graph.Graph) *Server {
-	return &Server{en: dynamic.NewEngine(g)}
+	return &Server{pub: view.NewPublisherFromGraph(g)}
 }
 
 // Handler returns the route multiplexer.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /version", s.handleVersion)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /kappa", s.handleKappa)
 	mux.HandleFunc("GET /histogram", s.handleHistogram)
@@ -73,6 +90,44 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /plot.txt", s.handlePlotText)
 	s.registerSnapshotRoutes(mux)
 	return mux
+}
+
+// etagOf renders the entity tag of a response served from sn (and, for
+// the bookmark-relative endpoints, bm).
+func etagOf(sn *view.Snapshot, bm *view.Snapshot) string {
+	if bm != nil {
+		return fmt.Sprintf("\"v%d.b%d\"", sn.Version, bm.Version)
+	}
+	return fmt.Sprintf("\"v%d\"", sn.Version)
+}
+
+// preamble stamps the version and ETag headers for a response served
+// from sn (pass bm for bookmark-relative bodies) and reports whether the
+// request's If-None-Match already names this entity — in which case a
+// 304 has been written and the handler must not produce a body.
+func preamble(w http.ResponseWriter, r *http.Request, sn *view.Snapshot, bm *view.Snapshot) bool {
+	tag := etagOf(sn, bm)
+	h := w.Header()
+	h.Set("X-Trikcore-Version", strconv.FormatUint(sn.Version, 10))
+	h.Set("ETag", tag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && matchesETag(inm, tag) {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
+}
+
+// matchesETag reports whether an If-None-Match header value names tag:
+// "*" or any listed (possibly weak) tag equal to it.
+func matchesETag(inm, tag string) bool {
+	for _, cand := range strings.Split(inm, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == tag {
+			return true
+		}
+	}
+	return false
 }
 
 // writeJSON marshals v with a 200 status. Marshaling happens before any
@@ -111,6 +166,24 @@ func parseEdge(r *http.Request) (graph.Edge, error) {
 	return graph.NewEdge(graph.Vertex(u), graph.Vertex(v)), nil
 }
 
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("X-Trikcore-Version", strconv.FormatUint(s.pub.Acquire().Version, 10))
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// VersionReply is the /version response body.
+type VersionReply struct {
+	Version uint64 `json:"version"`
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	sn := s.pub.Acquire()
+	if preamble(w, r, sn, nil) {
+		return
+	}
+	writeJSON(w, VersionReply{Version: sn.Version})
+}
+
 // StatsReply is the /stats response body.
 type StatsReply struct {
 	Vertices int   `json:"vertices"`
@@ -123,26 +196,17 @@ type StatsReply struct {
 	Updates dynamic.Stats `json:"updates"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]string{"status": "ok"})
-}
-
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	// MaxKappa, NumEdges and NumVertices are all maintained by the engine,
-	// so this handler does no per-request graph scan.
-	mk := s.en.MaxKappa()
-	proxy := mk + 2
-	if s.en.NumEdges() == 0 {
-		proxy = 0
+	sn := s.pub.Acquire()
+	if preamble(w, r, sn, nil) {
+		return
 	}
 	writeJSON(w, StatsReply{
-		Vertices:       s.en.NumVertices(),
-		Edges:          s.en.NumEdges(),
-		MaxKappa:       mk,
-		MaxCliqueProxy: proxy,
-		Updates:        s.en.Stats(),
+		Vertices:       sn.NumVertices(),
+		Edges:          sn.NumEdges(),
+		MaxKappa:       sn.MaxK,
+		MaxCliqueProxy: sn.MaxCliqueProxy(),
+		Updates:        sn.Updates,
 	})
 }
 
@@ -160,9 +224,11 @@ func (s *Server) handleKappa(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.RLock()
-	k, ok := s.en.Kappa(e)
-	s.mu.RUnlock()
+	sn := s.pub.Acquire()
+	if preamble(w, r, sn, nil) {
+		return
+	}
+	k, ok := sn.KappaOf(e)
 	if !ok {
 		httpError(w, http.StatusNotFound, "edge %v not in graph", e)
 		return
@@ -171,12 +237,15 @@ func (s *Server) handleKappa(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	h := s.en.KappaHistogram()
-	s.mu.RUnlock()
-	out := make(map[string]int, len(h))
-	for k, n := range h {
-		out[strconv.Itoa(int(k))] = n
+	sn := s.pub.Acquire()
+	if preamble(w, r, sn, nil) {
+		return
+	}
+	out := make(map[string]int, len(sn.Hist))
+	for k, n := range sn.Hist {
+		if n > 0 {
+			out[strconv.Itoa(k)] = n
+		}
 	}
 	writeJSON(w, out)
 }
@@ -223,9 +292,8 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		ops = append(ops, dynamic.EdgeOp{U: p[0], V: p[1]})
 	}
 	var rep EdgesReply
-	s.mu.Lock()
-	rep.Added, rep.Removed = s.en.ApplyBatch(ops)
-	s.mu.Unlock()
+	rep.Added, rep.Removed = s.pub.Apply(ops)
+	w.Header().Set("X-Trikcore-Version", strconv.FormatUint(s.pub.Acquire().Version, 10))
 	writeJSON(w, rep)
 }
 
@@ -242,18 +310,26 @@ func (s *Server) handleCore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	k, ok := s.en.Kappa(e)
+	sn := s.pub.Acquire()
+	if preamble(w, r, sn, nil) {
+		return
+	}
+	edges, k, ok := sn.CoreOf(e)
 	if !ok {
 		httpError(w, http.StatusNotFound, "edge %v not in graph", e)
 		return
 	}
-	sub, _ := s.en.MaxCoreOf(e)
-	rep := CoreReply{Kappa: k, Vertices: sub.Vertices()}
-	for _, se := range sub.Edges() {
-		rep.Edges = append(rep.Edges, [2]graph.Vertex{se.U, se.V})
+	rep := CoreReply{Kappa: k}
+	seen := map[graph.Vertex]bool{}
+	for _, ce := range edges {
+		rep.Edges = append(rep.Edges, [2]graph.Vertex{ce.U, ce.V})
+		seen[ce.U] = true
+		seen[ce.V] = true
 	}
+	for v := range seen {
+		rep.Vertices = append(rep.Vertices, v)
+	}
+	slices.Sort(rep.Vertices)
 	writeJSON(w, rep)
 }
 
@@ -269,42 +345,32 @@ func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k must be a positive integer")
 		return
 	}
-	s.mu.RLock()
-	comms := s.en.Communities(int32(k))
-	s.mu.RUnlock()
+	sn := s.pub.Acquire()
+	if preamble(w, r, sn, nil) {
+		return
+	}
+	comms := sn.CommunitiesAt(int32(k))
 	out := make([]CommunityReply, 0, len(comms))
-	for _, edges := range comms {
-		seen := map[graph.Vertex]bool{}
-		var verts []graph.Vertex
-		for _, e := range edges {
-			for _, v := range [2]graph.Vertex{e.U, e.V} {
-				if !seen[v] {
-					seen[v] = true
-					verts = append(verts, v)
-				}
-			}
-		}
-		slices.Sort(verts)
-		out = append(out, CommunityReply{Edges: len(edges), Vertices: verts})
+	for _, c := range comms {
+		out = append(out, CommunityReply{Edges: c.Edges, Vertices: c.Vertices})
 	}
 	writeJSON(w, out)
 }
 
-// series builds the current density plot under the read lock.
-func (s *Server) series() plot.Series {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return plot.Density(s.en.Graph(), plot.EdgeValues(s.en.CoCliqueSizes()))
-}
-
 func (s *Server) handlePlotSVG(w http.ResponseWriter, r *http.Request) {
-	svg := plot.RenderSVG(s.series(), plot.SVGOptions{Title: "Triangle K-Core density plot"})
+	sn := s.pub.Acquire()
+	if preamble(w, r, sn, nil) {
+		return
+	}
 	w.Header().Set("Content-Type", "image/svg+xml")
-	fmt.Fprint(w, svg)
+	w.Write(sn.PlotSVG())
 }
 
 func (s *Server) handlePlotText(w http.ResponseWriter, r *http.Request) {
-	txt := plot.RenderASCII(s.series(), 120, 24)
+	sn := s.pub.Acquire()
+	if preamble(w, r, sn, nil) {
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, txt)
+	w.Write(sn.PlotASCII())
 }

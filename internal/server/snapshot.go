@@ -6,17 +6,22 @@ import (
 
 	"trikcore/internal/events"
 	"trikcore/internal/graph"
-	"trikcore/internal/plot"
 )
 
-// Snapshot endpoints: bookmark the current graph, then ask how the live
-// graph evolved relative to the bookmark — the dual-view plot
-// (Algorithm 3) and community events over HTTP.
+// Snapshot endpoints: bookmark the current published snapshot, then ask
+// how the live graph evolved relative to the bookmark — the dual-view
+// plot (Algorithm 3) and community events over HTTP.
 //
-//	POST /snapshot            bookmark the current graph state
+//	POST /snapshot            bookmark the current published snapshot
 //	GET  /dualview            dual-view markers vs the bookmark (JSON)
 //	GET  /dualview.svg        the changed-clique plot with marker bands
 //	GET  /events?k=K          community-evolution events vs the bookmark
+//
+// The bookmark is just an extra reference to an already-published
+// immutable view.Snapshot — taking one copies nothing and decomposes
+// nothing, and both sides of a dual view or event diff serve from their
+// maintained κ. Responses depend on the bookmark as well as the live
+// snapshot, so their ETags carry both versions ("v<live>.b<bookmark>").
 
 func (s *Server) registerSnapshotRoutes(mux *http.ServeMux) {
 	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
@@ -32,35 +37,10 @@ type SnapshotReply struct {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	// Engine.Graph materializes a standalone snapshot already; no clone
-	// needed.
-	s.snapshot = s.en.Graph()
-	rep := SnapshotReply{Vertices: s.snapshot.NumVertices(), Edges: s.snapshot.NumEdges()}
-	s.mu.Unlock()
-	writeJSON(w, rep)
-}
-
-// dualView builds the dual view between the bookmark and the live graph
-// under the read lock. Returns nil if no snapshot was bookmarked.
-func (s *Server) dualView() *plot.DualView {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.snapshot == nil {
-		return nil
-	}
-	newCo := plot.EdgeValues(s.en.CoCliqueSizes())
-	// The bookmark needs its own decomposition; BuildDualViewFromValues
-	// accepts engine-maintained values for the live side.
-	oldVals := oldSnapshotValues(s.snapshot)
-	dv := plot.BuildDualViewFromValues(s.snapshot, s.en.Graph(), oldVals, newCo, plot.DualViewOptions{})
-	return &dv
-}
-
-// oldSnapshotValues decomposes a bookmarked snapshot into plot values.
-func oldSnapshotValues(g *graph.Graph) plot.EdgeValues {
-	d := decomposeForServer(g)
-	return plot.FromDecomposition(d)
+	sn := s.pub.Acquire()
+	s.bookmark.Store(sn)
+	w.Header().Set("X-Trikcore-Version", strconv.FormatUint(sn.Version, 10))
+	writeJSON(w, SnapshotReply{Vertices: sn.NumVertices(), Edges: sn.NumEdges()})
 }
 
 // DualViewMarkerReply describes one correspondence marker.
@@ -76,11 +56,16 @@ type DualViewMarkerReply struct {
 }
 
 func (s *Server) handleDualView(w http.ResponseWriter, r *http.Request) {
-	dv := s.dualView()
-	if dv == nil {
+	bm := s.bookmark.Load()
+	if bm == nil {
 		httpError(w, http.StatusConflict, "no snapshot bookmarked; POST /snapshot first")
 		return
 	}
+	sn := s.pub.Acquire()
+	if preamble(w, r, sn, bm) {
+		return
+	}
+	dv := sn.DualViewAgainst(bm)
 	out := make([]DualViewMarkerReply, 0, len(dv.Markers))
 	for _, mk := range dv.Markers {
 		out = append(out, DualViewMarkerReply{
@@ -98,17 +83,17 @@ func (s *Server) handleDualView(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDualViewSVG(w http.ResponseWriter, r *http.Request) {
-	dv := s.dualView()
-	if dv == nil {
+	bm := s.bookmark.Load()
+	if bm == nil {
 		httpError(w, http.StatusConflict, "no snapshot bookmarked; POST /snapshot first")
 		return
 	}
-	svg := plot.RenderSVG(dv.After, plot.SVGOptions{
-		Title:   "changed cliques since snapshot",
-		Markers: dv.MarkersForSVG(),
-	})
+	sn := s.pub.Acquire()
+	if preamble(w, r, sn, bm) {
+		return
+	}
 	w.Header().Set("Content-Type", "image/svg+xml")
-	w.Write([]byte(svg))
+	w.Write(sn.DualViewSVGAgainst(bm))
 }
 
 // EventReply is one community-evolution event.
@@ -124,15 +109,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k must be a positive integer")
 		return
 	}
-	s.mu.RLock()
-	snap := s.snapshot
-	live := s.en.Graph()
-	s.mu.RUnlock()
-	if snap == nil {
+	bm := s.bookmark.Load()
+	if bm == nil {
 		httpError(w, http.StatusConflict, "no snapshot bookmarked; POST /snapshot first")
 		return
 	}
-	_, _, evs := events.FromSnapshots(snap, live, int32(k), events.Options{})
+	sn := s.pub.Acquire()
+	if preamble(w, r, sn, bm) {
+		return
+	}
+	// Both community lists come from maintained κ (memoized per snapshot);
+	// only the cheap matching runs per request.
+	evs := events.Detect(bm.CommunitiesAt(int32(k)), sn.CommunitiesAt(int32(k)), events.Options{})
 	out := make([]EventReply, 0, len(evs))
 	for _, e := range evs {
 		out = append(out, EventReply{Type: e.Type.String(), Before: e.Before, After: e.After})

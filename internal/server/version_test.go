@@ -1,0 +1,280 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// get performs a GET and returns the status, body and response headers.
+func get(t *testing.T, url string, hdr http.Header) (int, []byte, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+// TestVersionEndpointAndHeaders pins the versioning surface: GET /version
+// reports the published snapshot version, every read endpoint stamps
+// X-Trikcore-Version, effective writes advance it and no-op writes do
+// not.
+func TestVersionEndpointAndHeaders(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var ver VersionReply
+	if code := getJSON(t, ts.URL+"/version", &ver); code != 200 {
+		t.Fatalf("/version status %d", code)
+	}
+	_, _, hdr := get(t, ts.URL+"/version", nil)
+	if got := hdr.Get("X-Trikcore-Version"); got != fmt.Sprint(ver.Version) {
+		t.Fatalf("/version header %q vs body %d", got, ver.Version)
+	}
+
+	// Every read endpoint names the snapshot it served from.
+	postJSON(t, ts.URL+"/snapshot", "")
+	reads := []string{
+		"/healthz", "/version", "/stats", "/kappa?u=1&v=2", "/histogram",
+		"/core?u=1&v=2", "/communities?k=3", "/plot.svg", "/plot.txt",
+		"/dualview", "/dualview.svg", "/events?k=3",
+	}
+	for _, path := range reads {
+		code, _, hdr := get(t, ts.URL+path, nil)
+		if code != 200 {
+			t.Fatalf("GET %s: status %d", path, code)
+		}
+		if hdr.Get("X-Trikcore-Version") != fmt.Sprint(ver.Version) {
+			t.Errorf("GET %s: X-Trikcore-Version = %q, want %d",
+				path, hdr.Get("X-Trikcore-Version"), ver.Version)
+		}
+	}
+
+	// An effective write advances the version by exactly one batch step,
+	// and the POST response names the resulting version.
+	resp, err := http.Post(ts.URL+"/edges", "application/json",
+		strings.NewReader(`{"add":[[1,20],[2,20]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Trikcore-Version"); got != fmt.Sprint(ver.Version+1) {
+		t.Fatalf("POST /edges version header %q, want %d", got, ver.Version+1)
+	}
+	var ver2 VersionReply
+	getJSON(t, ts.URL+"/version", &ver2)
+	if ver2.Version != ver.Version+1 {
+		t.Fatalf("version after effective write = %d, want %d", ver2.Version, ver.Version+1)
+	}
+
+	// A no-op write leaves it alone.
+	resp, err = http.Post(ts.URL+"/edges", "application/json",
+		strings.NewReader(`{"add":[[1,2]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var ver3 VersionReply
+	getJSON(t, ts.URL+"/version", &ver3)
+	if ver3.Version != ver2.Version {
+		t.Fatalf("no-op write moved version %d → %d", ver2.Version, ver3.Version)
+	}
+}
+
+// TestETagNotModified exercises the conditional-request path: a matching
+// If-None-Match yields an empty 304, non-matching and stale tags yield
+// full bodies, and the bookmark-relative endpoints carry both versions in
+// their tag.
+func TestETagNotModified(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	code, body, hdr := get(t, ts.URL+"/stats", nil)
+	if code != 200 || len(body) == 0 {
+		t.Fatalf("GET /stats: %d, %d bytes", code, len(body))
+	}
+	tag := hdr.Get("ETag")
+	if !strings.HasPrefix(tag, "\"v") {
+		t.Fatalf("ETag %q, want \"v<version>\" form", tag)
+	}
+
+	// Matching tag → 304, no body, headers still stamped.
+	for _, inm := range []string{tag, "W/" + tag, "\"bogus\", " + tag, "*"} {
+		code, body, hdr := get(t, ts.URL+"/stats", http.Header{"If-None-Match": {inm}})
+		if code != http.StatusNotModified || len(body) != 0 {
+			t.Fatalf("If-None-Match %q: %d, %d bytes, want empty 304", inm, code, len(body))
+		}
+		if hdr.Get("ETag") != tag || hdr.Get("X-Trikcore-Version") == "" {
+			t.Fatalf("304 lost validators: ETag %q version %q",
+				hdr.Get("ETag"), hdr.Get("X-Trikcore-Version"))
+		}
+	}
+	// Non-matching tag → full body.
+	if code, body, _ := get(t, ts.URL+"/stats", http.Header{"If-None-Match": {"\"v999\""}}); code != 200 || len(body) == 0 {
+		t.Fatalf("mismatched If-None-Match: %d, %d bytes", code, len(body))
+	}
+
+	// After an effective write the old tag is stale everywhere.
+	postJSON(t, ts.URL+"/edges", `{"add":[[1,30],[2,30]]}`)
+	code, _, hdr = get(t, ts.URL+"/stats", http.Header{"If-None-Match": {tag}})
+	if code != 200 {
+		t.Fatalf("stale tag after write: status %d, want 200", code)
+	}
+	if hdr.Get("ETag") == tag {
+		t.Fatal("ETag did not change across an effective write")
+	}
+
+	// Bookmark-relative endpoints tag both sides.
+	postJSON(t, ts.URL+"/snapshot", "")
+	postJSON(t, ts.URL+"/edges", `{"add":[[3,30]]}`)
+	_, _, hdr = get(t, ts.URL+"/dualview", nil)
+	dtag := hdr.Get("ETag")
+	if !strings.Contains(dtag, ".b") {
+		t.Fatalf("dualview ETag %q, want \"v<live>.b<bookmark>\" form", dtag)
+	}
+	if code, body, _ := get(t, ts.URL+"/dualview", http.Header{"If-None-Match": {dtag}}); code != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("dualview conditional: %d, %d bytes, want empty 304", code, len(body))
+	}
+	// Re-bookmarking at the live version changes the tag.
+	postJSON(t, ts.URL+"/snapshot", "")
+	if _, _, hdr := get(t, ts.URL+"/dualview", nil); hdr.Get("ETag") == dtag {
+		t.Fatal("dualview ETag ignored the bookmark version")
+	}
+}
+
+// TestPlotServedFromSnapshotCache checks that repeated /plot.svg requests
+// at one version are served from the snapshot's memoized bytes: the body
+// is byte-identical to the snapshot's cached artifact, which is rendered
+// once per version.
+func TestPlotServedFromSnapshotCache(t *testing.T) {
+	s, ts := newTestServer(t)
+	sn := s.pub.Acquire()
+
+	_, b1, hdr1 := get(t, ts.URL+"/plot.svg", nil)
+	_, b2, hdr2 := get(t, ts.URL+"/plot.svg", nil)
+	if hdr1.Get("ETag") != hdr2.Get("ETag") {
+		t.Fatal("version moved under a read-only workload")
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same version, different plot bytes")
+	}
+	// The served body is the snapshot's memoized rendering, and the memo is
+	// pointer-stable — the handler wrote cached bytes, it did not re-render.
+	cached := sn.PlotSVG()
+	if !bytes.Equal(b1, cached) {
+		t.Fatal("served body differs from the snapshot's cached artifact")
+	}
+	if again := sn.PlotSVG(); &again[0] != &cached[0] {
+		t.Fatal("plot cache not pointer-stable within a version")
+	}
+}
+
+// TestGetHammerUnderChurn races parallel readers of every GET endpoint
+// against POST /edges churn and periodic re-bookmarking. The race
+// detector (make race) owns the soundness claim; the assertions only
+// require coherent statuses and non-empty bodies.
+func TestGetHammerUnderChurn(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+
+	do := func(method, target, body string) *httptest.ResponseRecorder {
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req := httptest.NewRequest(method, target, rd)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	if rec := do(http.MethodPost, "/snapshot", ""); rec.Code != 200 {
+		t.Fatalf("priming snapshot: status %d", rec.Code)
+	}
+
+	paths := []string{
+		"/healthz", "/version", "/stats", "/kappa?u=1&v=2", "/histogram",
+		"/core?u=1&v=2", "/communities?k=3", "/plot.svg", "/plot.txt",
+		"/dualview", "/dualview.svg", "/events?k=3",
+	}
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := 30 + i%5
+			if i%2 == 0 {
+				do(http.MethodPost, "/edges", fmt.Sprintf(`{"add":[[1,%d],[2,%d],[3,%d]]}`, v, v, v))
+			} else {
+				do(http.MethodPost, "/edges", fmt.Sprintf(`{"remove":[[1,%d],[2,%d],[3,%d]]}`, v, v, v))
+			}
+			if i%16 == 15 {
+				do(http.MethodPost, "/snapshot", "")
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				for _, path := range paths {
+					rec := do(http.MethodGet, path, "")
+					// The K5 edge {1,2} and its core never churn, so every
+					// read must succeed.
+					if rec.Code != 200 {
+						t.Errorf("GET %s under churn: status %d", path, rec.Code)
+						return
+					}
+					if rec.Body.Len() == 0 {
+						t.Errorf("GET %s under churn: empty body", path)
+						return
+					}
+					if rec.Header().Get("X-Trikcore-Version") == "" {
+						t.Errorf("GET %s under churn: missing version header", path)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	writer.Wait()
+
+	// The server is still coherent after the storm.
+	var st StatsReply
+	rec := do(http.MethodGet, "/stats", "")
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxKappa < 3 || st.Edges < 11 {
+		t.Fatalf("post-churn stats %+v", st)
+	}
+}

@@ -1,0 +1,90 @@
+package view
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"trikcore/internal/dynamic"
+	"trikcore/internal/graph"
+)
+
+// Publisher owns a dynamic engine and publishes immutable Snapshots of
+// it. It is the single-writer funnel of the serving layer: every
+// mutation goes through the writer mutex, every read goes through
+// Acquire — one atomic pointer load, no lock, ever.
+type Publisher struct {
+	mu  sync.Mutex
+	en  *dynamic.Engine
+	cur atomic.Pointer[Snapshot]
+}
+
+// NewPublisher wraps an engine, taking ownership of it: the caller must
+// not mutate en directly afterwards (use Apply/Mutate), or published
+// snapshots would silently go stale. The initial state is published
+// immediately.
+func NewPublisher(en *dynamic.Engine) *Publisher {
+	p := &Publisher{en: en}
+	p.cur.Store(p.freeze())
+	return p
+}
+
+// NewPublisherFromGraph builds the engine too (initial decomposition via
+// Algorithm 1) and publishes the result.
+func NewPublisherFromGraph(g *graph.Graph) *Publisher {
+	return NewPublisher(dynamic.NewEngine(g))
+}
+
+// Acquire returns the current snapshot: one atomic load. The snapshot
+// stays valid (immutable) indefinitely; hold it for as long as a
+// consistent view is needed and re-Acquire for freshness.
+func (p *Publisher) Acquire() *Snapshot { return p.cur.Load() }
+
+// Apply applies one batch of edge operations and, if the batch
+// effectively changed the graph, freezes and publishes a new snapshot
+// before returning. Concurrent writers serialize; readers are never
+// blocked. Like ApplyBatch it panics on self-loop ops (validate first),
+// with the engine untouched.
+func (p *Publisher) Apply(ops []dynamic.EdgeOp) (added, removed int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	before := p.en.Version()
+	added, removed = p.en.ApplyBatch(ops)
+	if p.en.Version() != before {
+		p.cur.Store(p.freeze())
+	}
+	return added, removed
+}
+
+// Mutate runs fn on the engine under the writer lock and republishes if
+// fn effectively changed the graph (per Engine.Version), returning the
+// snapshot current at exit. It is the escape hatch for vertex-level and
+// composite mutations; fn must not retain the engine.
+func (p *Publisher) Mutate(fn func(en *dynamic.Engine)) *Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	before := p.en.Version()
+	fn(p.en)
+	if p.en.Version() != before {
+		p.cur.Store(p.freeze())
+	}
+	return p.cur.Load()
+}
+
+// freeze builds a Snapshot of the engine's current state. Callers hold
+// mu (or are the constructor, before the Publisher escapes).
+func (p *Publisher) freeze() *Snapshot {
+	s, kappa := p.en.FreezeView()
+	maxK := p.en.MaxKappa()
+	hist := make([]int, maxK+1)
+	for _, k := range kappa {
+		hist[k]++
+	}
+	return &Snapshot{
+		Version: p.en.Version(),
+		S:       s,
+		Kappa:   kappa,
+		Hist:    hist,
+		MaxK:    maxK,
+		Updates: p.en.Stats(),
+	}
+}

@@ -20,6 +20,10 @@
 //     plots and dynamic dual-view plots (Algorithm 3).
 //   - DetectTemplate finds user-defined template pattern cliques — New
 //     Form, Bridge, New Join, or custom specs (Algorithm 4).
+//   - NewPublisher wraps an engine in a versioned snapshot publisher:
+//     one writer, immutable published Snapshots, lock-free readers with
+//     per-version memoized plots and communities (the HTTP service's
+//     concurrency model).
 //   - VertexKCore, MaximalCliques, CSVCoCliqueSizes, TriDN and BiTriDN
 //     expose the substrate and baseline algorithms the paper compares
 //     against.
@@ -41,6 +45,7 @@ import (
 	"trikcore/internal/kcore"
 	"trikcore/internal/plot"
 	"trikcore/internal/template"
+	"trikcore/internal/view"
 )
 
 // Core graph types.
@@ -241,6 +246,29 @@ type Timeline = events.Timeline
 
 // NewTimeline starts a community timeline at level k.
 func NewTimeline(k int32) *Timeline { return events.NewTimeline(k) }
+
+// Versioned snapshot publication (the serving layer's concurrency
+// model): a Publisher funnels mutations through one writer and publishes
+// immutable Snapshots through an atomic pointer, so any number of
+// readers run lock-free on a consistent frozen view while updates
+// proceed.
+type (
+	// Publisher owns a dynamic engine and publishes versioned snapshots.
+	Publisher = view.Publisher
+	// Snapshot is one immutable published version: a frozen CSR view,
+	// its κ values, and memoized derived artifacts (density series,
+	// plots, communities) computed at most once per version.
+	Snapshot = view.Snapshot
+)
+
+// NewPublisher builds a snapshot publisher over a copy of g and
+// publishes the initial version.
+func NewPublisher(g *Graph) *Publisher { return view.NewPublisherFromGraph(g) }
+
+// NewPublisherFromEngine wraps an existing engine. The caller must stop
+// mutating the engine directly; all further updates go through the
+// publisher.
+func NewPublisherFromEngine(en *Engine) *Publisher { return view.NewPublisher(en) }
 
 // TrackedEngine is an Engine that also maintains the paper's explicit
 // per-edge core membership (AddToCore/DelFromCore bookkeeping).
