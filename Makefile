@@ -29,9 +29,10 @@ race:
 # Dense/Engine invariant suite (see internal/*/invariants.go), under the
 # race detector: the deepest correctness oracle the repo has. The view
 # and server packages ride along so their concurrency tests hammer the
-# publisher while the substrate self-checks.
+# publisher while the substrate self-checks, and obs rides along so its
+# lock-free counters and histogram bins are hammered under the detector.
 debugrace:
-	$(GO) test -tags trikdebug -race ./internal/graph ./internal/dynamic ./internal/view ./internal/server
+	$(GO) test -tags trikdebug -race ./internal/graph ./internal/dynamic ./internal/view ./internal/server ./internal/obs
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFreezeStatic$$|BenchmarkDecomposeStatic$$|BenchmarkTriangleCountStatic$$|BenchmarkEngineChurn$$|BenchmarkServerMixedWorkload$$' -benchmem -benchtime 3s .

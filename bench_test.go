@@ -34,6 +34,7 @@ import (
 	"trikcore/internal/gen"
 	"trikcore/internal/graph"
 	"trikcore/internal/kcore"
+	"trikcore/internal/obs"
 	"trikcore/internal/plot"
 	"trikcore/internal/server"
 	"trikcore/internal/template"
@@ -454,9 +455,22 @@ func BenchmarkTriangleCountStatic(b *testing.B) {
 // through the real handler (no network) from parallel goroutines, so the
 // number measures the serving layer itself: snapshot acquisition, derived
 // artifact reuse and writer interference.
+//
+// The Uninstrumented variant is the historical baseline (no registry, no
+// middleware); Instrumented runs the identical workload with full metrics
+// wiring, bounding observability overhead on the serving path.
 func BenchmarkServerMixedWorkload(b *testing.B) {
+	b.Run("Uninstrumented", func(b *testing.B) {
+		benchServerMixed(b, server.Options{})
+	})
+	b.Run("Instrumented", func(b *testing.B) {
+		benchServerMixed(b, server.Options{Registry: obs.NewRegistry()})
+	})
+}
+
+func benchServerMixed(b *testing.B, opts server.Options) {
 	g := gen.PowerLawCluster(2_000, 8, 0.5, 13)
-	h := server.New(g).Handler()
+	h := server.NewWith(g, opts).Handler()
 	probe := g.Edges()[0]
 	reads := []string{
 		"/stats",

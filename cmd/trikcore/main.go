@@ -13,7 +13,7 @@
 //	trikcore dualview  -old old.txt -new new.txt [-svg outdir]
 //	trikcore events    -old old.txt -new new.txt -k 3
 //	trikcore convert   -in graph.txt -out graph.tkcg
-//	trikcore serve     -in graph.txt -addr :8080
+//	trikcore serve     -in graph.txt -addr :8080 [-pprof] [-quiet]
 //
 // Edge-list files hold one "u v" pair per line ('#' comments allowed).
 // Ops files hold one "+ u v" or "- u v" per line.
@@ -23,6 +23,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -327,20 +328,23 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	in := fs.String("in", "", "input edge-list file (optional; empty graph if omitted)")
 	addr := fs.String("addr", ":8080", "listen address")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	quiet := fs.Bool("quiet", false, "disable per-request structured logs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv, err := buildServer(*in)
+	srv, err := buildServer(*in, *pprofOn, *quiet)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "trikcore: serving on %s\n", *addr)
+	fmt.Fprintf(os.Stderr, "trikcore: serving on %s (metrics on /metrics)\n", *addr)
 	return http.ListenAndServe(*addr, srv.Handler())
 }
 
 // buildServer loads the optional initial graph and wraps it in the HTTP
-// service.
-func buildServer(in string) (*server.Server, error) {
+// service. Served instances are always metered (GET /metrics); request
+// logging and pprof are flag-controlled.
+func buildServer(in string, pprofOn, quiet bool) (*server.Server, error) {
 	g := trikcore.NewGraph()
 	if in != "" {
 		loaded, err := trikcore.LoadEdgeListFile(in)
@@ -349,7 +353,11 @@ func buildServer(in string) (*server.Server, error) {
 		}
 		g = loaded
 	}
-	return server.New(g), nil
+	opts := server.Options{Registry: trikcore.NewMetricsRegistry(), Pprof: pprofOn}
+	if !quiet {
+		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	return server.NewWith(g, opts), nil
 }
 
 // cmdConvert translates between the text edge-list format and the

@@ -4,17 +4,30 @@
 // snapshot version it was served from, and a conditional request at an
 // unchanged version is answered 304 with no recomputation.
 //
+// The server is built fully instrumented, so the walkthrough ends on the
+// observability surface: GET /healthz reports version, uptime and build
+// info, and GET /metrics exposes every layer's metrics in Prometheus
+// text format.
+//
 //	go run ./examples/service
+//
+// With -addr the demo instead serves forever on a real listener (add
+// -pprof for /debug/pprof/) — the form CI uses to smoke-test the
+// endpoints with curl:
+//
+//	go run ./examples/service -addr :8080 -pprof
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
 
 	"trikcore"
 	"trikcore/internal/gen"
@@ -22,9 +35,25 @@ import (
 )
 
 func main() {
-	// Seed the service with a small social graph.
+	addr := flag.String("addr", "", "serve forever on this address instead of running the demo")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.Parse()
+
+	// Seed the service with a small social graph and instrument every
+	// layer against one shared registry.
 	g := gen.PowerLawCluster(500, 4, 0.5, 7)
-	srv := httptest.NewServer(server.New(g).Handler())
+	s := server.NewWith(g, server.Options{
+		Registry: trikcore.NewMetricsRegistry(),
+		Pprof:    *pprofOn,
+	})
+
+	if *addr != "" {
+		fmt.Fprintf(os.Stderr, "service listening on %s (metrics on /metrics)\n", *addr)
+		must(http.ListenAndServe(*addr, s.Handler()))
+		return
+	}
+
+	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 	fmt.Println("service listening on", srv.URL)
 
@@ -37,6 +66,7 @@ func main() {
 		return body
 	}
 
+	fmt.Printf("\n--> GET /healthz\n%s", get("/healthz"))
 	fmt.Printf("\n--> GET /stats\n%s", get("/stats"))
 
 	// A new community of six members forms, one edge at a time.
@@ -82,6 +112,17 @@ func main() {
 	must(cond.Body.Close())
 	fmt.Printf("\n--> GET /plot.svg with If-None-Match: %s\n%s (unchanged version, no re-render)\n",
 		etag, cond.Status)
+
+	// Everything the service just did is on the metrics surface: request
+	// latencies and counts per endpoint, engine promotions and triangle
+	// visits from the ingest, publisher memo hits from the repeated reads.
+	expo := string(get("/metrics"))
+	fmt.Printf("\n--> GET /metrics (%d lines; trikcore_engine_* shown)\n", strings.Count(expo, "\n"))
+	for _, line := range strings.Split(expo, "\n") {
+		if strings.HasPrefix(line, "trikcore_engine_") && !strings.Contains(line, "_bucket") {
+			fmt.Println(line)
+		}
+	}
 }
 
 func must(err error) {

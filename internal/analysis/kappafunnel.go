@@ -7,13 +7,16 @@ import (
 
 // kappaFunnelAllowed are the functions permitted to write κ state:
 // transition (the funnel itself, maintaining hist and maxK), setKappa
-// (the κ-array write paired with its transition), NewEngine (engine
-// construction) and ensureEdgeCap (growing the κ array for new slots).
+// (the κ-array write paired with its transition), the engine
+// constructors (NewEngine delegates to NewEngineFromDecomposition, which
+// seeds κ and hist from the static decomposition) and ensureEdgeCap
+// (growing the κ array for new slots).
 var kappaFunnelAllowed = map[string]bool{
-	"transition":    true,
-	"setKappa":      true,
-	"NewEngine":     true,
-	"ensureEdgeCap": true,
+	"transition":                 true,
+	"setKappa":                   true,
+	"NewEngine":                  true,
+	"NewEngineFromDecomposition": true,
+	"ensureEdgeCap":              true,
 }
 
 // KappaFunnel enforces the engine's central bookkeeping discipline: the
@@ -52,7 +55,7 @@ func runKappaFunnel(p *Pass) {
 
 	report := func(pos ast.Expr, name string) {
 		p.Reportf(pos.Pos(),
-			"write to Engine.%s outside the κ funnel (allowed: transition, setKappa, NewEngine, ensureEdgeCap)",
+			"write to Engine.%s outside the κ funnel (allowed: transition, setKappa, constructors, ensureEdgeCap)",
 			name)
 	}
 	check := func(e ast.Expr) {

@@ -16,6 +16,9 @@ var mapOrderPackages = map[string]bool{
 	"internal/server": true,
 	"internal/table":  true,
 	"internal/view":   true,
+	// obs renders /metrics bodies; map-ordered emission would break the
+	// exposition's byte-determinism guarantee.
+	"internal/obs": true,
 }
 
 // mapOrderWriterMethods are method/function names that emit bytes; a call

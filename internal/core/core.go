@@ -23,6 +23,7 @@ import (
 
 	"trikcore/internal/bucket"
 	"trikcore/internal/graph"
+	"trikcore/internal/obs"
 )
 
 // Decomposition is the result of a Triangle K-Core decomposition of a
@@ -47,12 +48,25 @@ type Decomposition struct {
 	MaxKappa int32
 }
 
+// Phase names Options.Phases observes, one per stage of Algorithm 1's
+// pipeline: freezing the CSR view, the triangle-support computation, and
+// the bucket peel.
+const (
+	PhaseFreeze  = "freeze"
+	PhaseSupport = "support"
+	PhasePeel    = "peel"
+)
+
 // Options configure Decompose.
 type Options struct {
 	// Parallelism bounds the number of goroutines used for the initial
 	// support computation. Zero means GOMAXPROCS. The peeling phase is
 	// inherently sequential and always runs on one goroutine.
 	Parallelism int
+	// Phases, when non-nil, receives one duration observation per
+	// decomposition phase (PhaseFreeze, PhaseSupport, PhasePeel). A nil
+	// timer costs nothing.
+	Phases *obs.PhaseTimer
 }
 
 // Decompose runs Algorithm 1 on g and returns κ(e) for every edge.
@@ -62,14 +76,21 @@ func Decompose(g *graph.Graph) *Decomposition {
 
 // DecomposeWith is Decompose with explicit options.
 func DecomposeWith(g *graph.Graph, opts Options) *Decomposition {
+	sp := opts.Phases.Start(PhaseFreeze)
 	s := graph.FreezeStatic(g)
+	sp.End()
 	return DecomposeStatic(s, opts)
 }
 
 // DecomposeStatic runs Algorithm 1 on an already-frozen graph view.
 func DecomposeStatic(s *graph.Static, opts Options) *Decomposition {
+	sp := opts.Phases.Start(PhaseSupport)
 	support := ComputeSupport(s, opts.Parallelism)
-	return DecomposeWithSupport(s, support)
+	sp.End()
+	sp = opts.Phases.Start(PhasePeel)
+	d := DecomposeWithSupport(s, support)
+	sp.End()
+	return d
 }
 
 // DecomposeWithSupport runs only the peeling phase of Algorithm 1

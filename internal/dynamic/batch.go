@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"trikcore/internal/graph"
+	"trikcore/internal/obs"
 )
 
 // EdgeOp is one edge-level operation of a batched update: insert {U, V}
@@ -36,6 +37,15 @@ func (en *Engine) ApplyBatch(ops []EdgeOp) (added, removed int) {
 	if len(ops) == 0 {
 		return 0, 0
 	}
+	var sp, stage obs.Span
+	var stages *obs.PhaseTimer
+	var before Stats
+	if en.mt != nil {
+		sp = obs.StartSpan(en.mt.applyBatchSeconds)
+		stages = en.mt.stages
+		before = en.stats
+	}
+	stage = stages.Start(StageCanonicalize)
 	if cap(en.sc.ops) < len(ops) {
 		en.sc.ops = make([]EdgeOp, 0, len(ops))
 	}
@@ -67,7 +77,9 @@ func (en *Engine) ApplyBatch(ops []EdgeOp) (added, removed int) {
 	}
 	buf = buf[:w]
 	en.sc.ops = buf
+	stage.End()
 
+	stage = stages.Start(StageDelete)
 	for _, op := range buf {
 		if op.Del {
 			if en.deleteEdgeCanon(op.U, op.V, &en.sc.tris) {
@@ -75,6 +87,8 @@ func (en *Engine) ApplyBatch(ops []EdgeOp) (added, removed int) {
 			}
 		}
 	}
+	stage.End()
+	stage = stages.Start(StageInsert)
 	for _, op := range buf {
 		if !op.Del {
 			if en.insertEdgeCanon(op.U, op.V, &en.sc.tris) {
@@ -82,10 +96,19 @@ func (en *Engine) ApplyBatch(ops []EdgeOp) (added, removed int) {
 			}
 		}
 	}
+	stage.End()
 	// One version step per effective batch: a batch whose ops all cancel
 	// or no-op leaves the version (and thus published snapshots) alone.
 	if added+removed > 0 {
 		en.bumpVersion()
+	}
+	if en.mt != nil {
+		sp.End()
+		en.mt.insertsApplied.Add(uint64(added))
+		en.mt.deletesApplied.Add(uint64(removed))
+		en.mt.opsDeduped.Add(uint64(len(ops) - len(buf)))
+		en.mt.recordDelta(en, before)
+		en.mt.substrateBytes.Set(en.d.SizeBytes())
 	}
 	en.debugAssert()
 	return added, removed

@@ -35,6 +35,7 @@ import (
 
 	"trikcore/internal/core"
 	"trikcore/internal/graph"
+	"trikcore/internal/obs"
 )
 
 // Engine owns a graph and keeps κ(e) correct for every edge across
@@ -78,6 +79,11 @@ type Engine struct {
 	version uint64
 
 	stats Stats
+
+	// mt, when non-nil (see Instrument), records public-op durations,
+	// Stats deltas and structural gauges. Hooks live only at public-op
+	// boundaries so the uninstrumented mutation path is untouched.
+	mt *engineMetrics
 }
 
 // scratch is the engine-owned traversal workspace, reused across updates.
@@ -114,24 +120,9 @@ type Stats struct {
 
 // NewEngine builds an engine over a private dense copy of g, initializing
 // κ with the static decomposition (Algorithm 1). The caller's graph is not
-// retained. NewDenseFromStatic preserves the decomposition's edge ids, so
-// the κ array is adopted verbatim.
+// retained.
 func NewEngine(g *graph.Graph) *Engine {
-	d := core.Decompose(g)
-	en := &Engine{
-		d:     graph.NewDenseFromStatic(d.S),
-		kappa: append([]int32(nil), d.Kappa...),
-		maxK:  d.MaxKappa,
-		offU:  -1,
-		offV:  -1,
-	}
-	en.hist = make([]int, en.maxK+1)
-	for _, k := range en.kappa {
-		en.hist[k]++
-	}
-	en.ensureEdgeCap()
-	en.ensureVertexCap()
-	return en
+	return NewEngineFromDecomposition(core.Decompose(g))
 }
 
 // ensureEdgeCap grows all edge-indexed state to the dense edge capacity.
@@ -301,10 +292,20 @@ func (en *Engine) RemoveVertex(v graph.Vertex) bool {
 // InsertEdge adds the edge {u, v}, creating endpoints as needed, and
 // updates κ for every affected edge. It reports whether the edge was new.
 func (en *Engine) InsertEdge(u, v graph.Vertex) bool {
+	var sp obs.Span
+	var before Stats
+	if en.mt != nil {
+		sp = obs.StartSpan(en.mt.insertSeconds)
+		before = en.stats
+	}
 	var tris []int32
 	added := en.insertEdgeCanon(u, v, &tris)
 	if added {
 		en.bumpVersion()
+	}
+	if en.mt != nil {
+		sp.End()
+		en.mt.recordOp(en, before, added, false)
 	}
 	en.debugAssert()
 	return added
@@ -313,10 +314,20 @@ func (en *Engine) InsertEdge(u, v graph.Vertex) bool {
 // DeleteEdge removes the edge {u, v} and updates κ for every affected
 // edge. Endpoints are kept. It reports whether the edge existed.
 func (en *Engine) DeleteEdge(u, v graph.Vertex) bool {
+	var sp obs.Span
+	var before Stats
+	if en.mt != nil {
+		sp = obs.StartSpan(en.mt.deleteSeconds)
+		before = en.stats
+	}
 	var tris []int32
 	removed := en.deleteEdgeCanon(u, v, &tris)
 	if removed {
 		en.bumpVersion()
+	}
+	if en.mt != nil {
+		sp.End()
+		en.mt.recordOp(en, before, removed, true)
 	}
 	en.debugAssert()
 	return removed

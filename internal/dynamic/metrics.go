@@ -1,0 +1,148 @@
+package dynamic
+
+import (
+	"trikcore/internal/core"
+	"trikcore/internal/graph"
+	"trikcore/internal/obs"
+)
+
+// Batch-apply stage names observed by the trikcore_engine_batch_stage_seconds
+// phase timer: canonicalizing the op list (sort + dedup by net effect), then
+// the surviving deletions, then the surviving insertions.
+const (
+	StageCanonicalize = "canonicalize"
+	StageDelete       = "delete"
+	StageInsert       = "insert"
+)
+
+// engineMetrics holds the engine's metric handles. A nil *engineMetrics
+// (the uninstrumented default) keeps every mutation path bit-identical to
+// an engine built before instrumentation existed: hooks are guarded by one
+// `en.mt != nil` branch at the public-op boundary, never inside the
+// per-triangle funnels.
+type engineMetrics struct {
+	applyBatchSeconds *obs.Histogram // whole-batch wall time
+	insertSeconds     *obs.Histogram // per public InsertEdge call
+	deleteSeconds     *obs.Histogram // per public DeleteEdge call
+	stages            *obs.PhaseTimer
+
+	insertsApplied *obs.Counter
+	deletesApplied *obs.Counter
+	opsDeduped     *obs.Counter
+
+	promotions *obs.Counter
+	demotions  *obs.Counter
+	triangles  *obs.Counter
+	cascade    *obs.Counter
+
+	liveEdges      *obs.Gauge
+	liveVertices   *obs.Gauge
+	maxKappa       *obs.Gauge
+	substrateBytes *obs.Gauge
+}
+
+// Instrument registers the engine's metric families on reg and starts
+// recording. A nil registry is a no-op, leaving the engine uninstrumented.
+// Instrument is not safe to call concurrently with mutations; wire it at
+// construction time.
+func (en *Engine) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	mt := &engineMetrics{
+		applyBatchSeconds: reg.Histogram("trikcore_engine_apply_batch_seconds",
+			"Wall time of one ApplyBatch call.", obs.DurationBuckets, nil),
+		insertSeconds: reg.Histogram("trikcore_engine_op_seconds",
+			"Wall time of one single-edge mutation.", obs.DurationBuckets, obs.Labels{"op": "insert"}),
+		deleteSeconds: reg.Histogram("trikcore_engine_op_seconds",
+			"Wall time of one single-edge mutation.", obs.DurationBuckets, obs.Labels{"op": "delete"}),
+		stages: obs.NewPhaseTimer(reg, "trikcore_engine_batch_stage_seconds",
+			"Wall time per ApplyBatch stage.", StageCanonicalize, StageDelete, StageInsert),
+
+		insertsApplied: reg.Counter("trikcore_engine_ops_applied_total",
+			"Edge operations that changed the graph.", obs.Labels{"op": "insert"}),
+		deletesApplied: reg.Counter("trikcore_engine_ops_applied_total",
+			"Edge operations that changed the graph.", obs.Labels{"op": "delete"}),
+		opsDeduped: reg.Counter("trikcore_engine_ops_deduped_total",
+			"Batch operations collapsed away by per-edge net-effect dedup.", nil),
+
+		promotions: reg.Counter("trikcore_engine_kappa_promotions_total",
+			"Edge kappa increments applied by incremental maintenance.", nil),
+		demotions: reg.Counter("trikcore_engine_kappa_demotions_total",
+			"Edge kappa decrements applied by incremental maintenance.", nil),
+		triangles: reg.Counter("trikcore_engine_triangles_processed_total",
+			"Per-triangle update steps executed.", nil),
+		cascade: reg.Counter("trikcore_engine_cascade_edges_visited_total",
+			"Edges touched by candidate collection, support recomputation and cascades.", nil),
+
+		liveEdges: reg.Gauge("trikcore_engine_live_edges",
+			"Live edges in the dense substrate.", nil),
+		liveVertices: reg.Gauge("trikcore_engine_live_vertices",
+			"Live vertices in the dense substrate.", nil),
+		maxKappa: reg.Gauge("trikcore_engine_max_kappa",
+			"Largest kappa value in the current graph.", nil),
+		substrateBytes: reg.Gauge("trikcore_engine_substrate_bytes",
+			"Approximate heap footprint of the dense substrate; refreshed per batch.", nil),
+	}
+	en.mt = mt
+	mt.syncGauges(en)
+	mt.substrateBytes.Set(en.d.SizeBytes())
+}
+
+// recordOp folds one public single-edge mutation into the metrics: the
+// work-counter deltas accumulated since before, the applied-op counter when
+// the graph actually changed, and the O(1) gauges. The substrate-size
+// gauge is deliberately not refreshed here — computing it walks every
+// vertex row, which would dwarf a single-edge update; it refreshes per
+// batch and at Instrument time instead.
+func (mt *engineMetrics) recordOp(en *Engine, before Stats, changed, del bool) {
+	if changed {
+		if del {
+			mt.deletesApplied.Inc()
+		} else {
+			mt.insertsApplied.Inc()
+		}
+	}
+	mt.recordDelta(en, before)
+}
+
+// recordDelta publishes the Stats movement since before plus the O(1)
+// gauges.
+func (mt *engineMetrics) recordDelta(en *Engine, before Stats) {
+	after := en.stats
+	mt.promotions.Add(uint64(after.Promotions - before.Promotions))
+	mt.demotions.Add(uint64(after.Demotions - before.Demotions))
+	mt.triangles.Add(uint64(after.TrianglesProcessed - before.TrianglesProcessed))
+	mt.cascade.Add(uint64(after.EdgesVisited - before.EdgesVisited))
+	mt.syncGauges(en)
+}
+
+// syncGauges refreshes the O(1) structural gauges.
+func (mt *engineMetrics) syncGauges(en *Engine) {
+	mt.liveEdges.Set(int64(en.d.NumEdges()))
+	mt.liveVertices.Set(int64(en.d.NumVertices()))
+	mt.maxKappa.Set(int64(en.maxK))
+}
+
+// NewEngineFromDecomposition builds an engine that adopts an existing
+// static decomposition instead of recomputing it, so callers that want the
+// decomposition phases timed (or the Decomposition itself) can run
+// core.DecomposeWith themselves and hand over the result. The
+// decomposition's Static view is copied into a private dense substrate;
+// NewDenseFromStatic preserves its edge ids, so κ is adopted verbatim.
+func NewEngineFromDecomposition(d *core.Decomposition) *Engine {
+	en := &Engine{
+		d:     graph.NewDenseFromStatic(d.S),
+		kappa: append([]int32(nil), d.Kappa...),
+		maxK:  d.MaxKappa,
+		offU:  -1,
+		offV:  -1,
+	}
+	en.hist = make([]int, en.maxK+1)
+	for _, k := range en.kappa {
+		en.hist[k]++
+	}
+	en.ensureEdgeCap()
+	en.ensureVertexCap()
+	return en
+}

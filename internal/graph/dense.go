@@ -92,6 +92,21 @@ func (d *Dense) NumEdges() int { return d.ne }
 // per-vertex flat state should be sized to it.
 func (d *Dense) VertexCap() int { return len(d.orig) }
 
+// SizeBytes estimates the heap footprint of the substrate: the packed
+// adjacency rows (at capacity, since grown rows retain their backing),
+// the flat edge/vertex arrays, free lists and intern table. It walks the
+// per-vertex row headers, so it is O(V) — callers updating a memory
+// gauge should do so per batch, not per operation.
+func (d *Dense) SizeBytes() int64 {
+	n := int64(len(d.orig))*8 + int64(len(d.vlive)) +
+		int64(len(d.edgeU)+len(d.edgeV)+len(d.freeE)+len(d.freeV))*4 +
+		int64(len(d.pos))*16 + int64(len(d.rows))*24
+	for _, row := range d.rows {
+		n += int64(cap(row)) * 8
+	}
+	return n
+}
+
 // EdgeCap returns the number of dense edge slots ever allocated;
 // per-edge flat state should be sized to it.
 func (d *Dense) EdgeCap() int { return len(d.edgeU) }

@@ -236,6 +236,17 @@ func (s *Static) NumVertices() int { return len(s.OrigID) }
 // NumEdges returns the number of edges in the view.
 func (s *Static) NumEdges() int { return len(s.EdgeU) }
 
+// SizeBytes estimates the heap footprint of the view's flat arrays and
+// intern table — the number a memory gauge should report for a published
+// snapshot. It is O(1): every component's size is arithmetic over slice
+// lengths (the Pos entries are costed at key+value+bucket overhead).
+func (s *Static) SizeBytes() int64 {
+	int32Len := len(s.RowPtr) + len(s.AdjNbr) + len(s.AdjEdgeID) +
+		len(s.EdgeU) + len(s.EdgeV) +
+		len(s.OutPtr) + len(s.OutNbr) + len(s.OutEdgeID)
+	return int64(int32Len)*4 + int64(len(s.OrigID))*8 + int64(len(s.Pos))*16
+}
+
 // Neighbors returns the sorted dense neighbor row of dense position u.
 // The slice aliases the view's storage and must not be modified.
 func (s *Static) Neighbors(u int32) []int32 {

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format this package emits.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Gather renders the registry in Prometheus text format. The output is a
+// pure, deterministic function of the registered series and their current
+// values: families appear sorted by name, series sorted by their
+// canonical key-sorted label signature, histograms as cumulative
+// _bucket/_sum/_count lines. Families with no series are impossible by
+// construction (registering a metric creates its first series), and a
+// nil registry gathers to nil.
+func (r *Registry) Gather() []byte {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var names []string
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var buf bytes.Buffer
+	for _, name := range names {
+		f := r.families[name]
+		buf.WriteString("# HELP ")
+		buf.WriteString(f.name)
+		buf.WriteByte(' ')
+		buf.WriteString(f.help)
+		buf.WriteByte('\n')
+		buf.WriteString("# TYPE ")
+		buf.WriteString(f.name)
+		buf.WriteByte(' ')
+		buf.WriteString(f.kind.String())
+		buf.WriteByte('\n')
+
+		var sigs []string
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			s := f.series[sig]
+			switch f.kind {
+			case counterKind:
+				writeSample(&buf, f.name, sig, strconv.FormatUint(s.c.Value(), 10))
+			case gaugeKind:
+				writeSample(&buf, f.name, sig, strconv.FormatInt(s.g.Value(), 10))
+			case histogramKind:
+				writeHistogram(&buf, f, s)
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// WritePrometheus writes the rendered exposition to w.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	_, err := w.Write(r.Gather())
+	return err
+}
+
+// writeSample emits one `name{sig} value` line.
+func writeSample(buf *bytes.Buffer, name, sig, value string) {
+	buf.WriteString(name)
+	buf.WriteString(sig)
+	buf.WriteByte(' ')
+	buf.WriteString(value)
+	buf.WriteByte('\n')
+}
+
+// writeHistogram emits the cumulative bucket lines plus _sum and _count.
+// The le label is appended after the series' own (sorted) labels — a
+// fixed position, so the rendering stays byte-deterministic. _count is
+// the +Inf cumulative value read in this same pass, keeping the two
+// consistent even when a scrape races an Observe.
+func writeHistogram(buf *bytes.Buffer, f *family, s *series) {
+	h := s.h
+	cum := uint64(0)
+	for i := range h.bins {
+		cum += h.bins[i].Load()
+		le := "+Inf"
+		if i < len(f.bounds) {
+			le = formatFloat(f.bounds[i])
+		}
+		writeSample(buf, f.name+"_bucket", mergeLE(s.sig, le), strconv.FormatUint(cum, 10))
+	}
+	writeSample(buf, f.name+"_sum", s.sig, formatFloat(h.Sum()))
+	writeSample(buf, f.name+"_count", s.sig, strconv.FormatUint(cum, 10))
+}
+
+// mergeLE appends the le label to a rendered signature.
+func mergeLE(sig, le string) string {
+	if sig == "" {
+		return `{le="` + le + `"}`
+	}
+	return sig[:len(sig)-1] + `,le="` + le + `"}`
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

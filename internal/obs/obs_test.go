@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("trikcore_test_events_total", "events", nil)
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("trikcore_test_events_total", "events", nil); again != c {
+		t.Fatalf("re-registration returned a different handle")
+	}
+	g := r.Gauge("trikcore_test_depth", "depth", Labels{"side": "left"})
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("trikcore_test_seconds", "durations", []float64{0.01, 0.1, 1}, nil)
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 5.555; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	text := string(r.Gather())
+	for _, want := range []string{
+		`trikcore_test_seconds_bucket{le="0.01"} 1`,
+		`trikcore_test_seconds_bucket{le="0.1"} 2`,
+		`trikcore_test_seconds_bucket{le="1"} 3`,
+		`trikcore_test_seconds_bucket{le="+Inf"} 4`,
+		`trikcore_test_seconds_count 4`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestNopRegistryIsFree(t *testing.T) {
+	r := Nop()
+	c := r.Counter("x_total", "x", nil)
+	g := r.Gauge("y", "y", nil)
+	h := r.Histogram("z_seconds", "z", DurationBuckets, nil)
+	pt := NewPhaseTimer(r, "p_seconds", "p", "a", "b")
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(-1)
+		h.Observe(0.5)
+		pt.Start("a").End()
+		StartSpan(h).End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nop instrumentation allocated %v times per run", allocs)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("nop handles accumulated state")
+	}
+	if got := r.Gather(); got != nil {
+		t.Fatalf("nop registry gathered %q", got)
+	}
+}
+
+func TestSpanObserves(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("trikcore_test_span_seconds", "spans", DurationBuckets, nil)
+	sp := StartSpan(h)
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d <= 0 {
+		t.Fatalf("span duration %v", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("span did not observe (count %d)", h.Count())
+	}
+}
+
+func TestPhaseTimerSeries(t *testing.T) {
+	r := NewRegistry()
+	pt := NewPhaseTimer(r, "trikcore_test_phase_seconds", "phases", "freeze", "support", "peel")
+	pt.Start("freeze").End()
+	pt.Start("unknown").End() // inert, must not panic or register
+	text := string(r.Gather())
+	if !strings.Contains(text, `trikcore_test_phase_seconds_count{phase="freeze"} 1`) {
+		t.Errorf("freeze phase not observed:\n%s", text)
+	}
+	if !strings.Contains(text, `trikcore_test_phase_seconds_count{phase="peel"} 0`) {
+		t.Errorf("unused phases must still be registered:\n%s", text)
+	}
+	if strings.Contains(text, "unknown") {
+		t.Errorf("unknown phase leaked into exposition")
+	}
+}
+
+// TestExpositionValid renders a registry exercising every metric kind and
+// label shape and requires the validator to accept every line.
+func TestExpositionValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("trikcore_a_total", "a", nil).Inc()
+	r.Counter("trikcore_b_total", "b", Labels{"op": "insert"}).Add(2)
+	r.Counter("trikcore_b_total", "b", Labels{"op": "delete"})
+	r.Gauge("trikcore_c", "c", Labels{"zone": "x", "az": `quo"te`}).Set(-3)
+	r.Histogram("trikcore_d_seconds", "d", []float64{0.1, 1}, Labels{"phase": "peel"}).Observe(0.5)
+	data := r.Gather()
+	n, err := ValidateExposition(data)
+	if err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, data)
+	}
+	// 1 + 2 counters, 1 gauge, 1 histogram with 2+1 bounds → 3 buckets
+	// + sum + count = 5.
+	if n != 9 {
+		t.Fatalf("series = %d, want 9\n%s", n, data)
+	}
+}
+
+// TestExpositionDeterministic registers the same metrics in two opposite
+// orders and requires byte-identical exposition — the registry must never
+// leak registration or map order.
+func TestExpositionDeterministic(t *testing.T) {
+	type reg struct {
+		name   string
+		labels Labels
+	}
+	regs := []reg{
+		{"trikcore_z_total", nil},
+		{"trikcore_m_total", Labels{"op": "a"}},
+		{"trikcore_m_total", Labels{"op": "b"}},
+		{"trikcore_a_total", Labels{"code": "200", "endpoint": "/stats"}},
+		{"trikcore_a_total", Labels{"endpoint": "/kappa", "code": "404"}},
+	}
+	build := func(reverse bool) []byte {
+		r := NewRegistry()
+		for i := range regs {
+			j := i
+			if reverse {
+				j = len(regs) - 1 - i
+			}
+			r.Counter(regs[j].name, "help", regs[j].labels).Add(uint64(len(regs[j].name)))
+		}
+		r.Histogram("trikcore_h_seconds", "h", []float64{0.1}, Labels{"phase": "x"}).Observe(0.05)
+		return r.Gather()
+	}
+	fwd, rev := build(false), build(true)
+	if !bytes.Equal(fwd, rev) {
+		t.Fatalf("exposition depends on registration order:\n%s\n---\n%s", fwd, rev)
+	}
+	if _, err := ValidateExposition(fwd); err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+}
+
+// TestConcurrentHammer drives counters, gauges, histograms and the
+// registry's getOrCreate path from many goroutines while a reader
+// gathers continuously; run under -race (make race / make debugrace)
+// this is the data-race oracle, and the final totals must be exact.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 5000
+	c := r.Counter("trikcore_hammer_total", "hammer", nil)
+	h := r.Histogram("trikcore_hammer_seconds", "hammer", []float64{0.25, 0.75}, nil)
+	g := r.Gauge("trikcore_hammer_inflight", "hammer", nil)
+
+	var workers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	scraper.Add(1)
+	go func() { // concurrent scraper
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := ValidateExposition(r.Gather()); err != nil {
+					t.Errorf("mid-hammer exposition invalid: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < goroutines; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j%2) / 2) // 0 or 0.5
+				g.Add(-1)
+				// Exercise the registration fast path concurrently too.
+				r.Counter("trikcore_hammer_total", "hammer", nil)
+			}
+		}()
+	}
+	workers.Wait()
+	close(stop)
+	scraper.Wait()
+
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	if got := h.Sum(); got != float64(goroutines*perG)/4 {
+		t.Fatalf("histogram sum = %g, want %g", got, float64(goroutines*perG)/4)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+}

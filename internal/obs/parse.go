@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition parses a Prometheus text-format document and checks
+// every line against the subset of the format this package emits:
+//
+//   - each family opens with `# HELP` then `# TYPE` with a known type;
+//   - families appear in strictly ascending name order;
+//   - every sample line belongs to the most recent family (for
+//     histograms, via the _bucket/_sum/_count suffixes);
+//   - label blocks are well-formed with strictly ascending key order
+//     (the byte-determinism contract for label sets);
+//   - values parse as numbers; histogram buckets are cumulative,
+//     non-decreasing, end in le="+Inf", and agree with _count.
+//
+// It returns the number of sample lines (series) on success. It is the
+// oracle behind the exposition tests here, in internal/server, and the
+// CI scrape check.
+func ValidateExposition(data []byte) (samples int, err error) {
+	var (
+		curName string // current family name
+		curType string
+		helpFor string // family name announced by the pending # HELP
+		lastFam string // previous family, for global name ordering
+		// histogram bucket state per series signature
+		bucketCum  map[string]uint64
+		bucketDone map[string]bool // saw le="+Inf"
+		countFor   map[string]uint64
+	)
+	finishFamily := func() error {
+		if curType == "histogram" {
+			for sig, cnt := range countFor {
+				if !bucketDone[sig] {
+					return fmt.Errorf("histogram %s%s: no le=\"+Inf\" bucket", curName, sig)
+				}
+				if cum := bucketCum[sig]; cum != cnt {
+					return fmt.Errorf("histogram %s%s: +Inf bucket %d != count %d", curName, sig, cum, cnt)
+				}
+			}
+		}
+		return nil
+	}
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !nameRe.MatchString(name) {
+				return 0, fmt.Errorf("line %d: malformed HELP line %q", lineNo, line)
+			}
+			if err := finishFamily(); err != nil {
+				return 0, err
+			}
+			if curName != "" {
+				lastFam = curName
+			}
+			if lastFam != "" && name <= lastFam {
+				return 0, fmt.Errorf("line %d: family %s out of order after %s", lineNo, name, lastFam)
+			}
+			helpFor, curName, curType = name, "", ""
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return 0, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			if name != helpFor {
+				return 0, fmt.Errorf("line %d: TYPE %s does not follow its HELP (pending %q)", lineNo, name, helpFor)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				return 0, fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+			}
+			curName, curType = name, typ
+			bucketCum = make(map[string]uint64)
+			bucketDone = make(map[string]bool)
+			countFor = make(map[string]uint64)
+		case strings.HasPrefix(line, "#"):
+			return 0, fmt.Errorf("line %d: unexpected comment %q", lineNo, line)
+		default:
+			if curName == "" {
+				return 0, fmt.Errorf("line %d: sample %q before any TYPE", lineNo, line)
+			}
+			name, sig, value, le, err := parseSample(line)
+			if err != nil {
+				return 0, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			switch curType {
+			case "counter", "gauge":
+				if name != curName {
+					return 0, fmt.Errorf("line %d: sample %s inside family %s", lineNo, name, curName)
+				}
+				if le != "" {
+					return 0, fmt.Errorf("line %d: le label on non-histogram %s", lineNo, name)
+				}
+			case "histogram":
+				switch name {
+				case curName + "_bucket":
+					if le == "" {
+						return 0, fmt.Errorf("line %d: bucket without le label", lineNo)
+					}
+					cum, err := strconv.ParseUint(value, 10, 64)
+					if err != nil {
+						return 0, fmt.Errorf("line %d: bucket value %q: %v", lineNo, value, err)
+					}
+					if bucketDone[sig] {
+						return 0, fmt.Errorf("line %d: bucket after le=\"+Inf\" for %s%s", lineNo, curName, sig)
+					}
+					if cum < bucketCum[sig] {
+						return 0, fmt.Errorf("line %d: bucket counts not cumulative for %s%s", lineNo, curName, sig)
+					}
+					bucketCum[sig] = cum
+					if le == "+Inf" {
+						bucketDone[sig] = true
+					}
+				case curName + "_sum":
+					if _, err := strconv.ParseFloat(value, 64); err != nil {
+						return 0, fmt.Errorf("line %d: sum value %q: %v", lineNo, value, err)
+					}
+				case curName + "_count":
+					cnt, err := strconv.ParseUint(value, 10, 64)
+					if err != nil {
+						return 0, fmt.Errorf("line %d: count value %q: %v", lineNo, value, err)
+					}
+					countFor[sig] = cnt
+				default:
+					return 0, fmt.Errorf("line %d: sample %s inside histogram family %s", lineNo, name, curName)
+				}
+			}
+			samples++
+		}
+	}
+	if err := finishFamily(); err != nil {
+		return 0, err
+	}
+	return samples, nil
+}
+
+// parseSample splits one sample line into name, label signature (with
+// any le label removed), value, and the le label value if present, while
+// validating name and label syntax and ascending label-key order.
+func parseSample(line string) (name, sig, value, le string, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return "", "", "", "", fmt.Errorf("no value in sample %q", line)
+	}
+	if brace >= 0 && brace < sp {
+		name = rest[:brace]
+		end := strings.Index(rest, "} ")
+		if end < 0 {
+			return "", "", "", "", fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels := rest[brace+1 : end]
+		value = rest[end+2:]
+		prevKey := ""
+		var kept []string
+		for _, pair := range splitLabels(labels) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || !labelRe.MatchString(k) {
+				return "", "", "", "", fmt.Errorf("malformed label %q in %q", pair, line)
+			}
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", "", "", "", fmt.Errorf("unquoted label value %q in %q", v, line)
+			}
+			if k == "le" {
+				le = v[1 : len(v)-1]
+				continue
+			}
+			if prevKey != "" && k <= prevKey {
+				return "", "", "", "", fmt.Errorf("label %q out of order after %q in %q", k, prevKey, line)
+			}
+			prevKey = k
+			kept = append(kept, pair)
+		}
+		if len(kept) > 0 {
+			sig = "{" + strings.Join(kept, ",") + "}"
+		}
+	} else {
+		name = rest[:sp]
+		value = rest[sp+1:]
+	}
+	if !nameRe.MatchString(name) {
+		return "", "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	if _, ferr := strconv.ParseFloat(value, 64); ferr != nil {
+		return "", "", "", "", fmt.Errorf("unparseable value %q in %q", value, line)
+	}
+	return name, sig, value, le, nil
+}
+
+// splitLabels splits a label block body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// BuildReply describes the running binary in the /healthz response,
+// sourced from runtime/debug.ReadBuildInfo: the Go toolchain, the main
+// module path and version, and — when the binary was built from a VCS
+// checkout — the revision, commit time and dirty flag.
+type BuildReply struct {
+	GoVersion string `json:"goVersion"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	Time      string `json:"time,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// HealthzReply is the /healthz response body.
+type HealthzReply struct {
+	Status string `json:"status"`
+	// Version is the currently published snapshot version (the same
+	// number the X-Trikcore-Version header carries).
+	Version       uint64     `json:"version"`
+	UptimeSeconds float64    `json:"uptimeSeconds"`
+	Build         BuildReply `json:"build"`
+}
+
+// buildReply resolves the binary's build description once; ReadBuildInfo
+// walks the embedded module table, which never changes after link time.
+var buildReply = sync.OnceValue(func() BuildReply {
+	var b BuildReply
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.GoVersion = bi.GoVersion
+	b.Module = bi.Main.Path
+	b.Version = bi.Main.Version
+	for _, st := range bi.Settings {
+		switch st.Key {
+		case "vcs.revision":
+			b.Revision = st.Value
+		case "vcs.time":
+			b.Time = st.Value
+		case "vcs.modified":
+			b.Modified = st.Value == "true"
+		}
+	}
+	return b
+})
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	sn := s.pub.Acquire()
+	w.Header().Set("X-Trikcore-Version", strconv.FormatUint(sn.Version, 10))
+	uptime := 0.0
+	if !s.start.IsZero() {
+		uptime = time.Since(s.start).Seconds()
+	}
+	writeJSON(w, HealthzReply{
+		Status:        "ok",
+		Version:       sn.Version,
+		UptimeSeconds: uptime,
+		Build:         buildReply(),
+	})
+}

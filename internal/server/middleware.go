@@ -1,0 +1,176 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"trikcore/internal/core"
+	"trikcore/internal/dynamic"
+	"trikcore/internal/graph"
+	"trikcore/internal/obs"
+	"trikcore/internal/view"
+)
+
+// Options configure optional server observability. The zero value — no
+// registry, no logger, no pprof — yields a server identical to one built
+// before instrumentation existed: no middleware wraps the handlers and no
+// extra routes are registered.
+type Options struct {
+	// Registry, when non-nil, receives metrics from every layer (engine,
+	// publisher, HTTP) and is served on GET /metrics in Prometheus text
+	// format. The /metrics endpoint itself is not instrumented, so two
+	// back-to-back scrapes of an idle server are byte-identical.
+	Registry *obs.Registry
+	// Logger, when non-nil, receives one structured line per request:
+	// method, path (the route pattern, not the raw URL), status, body
+	// bytes and duration.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiling endpoints expose internals and should be opted into.
+	Pprof bool
+}
+
+// NewWith builds a server over a copy of g with explicit observability
+// options. With a registry, the initial decomposition runs with its
+// phases timed and both the engine and the publisher are instrumented
+// against the same registry before the first snapshot is served.
+func NewWith(g *graph.Graph, opts Options) *Server {
+	var pub *view.Publisher
+	if opts.Registry != nil {
+		phases := obs.NewPhaseTimer(opts.Registry, "trikcore_core_phase_seconds",
+			"Wall time per decomposition phase.",
+			core.PhaseFreeze, core.PhaseSupport, core.PhasePeel)
+		en := dynamic.NewEngineFromDecomposition(
+			core.DecomposeWith(g, core.Options{Phases: phases}))
+		en.Instrument(opts.Registry)
+		pub = view.NewPublisher(en)
+		pub.Instrument(opts.Registry)
+	} else {
+		pub = view.NewPublisherFromGraph(g)
+	}
+	s := &Server{
+		pub:   pub,
+		reg:   opts.Registry,
+		log:   opts.Logger,
+		pprof: opts.Pprof,
+		start: time.Now(),
+	}
+	if s.reg != nil {
+		s.inFlight = s.reg.Gauge("trikcore_http_in_flight_requests",
+			"Requests currently being handled.", nil)
+	}
+	return s
+}
+
+// endpointMetrics is one route's handle set: the latency histogram plus a
+// lazily-filled per-status-code counter array. The array is indexed by
+// status code so the steady-state hot path is one atomic load; misses go
+// through the registry's idempotent getOrCreate, so a racing fill is
+// benign (both callers get the same handle).
+type endpointMetrics struct {
+	method, path string
+	latency      *obs.Histogram
+	codes        [600]atomic.Pointer[obs.Counter]
+}
+
+// counterFor resolves the requests_total counter for one status code.
+func (em *endpointMetrics) counterFor(reg *obs.Registry, code int) *obs.Counter {
+	if code < 0 || code >= len(em.codes) {
+		code = 0
+	}
+	if c := em.codes[code].Load(); c != nil {
+		return c
+	}
+	c := reg.Counter("trikcore_http_requests_total",
+		"HTTP requests by endpoint and status code.",
+		obs.Labels{"method": em.method, "path": em.path, "code": strconv.Itoa(code)})
+	em.codes[code].Store(c)
+	return c
+}
+
+// statusWriter captures the status code and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += n
+	return n, err
+}
+
+// route registers pattern on mux, wrapped in the observability middleware
+// when a registry or logger is configured. An unconfigured server
+// registers the bare handler — zero overhead, exactly the pre-middleware
+// behavior. The pattern's path segment (not the raw request URL) becomes
+// the path label and log field, keeping label cardinality fixed.
+func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	if s.reg == nil && s.log == nil {
+		mux.HandleFunc(pattern, h)
+		return
+	}
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		method, path = "", pattern
+	}
+	var em *endpointMetrics
+	if s.reg != nil {
+		em = &endpointMetrics{
+			method: method,
+			path:   path,
+			latency: s.reg.Histogram("trikcore_http_request_seconds",
+				"HTTP request latency by endpoint.", obs.DurationBuckets,
+				obs.Labels{"method": method, "path": path}),
+		}
+	}
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		s.inFlight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		if sw.status == 0 {
+			// Handler wrote nothing: net/http sends 200 on return.
+			sw.status = http.StatusOK
+		}
+		d := time.Since(t0)
+		s.inFlight.Add(-1)
+		if em != nil {
+			em.latency.Observe(d.Seconds())
+			em.counterFor(s.reg, sw.status).Inc()
+		}
+		if s.log != nil {
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("method", method),
+				slog.String("path", path),
+				slog.Int("status", sw.status),
+				slog.Int("bytes", sw.bytes),
+				slog.Duration("duration", d),
+			)
+		}
+	})
+}
+
+// handleMetrics serves the registry in Prometheus text format. It is
+// registered outside the middleware: scraping must not perturb the
+// metrics it reads, and an idle server's consecutive scrapes must be
+// byte-identical.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.TextContentType)
+	w.Write(s.reg.Gather())
+}

@@ -1,0 +1,253 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"trikcore/internal/graph"
+	"trikcore/internal/obs"
+)
+
+// newObsServer builds a fully instrumented server over the same graph as
+// newTestServer, plus a structured-log sink.
+func newObsServer(t *testing.T, pprofOn bool) (*Server, *httptest.Server, *obs.Registry, *bytes.Buffer) {
+	t.Helper()
+	g := graph.New()
+	for i := graph.Vertex(1); i <= 5; i++ {
+		for j := i + 1; j <= 5; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	g.AddEdge(10, 11)
+	reg := obs.NewRegistry()
+	var logBuf bytes.Buffer
+	s := NewWith(g, Options{
+		Registry: reg,
+		Logger:   slog.New(slog.NewJSONHandler(&logBuf, nil)),
+		Pprof:    pprofOn,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, reg, &logBuf
+}
+
+// fetch returns status and body.
+func fetch(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// drive exercises read and write endpoints so every instrumented layer
+// has recorded something.
+func drive(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	for _, path := range []string{"/stats", "/histogram", "/plot.txt", "/plot.txt", "/kappa?u=1&v=2", "/kappa?u=1&v=99"} {
+		fetch(t, ts.URL+path)
+	}
+	body := `{"add":[[20,21],[21,22],[20,22]],"remove":[[10,11]]}`
+	resp, err := http.Post(ts.URL+"/edges", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts, _, _ := newObsServer(t, false)
+	drive(t, ts)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.TextContentType {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ValidateExposition(body)
+	if err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	if samples == 0 {
+		t.Fatal("empty exposition")
+	}
+
+	// The acceptance bar: at least 12 distinct series spanning the
+	// engine, publisher and HTTP subsystems.
+	series := map[string]bool{}
+	bySubsystem := map[string]int{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		full := line[:strings.LastIndexByte(line, ' ')]
+		series[full] = true
+		for _, sub := range []string{"trikcore_engine_", "trikcore_publisher_", "trikcore_http_", "trikcore_core_"} {
+			if strings.HasPrefix(name, sub) {
+				bySubsystem[sub]++
+			}
+		}
+	}
+	if len(series) < 12 {
+		t.Errorf("only %d distinct series, want >= 12", len(series))
+	}
+	for _, sub := range []string{"trikcore_engine_", "trikcore_publisher_", "trikcore_http_", "trikcore_core_"} {
+		if bySubsystem[sub] == 0 {
+			t.Errorf("no series from subsystem %s", sub)
+		}
+	}
+
+	// Spot-check load-bearing series recorded by the drive.
+	for _, want := range []string{
+		`trikcore_http_requests_total{code="200",method="GET",path="/stats"} 1`,
+		`trikcore_http_requests_total{code="404",method="GET",path="/kappa"} 1`,
+		`trikcore_http_requests_total{code="200",method="GET",path="/kappa"} 1`,
+		`trikcore_http_requests_total{code="200",method="POST",path="/edges"} 1`,
+		`trikcore_engine_ops_applied_total{op="insert"} 3`,
+		`trikcore_engine_ops_applied_total{op="delete"} 1`,
+		`trikcore_publisher_memo_requests_total{artifact="plot_ascii",result="hit"} 1`,
+		`trikcore_publisher_memo_requests_total{artifact="plot_ascii",result="miss"} 1`,
+		`trikcore_core_phase_seconds_count{phase="peel"} 1`,
+		"trikcore_http_in_flight_requests 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestMetricsDoubleScrapeDeterministic(t *testing.T) {
+	_, ts, _, _ := newObsServer(t, true)
+	drive(t, ts)
+	// Scraping (and pprof index fetches) must not perturb the registry:
+	// back-to-back scrapes of an idle server are byte-identical.
+	_, first := fetch(t, ts.URL+"/metrics")
+	fetch(t, ts.URL+"/debug/pprof/")
+	_, second := fetch(t, ts.URL+"/metrics")
+	if !bytes.Equal(first, second) {
+		t.Fatalf("consecutive scrapes differ:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+}
+
+func TestPprofOptIn(t *testing.T) {
+	_, off, _, _ := newObsServer(t, false)
+	if code, _ := fetch(t, off.URL+"/debug/pprof/"); code != 404 {
+		t.Fatalf("pprof off: status %d, want 404", code)
+	}
+	_, on, _, _ := newObsServer(t, true)
+	code, body := fetch(t, on.URL+"/debug/pprof/")
+	if code != 200 || !bytes.Contains(body, []byte("goroutine")) {
+		t.Fatalf("pprof on: status %d", code)
+	}
+}
+
+func TestUninstrumentedServerHasNoObsRoutes(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, _ := fetch(t, ts.URL+"/metrics"); code != 404 {
+		t.Fatalf("/metrics on plain server: status %d, want 404", code)
+	}
+	if code, _ := fetch(t, ts.URL+"/debug/pprof/"); code != 404 {
+		t.Fatalf("/debug/pprof/ on plain server: status %d, want 404", code)
+	}
+}
+
+func TestRequestLogging(t *testing.T) {
+	_, ts, _, logBuf := newObsServer(t, false)
+	fetch(t, ts.URL+"/kappa?u=1&v=99")
+	var found bool
+	for _, line := range bytes.Split(bytes.TrimSpace(logBuf.Bytes()), []byte("\n")) {
+		var entry struct {
+			Msg    string `json:"msg"`
+			Method string `json:"method"`
+			Path   string `json:"path"`
+			Status int    `json:"status"`
+			Bytes  int    `json:"bytes"`
+		}
+		if err := json.Unmarshal(line, &entry); err != nil {
+			t.Fatalf("unparseable log line %q: %v", line, err)
+		}
+		if entry.Msg == "request" && entry.Path == "/kappa" {
+			found = true
+			if entry.Method != "GET" || entry.Status != 404 || entry.Bytes == 0 {
+				t.Fatalf("log entry = %+v", entry)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no request log for /kappa in:\n%s", logBuf.Bytes())
+	}
+}
+
+// TestObsOverheadAllocs bounds the middleware's per-request allocation
+// overhead: the instrumented serving path may add only the statusWriter
+// and a handful of bookkeeping allocations over the bare one. This is the
+// alloc-side counterpart of the <5% ops bound the mixed-workload
+// benchmark enforces.
+func TestObsOverheadAllocs(t *testing.T) {
+	newMux := func(opts Options) http.Handler {
+		g := graph.New()
+		for i := graph.Vertex(1); i <= 5; i++ {
+			for j := i + 1; j <= 5; j++ {
+				g.AddEdge(i, j)
+			}
+		}
+		return NewWith(g, opts).Handler()
+	}
+	measure := func(h http.Handler) float64 {
+		req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+		return testing.AllocsPerRun(200, func() {
+			h.ServeHTTP(httptest.NewRecorder(), req.Clone(req.Context()))
+		})
+	}
+	bare := measure(newMux(Options{}))
+	metered := measure(newMux(Options{Registry: obs.NewRegistry()}))
+	if delta := metered - bare; delta > 8 {
+		t.Errorf("instrumentation adds %.0f allocs per request (bare %.0f, metered %.0f), want <= 8",
+			delta, bare, metered)
+	}
+}
+
+func TestNoOpWriteDoesNotPublish(t *testing.T) {
+	_, ts, reg, _ := newObsServer(t, false)
+	// A no-op write (removing an absent edge) must not publish a snapshot.
+	body := `{"remove":[[98,99]]}`
+	resp, err := http.Post(ts.URL+"/edges", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	expo := string(reg.Gather())
+	// Exactly one publish: Instrument's republish at construction.
+	if !strings.Contains(expo, "trikcore_publisher_publishes_total 1") {
+		t.Errorf("unexpected publish count in:\n%s", expo)
+	}
+	if !strings.Contains(expo, "trikcore_publisher_snapshot_version 0") {
+		t.Errorf("snapshot_version gauge wrong in:\n%s", expo)
+	}
+}

@@ -1,0 +1,21 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// registerPprof mounts the net/http/pprof handlers under /debug/pprof/.
+// The handlers are named explicitly rather than imported for their
+// DefaultServeMux side effects, so profiling stays strictly opt-in
+// (Options.Pprof) and never leaks onto the default mux. The routes are
+// not wrapped in the metrics middleware: profile downloads run for
+// seconds and would distort the latency histograms they sit next to.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

@@ -44,14 +44,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"slices"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"trikcore/internal/dynamic"
 	"trikcore/internal/graph"
+	"trikcore/internal/obs"
 	"trikcore/internal/view"
 )
 
@@ -68,27 +71,44 @@ type Server struct {
 	// bookmark is the snapshot pinned by POST /snapshot (nil until then);
 	// dual views and events compare the live snapshot against it.
 	bookmark atomic.Pointer[view.Snapshot]
+
+	// Observability wiring (see Options and NewWith). All nil/zero on an
+	// unconfigured server, which then serves exactly as before: bare
+	// handlers, no /metrics, no /debug/pprof.
+	reg      *obs.Registry
+	log      *slog.Logger
+	pprof    bool
+	start    time.Time
+	inFlight *obs.Gauge
 }
 
-// New builds a server over a copy of g.
+// New builds a server over a copy of g with observability disabled.
 func New(g *graph.Graph) *Server {
-	return &Server{pub: view.NewPublisherFromGraph(g)}
+	return NewWith(g, Options{})
 }
 
-// Handler returns the route multiplexer.
+// Handler returns the route multiplexer. API routes go through the
+// observability middleware when configured; /metrics and /debug/pprof are
+// deliberately outside it (see handleMetrics and registerPprof).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /version", s.handleVersion)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /kappa", s.handleKappa)
-	mux.HandleFunc("GET /histogram", s.handleHistogram)
-	mux.HandleFunc("POST /edges", s.handleEdges)
-	mux.HandleFunc("GET /core", s.handleCore)
-	mux.HandleFunc("GET /communities", s.handleCommunities)
-	mux.HandleFunc("GET /plot.svg", s.handlePlotSVG)
-	mux.HandleFunc("GET /plot.txt", s.handlePlotText)
+	s.route(mux, "GET /healthz", s.handleHealthz)
+	s.route(mux, "GET /version", s.handleVersion)
+	s.route(mux, "GET /stats", s.handleStats)
+	s.route(mux, "GET /kappa", s.handleKappa)
+	s.route(mux, "GET /histogram", s.handleHistogram)
+	s.route(mux, "POST /edges", s.handleEdges)
+	s.route(mux, "GET /core", s.handleCore)
+	s.route(mux, "GET /communities", s.handleCommunities)
+	s.route(mux, "GET /plot.svg", s.handlePlotSVG)
+	s.route(mux, "GET /plot.txt", s.handlePlotText)
 	s.registerSnapshotRoutes(mux)
+	if s.reg != nil {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	if s.pprof {
+		registerPprof(mux)
+	}
 	return mux
 }
 
@@ -164,11 +184,6 @@ func parseEdge(r *http.Request) (graph.Edge, error) {
 		return graph.Edge{}, fmt.Errorf("u and v must differ")
 	}
 	return graph.NewEdge(graph.Vertex(u), graph.Vertex(v)), nil
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("X-Trikcore-Version", strconv.FormatUint(s.pub.Acquire().Version, 10))
-	writeJSON(w, map[string]string{"status": "ok"})
 }
 
 // VersionReply is the /version response body.

@@ -240,12 +240,21 @@ func TestStatsEmptyGraph(t *testing.T) {
 
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t)
-	var rep map[string]string
+	var rep HealthzReply
 	if code := getJSON(t, ts.URL+"/healthz", &rep); code != 200 {
 		t.Fatalf("status %d", code)
 	}
-	if rep["status"] != "ok" {
-		t.Fatalf("healthz = %v", rep)
+	if rep.Status != "ok" {
+		t.Fatalf("healthz = %+v", rep)
+	}
+	if rep.UptimeSeconds < 0 {
+		t.Fatalf("negative uptime %v", rep.UptimeSeconds)
+	}
+	if rep.Build.GoVersion == "" {
+		t.Fatal("healthz build info missing goVersion")
+	}
+	if rep.Build.Module != "trikcore" {
+		t.Fatalf("healthz build module = %q, want trikcore", rep.Build.Module)
 	}
 }
 

@@ -24,10 +24,10 @@ import (
 // snapshot, so their ETags carry both versions ("v<live>.b<bookmark>").
 
 func (s *Server) registerSnapshotRoutes(mux *http.ServeMux) {
-	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
-	mux.HandleFunc("GET /dualview", s.handleDualView)
-	mux.HandleFunc("GET /dualview.svg", s.handleDualViewSVG)
-	mux.HandleFunc("GET /events", s.handleEvents)
+	s.route(mux, "POST /snapshot", s.handleSnapshot)
+	s.route(mux, "GET /dualview", s.handleDualView)
+	s.route(mux, "GET /dualview.svg", s.handleDualViewSVG)
+	s.route(mux, "GET /events", s.handleEvents)
 }
 
 // SnapshotReply is the /snapshot response body.

@@ -6,6 +6,7 @@ import (
 
 	"trikcore/internal/dynamic"
 	"trikcore/internal/graph"
+	"trikcore/internal/obs"
 )
 
 // Publisher owns a dynamic engine and publishes immutable Snapshots of
@@ -16,6 +17,9 @@ type Publisher struct {
 	mu  sync.Mutex
 	en  *dynamic.Engine
 	cur atomic.Pointer[Snapshot]
+	// mt, when non-nil (see Instrument), records publish latency and
+	// counts; published snapshots carry it for memo accounting.
+	mt *pubMetrics
 }
 
 // NewPublisher wraps an engine, taking ownership of it: the caller must
@@ -73,18 +77,29 @@ func (p *Publisher) Mutate(fn func(en *dynamic.Engine)) *Snapshot {
 // freeze builds a Snapshot of the engine's current state. Callers hold
 // mu (or are the constructor, before the Publisher escapes).
 func (p *Publisher) freeze() *Snapshot {
+	var sp obs.Span
+	if p.mt != nil {
+		sp = obs.StartSpan(p.mt.publishSeconds)
+	}
 	s, kappa := p.en.FreezeView()
 	maxK := p.en.MaxKappa()
 	hist := make([]int, maxK+1)
 	for _, k := range kappa {
 		hist[k]++
 	}
-	return &Snapshot{
+	sn := &Snapshot{
 		Version: p.en.Version(),
 		S:       s,
 		Kappa:   kappa,
 		Hist:    hist,
 		MaxK:    maxK,
 		Updates: p.en.Stats(),
+		mt:      p.mt,
 	}
+	if p.mt != nil {
+		sp.End()
+		p.mt.publishesTotal.Inc()
+		p.mt.snapshotVersion.Set(int64(sn.Version))
+	}
+	return sn
 }

@@ -57,6 +57,9 @@ type Snapshot struct {
 	// lock-free; a miss allocates the entry and the sync.Once arbitrates
 	// which caller computes.
 	memo sync.Map
+	// mt, when non-nil, counts memo hits and misses per artifact. Set at
+	// freeze time from the publisher; nil on uninstrumented publishers.
+	mt *pubMetrics
 }
 
 // memoEntry is one singleflight cell: the first Do computes, everyone
@@ -77,7 +80,13 @@ func (sn *Snapshot) Memo(key any, compute func() any) any {
 		v, _ = sn.memo.LoadOrStore(key, new(memoEntry))
 	}
 	e := v.(*memoEntry)
-	e.once.Do(func() { e.val = compute() })
+	if sn.mt == nil {
+		e.once.Do(func() { e.val = compute() })
+		return e.val
+	}
+	computed := false
+	e.once.Do(func() { e.val = compute(); computed = true })
+	sn.mt.recordMemo(artifactOf(key), computed)
 	return e.val
 }
 

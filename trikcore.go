@@ -43,6 +43,7 @@ import (
 	"trikcore/internal/events"
 	"trikcore/internal/graph"
 	"trikcore/internal/kcore"
+	"trikcore/internal/obs"
 	"trikcore/internal/plot"
 	"trikcore/internal/template"
 	"trikcore/internal/view"
@@ -269,6 +270,22 @@ func NewPublisher(g *Graph) *Publisher { return view.NewPublisherFromGraph(g) }
 // mutating the engine directly; all further updates go through the
 // publisher.
 func NewPublisherFromEngine(en *Engine) *Publisher { return view.NewPublisher(en) }
+
+// MetricsRegistry is the zero-dependency observability registry shared
+// across layers: atomic counters, gauges and histograms with Prometheus
+// text-format exposition (Gather / WritePrometheus). Wire one registry
+// into Engine.Instrument and Publisher.Instrument — registration is
+// idempotent, so every layer can register against the same instance —
+// and serve its Gather output on a /metrics endpoint.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NopMetricsRegistry returns the disabled registry: every metric handle
+// it hands out is a no-op costing one branch per event, so instrumented
+// code runs untouched when observability is off.
+func NopMetricsRegistry() *MetricsRegistry { return obs.Nop() }
 
 // TrackedEngine is an Engine that also maintains the paper's explicit
 // per-edge core membership (AddToCore/DelFromCore bookkeeping).
