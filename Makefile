@@ -29,13 +29,20 @@ race:
 # Dense/Engine invariant suite (see internal/*/invariants.go), under the
 # race detector: the deepest correctness oracle the repo has. The view
 # and server packages ride along so their concurrency tests hammer the
-# publisher while the substrate self-checks, and obs rides along so its
-# lock-free counters and histogram bins are hammered under the detector.
+# publisher while the substrate self-checks — including
+# TestParallelApplyUnderReadLoad, which drives the epoch-coordinated
+# ApplyBatchParallel worker fan-out against concurrent GET load — and
+# obs rides along so its lock-free counters and histogram bins are
+# hammered under the detector.
 debugrace:
 	$(GO) test -tags trikdebug -race ./internal/graph ./internal/dynamic ./internal/view ./internal/server ./internal/obs
 
+# Runs the headline benches (static decompose, engine churn through the
+# per-edge / batched / parallel paths, server mixed workload) and pipes
+# the stream through cmd/benchjson, which echoes it and drops a
+# machine-readable BENCH_<stamp>.json with the host shape alongside.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkFreezeStatic$$|BenchmarkDecomposeStatic$$|BenchmarkTriangleCountStatic$$|BenchmarkEngineChurn$$|BenchmarkServerMixedWorkload$$' -benchmem -benchtime 3s .
+	$(GO) test -run '^$$' -bench 'BenchmarkFreezeStatic$$|BenchmarkDecomposeStatic$$|BenchmarkTriangleCountStatic$$|BenchmarkEngineChurn$$|BenchmarkServerMixedWorkload$$' -benchmem -benchtime 3s . | $(GO) run ./cmd/benchjson
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFreezeStatic -fuzztime 30s ./internal/graph

@@ -396,6 +396,22 @@ func BenchmarkEngineChurn(b *testing.B) {
 			en.ApplyBatch(inv)
 		}
 	})
+	// The parallel sub-benches drive the same churn through the
+	// epoch-coordinated apply path. Workers=1 delegates to ApplyBatch and
+	// bounds the dispatch overhead of the entry point; Workers=4 measures
+	// the region fan-out (on a single-core host the win is bounded by
+	// GOMAXPROCS — read the numbers alongside the recorded host shape).
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("Parallel%d", workers), func(b *testing.B) {
+			en := dynamic.NewEngine(astro)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				en.ApplyBatchParallel(fwd, workers)
+				en.ApplyBatchParallel(inv, workers)
+			}
+		})
+	}
 }
 
 // --- CSR kernel benchmarks (ISSUE 1) --------------------------------------

@@ -1,0 +1,153 @@
+// Command benchjson turns `go test -bench` output into a timestamped
+// machine-readable artifact. It reads the benchmark stream on stdin,
+// echoes every line unchanged to stdout (so interactive runs lose
+// nothing), parses the result lines, and writes BENCH_<stamp>.json into
+// the output directory together with the host shape the numbers were
+// measured on — a parallel-speedup figure is meaningless without the
+// GOMAXPROCS and CPU count it ran under.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson
+//
+// The `make bench` target wires this up.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -<procs> suffix stripped,
+	// e.g. "BenchmarkEngineChurn/Parallel4".
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix the benchmark ran at.
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when -benchmem was set.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds any custom b.ReportMetric units, keyed by unit name.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the top-level BENCH_<stamp>.json document.
+type Report struct {
+	Stamp      string   `json:"stamp"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	outDir := flag.String("out", ".", "directory to write BENCH_<stamp>.json into")
+	flag.Parse()
+
+	rep := Report{
+		Stamp:      time.Now().UTC().Format("20060102T150405Z"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if r, ok := parseLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines seen; not writing a report")
+		os.Exit(1)
+	}
+
+	path := filepath.Join(*outDir, "BENCH_"+rep.Stamp+".json")
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(rep.Benchmarks))
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkEngineChurn/Batched-4  100  123456 ns/op  789 B/op  10 allocs/op
+//
+// Returns ok=false for anything that is not a benchmark result.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name, procs := splitProcs(fields[0])
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Procs: procs, Iterations: iters}
+	// The rest of the line is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			v := val
+			r.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			r.AllocsPerOp = &v
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = val
+		}
+	}
+	return r, true
+}
+
+// splitProcs strips the trailing -<GOMAXPROCS> that the testing package
+// appends to benchmark names, defaulting to 1 when absent.
+func splitProcs(s string) (string, int) {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 {
+		return s, 1
+	}
+	n, err := strconv.Atoi(s[i+1:])
+	if err != nil || n <= 0 {
+		return s, 1
+	}
+	return s[:i], n
+}

@@ -1,0 +1,61 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkEngineChurn/Parallel4-4  \t 100\t  123456 ns/op\t  789 B/op\t 10 allocs/op")
+	if !ok {
+		t.Fatal("result line not recognized")
+	}
+	if r.Name != "BenchmarkEngineChurn/Parallel4" || r.Procs != 4 {
+		t.Fatalf("name/procs = %q/%d", r.Name, r.Procs)
+	}
+	if r.Iterations != 100 || r.NsPerOp != 123456 {
+		t.Fatalf("iters/ns = %d/%v", r.Iterations, r.NsPerOp)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 789 || r.AllocsPerOp == nil || *r.AllocsPerOp != 10 {
+		t.Fatalf("benchmem fields = %v/%v", r.BytesPerOp, r.AllocsPerOp)
+	}
+}
+
+func TestParseLineCustomMetric(t *testing.T) {
+	r, ok := parseLine("BenchmarkX-8 5 2.5 ns/op 7.25 regions/op")
+	if !ok {
+		t.Fatal("not recognized")
+	}
+	if r.Extra["regions/op"] != 7.25 {
+		t.Fatalf("extra = %v", r.Extra)
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"BenchmarkX", // header echo without fields
+		"BenchmarkX-4 notanumber 3 ns/op",
+		"ok  \ttrikcore\t42.1s",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q parsed as a result", line)
+		}
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkX-8", "BenchmarkX", 8},
+		{"BenchmarkX", "BenchmarkX", 1},
+		{"BenchmarkX/sub-case-2", "BenchmarkX/sub-case", 2},
+		{"BenchmarkX-notnum", "BenchmarkX-notnum", 1},
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = %q,%d want %q,%d", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}

@@ -330,10 +330,11 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	quiet := fs.Bool("quiet", false, "disable per-request structured logs")
+	workers := fs.Int("workers", 1, "worker goroutines for parallel batch maintenance (1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv, err := buildServer(*in, *pprofOn, *quiet)
+	srv, err := buildServer(*in, *pprofOn, *quiet, *workers)
 	if err != nil {
 		return err
 	}
@@ -344,7 +345,7 @@ func cmdServe(args []string) error {
 // buildServer loads the optional initial graph and wraps it in the HTTP
 // service. Served instances are always metered (GET /metrics); request
 // logging and pprof are flag-controlled.
-func buildServer(in string, pprofOn, quiet bool) (*server.Server, error) {
+func buildServer(in string, pprofOn, quiet bool, workers int) (*server.Server, error) {
 	g := trikcore.NewGraph()
 	if in != "" {
 		loaded, err := trikcore.LoadEdgeListFile(in)
@@ -353,7 +354,7 @@ func buildServer(in string, pprofOn, quiet bool) (*server.Server, error) {
 		}
 		g = loaded
 	}
-	opts := server.Options{Registry: trikcore.NewMetricsRegistry(), Pprof: pprofOn}
+	opts := server.Options{Registry: trikcore.NewMetricsRegistry(), Pprof: pprofOn, Workers: workers}
 	if !quiet {
 		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}

@@ -163,14 +163,14 @@ func TestCmdHierarchy(t *testing.T) {
 func TestBuildServer(t *testing.T) {
 	dir := t.TempDir()
 	in := writeFile(t, dir, "g.txt", k5edges)
-	srv, err := buildServer(in, false, true)
+	srv, err := buildServer(in, false, true, 4)
 	if err != nil || srv == nil {
 		t.Fatalf("buildServer: %v", err)
 	}
-	if _, err := buildServer(filepath.Join(dir, "missing.txt"), false, true); err == nil {
+	if _, err := buildServer(filepath.Join(dir, "missing.txt"), false, true, 1); err == nil {
 		t.Fatal("buildServer with missing file succeeded")
 	}
-	if srv, err := buildServer("", true, true); err != nil || srv == nil {
+	if srv, err := buildServer("", true, true, 1); err != nil || srv == nil {
 		t.Fatal("buildServer with empty graph failed")
 	}
 }

@@ -19,46 +19,70 @@ var kappaFunnelAllowed = map[string]bool{
 	"ensureEdgeCap":              true,
 }
 
+// kappaStagingAllowed are the functions permitted to write the staged-κ
+// overlay of a worker context (applyCtx.sKappa/sMark): stageKappa (the
+// staging funnel — the only writer that records the edge in the write
+// set, which the merge and conflict validation read), growEdges (sizing
+// new slots) and execRegion (the generation-wrap wipe). A staged value
+// written anywhere else would bypass the write-set record and land on the
+// engine without conflict validation — or never land at all.
+var kappaStagingAllowed = map[string]bool{
+	"stageKappa": true,
+	"growEdges":  true,
+	"execRegion": true,
+}
+
 // KappaFunnel enforces the engine's central bookkeeping discipline: the
 // kappa, hist and maxK fields of Engine are written only inside the
-// funnel functions above. Everything else must go through setKappa /
-// transition, which keep the histogram, maxK and the change observer in
+// funnel functions above, and the staged overlay fields of applyCtx only
+// inside the staging funnel. Everything else must go through setKappa /
+// transition (which keep the histogram, maxK and the change observer in
 // lockstep with the κ array — a direct field write elsewhere silently
-// desynchronizes all three.
+// desynchronizes all three) or stageKappa (which keeps the write set in
+// lockstep with the overlay).
 var KappaFunnel = Rule{
 	Name:    "kappa-funnel",
-	Doc:     "Engine.kappa/hist/maxK are written only via transition/setKappa and construction",
+	Doc:     "Engine.kappa/hist/maxK and applyCtx.sKappa/sMark are written only via their funnels",
 	Applies: func(rel string) bool { return rel == "internal/dynamic" },
 	Run:     runKappaFunnel,
 }
 
 func runKappaFunnel(p *Pass) {
-	obj := p.Pkg.Types.Scope().Lookup("Engine")
-	if obj == nil {
-		return
+	// guardedField describes one protected field: which struct owns it,
+	// which functions may write it, and the diagnostic to emit elsewhere.
+	type guardedField struct {
+		owner   string
+		allowed map[string]bool
+		msg     string
 	}
-	st, ok := obj.Type().Underlying().(*types.Struct)
-	if !ok {
-		return
-	}
-	guarded := make(map[*types.Var]string)
-	for i := 0; i < st.NumFields(); i++ {
-		f := st.Field(i)
-		switch f.Name() {
-		case "kappa", "hist", "maxK":
-			guarded[f] = f.Name()
+	guarded := make(map[*types.Var]guardedField)
+	collect := func(typeName string, fields []string, allowed map[string]bool, msg string) {
+		obj := p.Pkg.Types.Scope().Lookup(typeName)
+		if obj == nil {
+			return
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			for _, name := range fields {
+				if f.Name() == name {
+					guarded[f] = guardedField{owner: typeName, allowed: allowed, msg: msg}
+				}
+			}
 		}
 	}
+	collect("Engine", []string{"kappa", "hist", "maxK"}, kappaFunnelAllowed,
+		"outside the κ funnel (allowed: transition, setKappa, constructors, ensureEdgeCap)")
+	collect("applyCtx", []string{"sKappa", "sMark"}, kappaStagingAllowed,
+		"outside the staging funnel (allowed: stageKappa, growEdges, execRegion)")
 	if len(guarded) == 0 {
 		return
 	}
 
-	report := func(pos ast.Expr, name string) {
-		p.Reportf(pos.Pos(),
-			"write to Engine.%s outside the κ funnel (allowed: transition, setKappa, constructors, ensureEdgeCap)",
-			name)
-	}
-	check := func(e ast.Expr) {
+	check := func(fn string, e ast.Expr) {
 		for {
 			switch x := e.(type) {
 			case *ast.IndexExpr:
@@ -81,25 +105,27 @@ func runKappaFunnel(p *Pass) {
 		if !ok {
 			return
 		}
-		if v, ok := s.Obj().(*types.Var); ok {
-			if name, hit := guarded[v]; hit {
-				report(sel, name)
-			}
+		v, ok := s.Obj().(*types.Var)
+		if !ok {
+			return
 		}
+		g, hit := guarded[v]
+		if !hit || g.allowed[fn] {
+			return
+		}
+		p.Reportf(sel.Pos(), "write to %s.%s %s", g.owner, v.Name(), g.msg)
 	}
 
 	for _, fd := range funcDecls(p.Pkg) {
-		if kappaFunnelAllowed[fd.Name.Name] {
-			continue
-		}
+		fn := fd.Name.Name
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			switch stmt := n.(type) {
 			case *ast.AssignStmt:
 				for _, lhs := range stmt.Lhs {
-					check(lhs)
+					check(fn, lhs)
 				}
 			case *ast.IncDecStmt:
-				check(stmt.X)
+				check(fn, stmt.X)
 			}
 			return true
 		})

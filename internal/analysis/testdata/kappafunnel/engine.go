@@ -56,3 +56,49 @@ func (en *Engine) readOnly(eid int32) int32 {
 	k := en.kappa[eid] // ok: reads are unrestricted
 	return k + en.maxK
 }
+
+// applyCtx mirrors the worker staging overlay: sKappa/sMark are guarded,
+// writable only in the staging funnel, sizing and the wrap reset.
+type applyCtx struct {
+	sKappa []int32
+	sMark  []uint32
+	gen    uint32
+	writes []int32
+}
+
+func (c *applyCtx) stageKappa(e, v int32) {
+	if c.sMark[e] != c.gen {
+		c.sMark[e] = c.gen // ok: the staging funnel itself
+		c.writes = append(c.writes, e)
+	}
+	c.sKappa[e] = v // ok: the staging funnel itself
+}
+
+func (c *applyCtx) growEdges(n int) {
+	for len(c.sKappa) < n {
+		c.sKappa = append(c.sKappa, 0) // ok: capacity growth site
+		c.sMark = append(c.sMark, 0)   // ok: capacity growth site
+	}
+}
+
+func (c *applyCtx) execRegion() {
+	c.gen++
+	if c.gen == 0 {
+		for i := range c.sMark {
+			c.sMark[i] = 0 // ok: generation-wrap wipe
+		}
+		c.gen = 1
+	}
+}
+
+func (c *applyCtx) stageDirectly(e int32) {
+	c.sKappa[e] = 7    // want "write to applyCtx.sKappa outside the staging funnel"
+	c.sMark[e] = c.gen // want "write to applyCtx.sMark outside the staging funnel"
+}
+
+func (c *applyCtx) readStaged(e int32) int32 {
+	if c.sMark[e] == c.gen { // ok: reads are unrestricted
+		return c.sKappa[e]
+	}
+	return -1
+}

@@ -15,6 +15,43 @@ type EdgeOp struct {
 	Del  bool
 }
 
+// canonicalizeOps normalizes a batch into net-effect form, reusing buf's
+// capacity: endpoints are swapped into canonical order, ops are
+// stable-sorted by edge (so each group preserves batch order and its last
+// element is the op that wins), and each edge keeps only that winning op.
+// It panics on self-loops. Both ApplyBatch and ApplyBatchParallel start
+// here, which is what makes their results comparable op-for-op.
+func canonicalizeOps(ops []EdgeOp, buf []EdgeOp) []EdgeOp {
+	if cap(buf) < len(ops) {
+		buf = make([]EdgeOp, 0, len(ops))
+	}
+	buf = buf[:0]
+	for _, op := range ops {
+		if op.U == op.V {
+			panic(fmt.Sprintf("dynamic: self-loop on vertex %d", op.U))
+		}
+		if op.U > op.V {
+			op.U, op.V = op.V, op.U
+		}
+		buf = append(buf, op)
+	}
+	sort.SliceStable(buf, func(i, j int) bool {
+		if buf[i].U != buf[j].U {
+			return buf[i].U < buf[j].U
+		}
+		return buf[i].V < buf[j].V
+	})
+	w := 0
+	for i := 0; i < len(buf); i++ {
+		if i+1 < len(buf) && buf[i+1].U == buf[i].U && buf[i+1].V == buf[i].V {
+			continue
+		}
+		buf[w] = buf[i]
+		w++
+	}
+	return buf[:w]
+}
+
 // ApplyBatch applies a batch of edge operations as one update, returning
 // how many edges were actually inserted and deleted.
 //
@@ -46,43 +83,14 @@ func (en *Engine) ApplyBatch(ops []EdgeOp) (added, removed int) {
 		before = en.stats
 	}
 	stage = stages.Start(StageCanonicalize)
-	if cap(en.sc.ops) < len(ops) {
-		en.sc.ops = make([]EdgeOp, 0, len(ops))
-	}
-	buf := en.sc.ops[:0]
-	for _, op := range ops {
-		if op.U == op.V {
-			panic(fmt.Sprintf("dynamic: self-loop on vertex %d", op.U))
-		}
-		if op.U > op.V {
-			op.U, op.V = op.V, op.U
-		}
-		buf = append(buf, op)
-	}
-	// Stable-sort groups ops per edge preserving batch order, so the last
-	// element of each group is the op that wins.
-	sort.SliceStable(buf, func(i, j int) bool {
-		if buf[i].U != buf[j].U {
-			return buf[i].U < buf[j].U
-		}
-		return buf[i].V < buf[j].V
-	})
-	w := 0
-	for i := 0; i < len(buf); i++ {
-		if i+1 < len(buf) && buf[i+1].U == buf[i].U && buf[i+1].V == buf[i].V {
-			continue
-		}
-		buf[w] = buf[i]
-		w++
-	}
-	buf = buf[:w]
-	en.sc.ops = buf
+	buf := canonicalizeOps(ops, en.ser.sc.ops)
+	en.ser.sc.ops = buf
 	stage.End()
 
 	stage = stages.Start(StageDelete)
 	for _, op := range buf {
 		if op.Del {
-			if en.deleteEdgeCanon(op.U, op.V, &en.sc.tris) {
+			if en.deleteEdgeCanon(op.U, op.V, &en.ser.sc.tris) {
 				removed++
 			}
 		}
@@ -91,7 +99,7 @@ func (en *Engine) ApplyBatch(ops []EdgeOp) (added, removed int) {
 	stage = stages.Start(StageInsert)
 	for _, op := range buf {
 		if !op.Del {
-			if en.insertEdgeCanon(op.U, op.V, &en.sc.tris) {
+			if en.insertEdgeCanon(op.U, op.V, &en.ser.sc.tris) {
 				added++
 			}
 		}

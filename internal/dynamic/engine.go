@@ -52,18 +52,25 @@ type Engine struct {
 	hist []int
 	maxK int32
 
-	// The "off" set: triangles that exist combinatorially but are excluded
-	// from the active set during a multi-triangle update — not yet
-	// activated (mid-insertion) or already deactivated (mid-deletion).
-	// Every off triangle contains the edge being updated, so the set is
-	// just that edge's dense endpoints plus a generation stamp per third
-	// vertex: triangle {offU, offV, w} is off iff offStamp[w] == offGen.
-	// Bumping offGen retires a whole update's stamps in O(1).
-	offU, offV int32
-	offStamp   []uint32
-	offGen     uint32
+	// ser is the engine's serial apply context: the traversal scratch,
+	// off-set machinery and κ access funnel every single-threaded update
+	// runs against. Worker contexts for the parallel batch path are
+	// created per epoch in parallel.go and share nothing with it.
+	ser applyCtx
 
-	sc scratch
+	// pendMark stamps edges that are structurally present but logically
+	// absent during a parallel epoch: ApplyBatchParallel pre-inserts every
+	// batch insertion into the substrate, and pendMark[eid] == pendGen
+	// masks those edges from staged traversals until their owning region
+	// activates them. Outside an epoch no edge carries the current
+	// generation, so serial paths never consult it.
+	pendMark []uint32
+	pendGen  uint32
+
+	// par is the reusable workspace of ApplyBatchParallel (region
+	// partitioning, worker contexts, merge marks); empty until the first
+	// parallel epoch.
+	par parScratch
 
 	// onKappaChange, when set, observes every κ transition of a dense edge
 	// id: promotions and demotions (old≥0, new≥0), new edges (old=-1) and
@@ -130,25 +137,16 @@ func (en *Engine) ensureEdgeCap() {
 	c := en.d.EdgeCap()
 	for len(en.kappa) < c {
 		en.kappa = append(en.kappa, 0)
-		en.sc.st = append(en.sc.st, 0)
-		en.sc.es = append(en.sc.es, 0)
-		en.sc.evictedAt = append(en.sc.evictedAt, 0)
-		en.sc.inQueue = append(en.sc.inQueue, false)
 	}
-	// NewEngine seeds kappa before the scratch arrays exist; catch up.
-	for len(en.sc.st) < c {
-		en.sc.st = append(en.sc.st, 0)
-		en.sc.es = append(en.sc.es, 0)
-		en.sc.evictedAt = append(en.sc.evictedAt, 0)
-		en.sc.inQueue = append(en.sc.inQueue, false)
+	for len(en.pendMark) < c {
+		en.pendMark = append(en.pendMark, 0)
 	}
+	en.ser.growEdges(c)
 }
 
 // ensureVertexCap grows vertex-indexed state to the dense vertex capacity.
 func (en *Engine) ensureVertexCap() {
-	for len(en.offStamp) < en.d.VertexCap() {
-		en.offStamp = append(en.offStamp, 0)
-	}
+	en.ser.growVertices(en.d.VertexCap())
 }
 
 // setKappa writes κ(eid) = new and records the transition from old. With
@@ -345,26 +343,7 @@ func (en *Engine) insertEdgeCanon(u, v graph.Vertex, tris *[]int32) bool {
 	}
 	en.ensureEdgeCap()
 	en.ensureVertexCap()
-	en.setKappa(eid, -1, 0)
-	en.stats.Insertions++
-
-	// The new edge forms one triangle per common neighbor. Activate them
-	// one at a time (Algorithm 2 step 1 / Algorithm 5 outer loop): all
-	// start excluded, then each is switched on and processed.
-	du, dv := en.d.EdgeEndpoints(eid)
-	en.beginOff(du, dv)
-	buf := (*tris)[:0]
-	en.d.ForEachTriangleEdgeD(du, dv, func(w, e1, e2 int32) bool {
-		en.offStamp[w] = en.offGen
-		buf = append(buf, w, e1, e2)
-		return true
-	})
-	for i := 0; i < len(buf); i += 3 {
-		en.offStamp[buf[i]] = 0
-		en.processTriangleInsert(eid, buf[i+1], buf[i+2])
-	}
-	*tris = buf
-	en.endOff(buf)
+	en.ser.processEdgeInsert(eid, tris)
 	return true
 }
 
@@ -374,85 +353,17 @@ func (en *Engine) deleteEdgeCanon(u, v graph.Vertex, tris *[]int32) bool {
 	if eid < 0 {
 		return false
 	}
-	en.stats.Deletions++
-	du, dv := en.d.EdgeEndpoints(eid)
-	en.beginOff(du, dv)
-	buf := (*tris)[:0]
-	en.d.ForEachTriangleEdgeD(du, dv, func(w, e1, e2 int32) bool {
-		buf = append(buf, w, e1, e2)
-		return true
-	})
-	for i := 0; i < len(buf); i += 3 {
-		en.offStamp[buf[i]] = en.offGen
-		en.processTriangleDelete(eid, buf[i+1], buf[i+2])
-	}
-	if k := en.kappa[eid]; k != 0 {
-		// Every triangle on the edge has been deactivated, so a correct
-		// update must have driven its κ to zero.
-		panic(fmt.Sprintf("dynamic: κ(%v)=%d after deactivating all its triangles", en.d.EdgeAt(eid), k))
-	}
-	// Notify removal before the substrate forgets the endpoints, so
-	// observers can still resolve the edge.
-	en.transition(eid, 0, -1)
+	en.ser.processEdgeDelete(eid, tris)
 	en.d.RemoveEdgeByID(eid)
-	*tris = buf
-	en.endOff(buf)
 	return true
-}
-
-// beginOff opens an off-set epoch for the edge with dense endpoints
-// (du, dv).
-func (en *Engine) beginOff(du, dv int32) {
-	en.offGen++
-	if en.offGen == 0 {
-		// Generation counter wrapped: stale stamps could collide, so wipe
-		// them all once per 2^32 updates.
-		for i := range en.offStamp {
-			en.offStamp[i] = 0
-		}
-		en.offGen = 1
-	}
-	en.offU, en.offV = du, dv
-}
-
-// endOff closes the epoch, clearing the stamps of the listed (w, e1, e2)
-// triples. The generation bump in beginOff already retires them; clearing
-// keeps stamps from surviving a full generation wrap.
-func (en *Engine) endOff(tris []int32) {
-	for i := 0; i < len(tris); i += 3 {
-		en.offStamp[tris[i]] = 0
-	}
-	en.offU, en.offV = -1, -1
-}
-
-// triOff reports whether the triangle over dense vertices {p, q, w} is in
-// the off set: it contains the updating edge {offU, offV} and its third
-// vertex carries the current generation stamp.
-func (en *Engine) triOff(p, q, w int32) bool {
-	var third int32
-	switch {
-	case (p == en.offU && q == en.offV) || (p == en.offV && q == en.offU):
-		third = w
-	case (p == en.offU && w == en.offV) || (p == en.offV && w == en.offU):
-		third = q
-	case (q == en.offU && w == en.offV) || (q == en.offV && w == en.offU):
-		third = p
-	default:
-		return false
-	}
-	return en.offStamp[third] == en.offGen
 }
 
 // forEachActiveTriangleOn iterates the active triangles containing edge
 // eid, passing the third dense vertex and the other two dense edge ids.
+// Query paths between updates use it; the serial context's off epoch is
+// closed then, so every combinatorial triangle is active.
 func (en *Engine) forEachActiveTriangleOn(eid int32, fn func(w, e1, e2 int32) bool) {
-	u, v := en.d.EdgeEndpoints(eid)
-	en.d.ForEachTriangleEdgeD(u, v, func(w, e1, e2 int32) bool {
-		if en.triOff(u, v, w) {
-			return true
-		}
-		return fn(w, e1, e2)
-	})
+	en.ser.forEachActiveTriangleOn(eid, fn)
 }
 
 // InsertEdgeE and DeleteEdgeE are the Edge-value forms.

@@ -8,20 +8,24 @@ import (
 )
 
 // FuzzEngineChurn interprets fuzz bytes as a sequence of edge toggles
-// over a small vertex universe and verifies three engines against each
-// other and against a full recomputation at the end: one applying the
-// ops one by one, one applying them through ApplyBatch in chunks, and a
+// over a small vertex universe and verifies four ways of applying the
+// same operation stream against each other and against a full
+// recomputation at the end: one engine applying the ops one by one, one
+// applying them through ApplyBatch in chunks, two applying the same
+// chunks through ApplyBatchParallel at workers 1 (the serial-delegation
+// path) and 4 (real regions, validation and the conflict suffix), plus a
 // TrackedEngine (whose witness invariants are checked too). Toggles are
 // resolved into explicit insert/delete ops against the per-op engine's
-// state, so all three see the same operation stream.
+// state, so every engine sees the same operation stream.
 //
-// Under `-tags trikdebug` every single operation is followed by a full
-// CheckInvariants sweep of both the substrate and the κ bookkeeping (on
-// top of the debugAssert each mutating op already runs internally), so a
-// corrupting op is caught at the op that corrupted, not at the final
-// comparison. CI runs this fuzzer for a short wall-clock budget with the
-// tag on; the committed corpus under testdata/fuzz replays known-gnarly
-// churn sequences on every plain `go test` run.
+// Under `-tags trikdebug` every single operation — and every parallel
+// epoch — is followed by a full CheckInvariants sweep of both the
+// substrate and the κ bookkeeping (on top of the debugAssert each
+// mutating op already runs internally), so a corrupting op is caught at
+// the op that corrupted, not at the final comparison. CI runs this fuzzer
+// for a short wall-clock budget with the tag on; the committed corpus
+// under testdata/fuzz replays known-gnarly churn sequences on every plain
+// `go test` run.
 func FuzzEngineChurn(f *testing.F) {
 	f.Add([]byte{0x12, 0x34, 0x56})
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
@@ -32,6 +36,8 @@ func FuzzEngineChurn(f *testing.F) {
 		}
 		en := NewEngine(graph.New())
 		bat := NewEngine(graph.New())
+		par1 := NewEngine(graph.New())
+		par4 := NewEngine(graph.New())
 		te := NewTrackedEngine(graph.New())
 		const n = 10
 		const chunk = 4
@@ -49,10 +55,14 @@ func FuzzEngineChurn(f *testing.F) {
 		}
 		flush := func() {
 			bat.ApplyBatch(pending)
+			par1.ApplyBatchParallel(pending, 1)
+			par4.ApplyBatchParallel(pending, 4)
 			pending = pending[:0]
 			if debugChecks {
-				if err := bat.CheckInvariants(); err != nil {
-					t.Fatalf("batched invariants after flush: %v (ops %v)", err, ops)
+				for name, e := range map[string]*Engine{"batched": bat, "parallel-1": par1, "parallel-4": par4} {
+					if err := e.CheckInvariants(); err != nil {
+						t.Fatalf("%s invariants after flush: %v (ops %v)", name, err, ops)
+					}
 				}
 			}
 		}
@@ -87,17 +97,22 @@ func FuzzEngineChurn(f *testing.F) {
 				t.Fatalf("κ(%v) = %d, recompute says %d (ops %v)", e, got[e], k, ops)
 			}
 		}
-		batGot := bat.EdgeKappas()
-		if len(batGot) != len(want) {
-			t.Fatalf("batched edge count drift: %d vs %d (ops %v)", len(batGot), len(want), ops)
-		}
-		for e, k := range want {
-			if batGot[e] != k {
-				t.Fatalf("batched κ(%v) = %d, recompute says %d (ops %v)", e, batGot[e], k, ops)
+		for name, eng := range map[string]*Engine{"batched": bat, "parallel-1": par1, "parallel-4": par4} {
+			eGot := eng.EdgeKappas()
+			if len(eGot) != len(want) {
+				t.Fatalf("%s edge count drift: %d vs %d (ops %v)", name, len(eGot), len(want), ops)
 			}
-		}
-		if err := bat.VerifyConsistency(); err != nil {
-			t.Fatalf("batched engine: %v (ops %v)", err, ops)
+			for e, k := range want {
+				if eGot[e] != k {
+					t.Fatalf("%s κ(%v) = %d, recompute says %d (ops %v)", name, e, eGot[e], k, ops)
+				}
+			}
+			if err := eng.VerifyConsistency(); err != nil {
+				t.Fatalf("%s engine: %v (ops %v)", name, err, ops)
+			}
+			if eng.Version() != bat.Version() {
+				t.Fatalf("%s version %d, batched version %d (ops %v)", name, eng.Version(), bat.Version(), ops)
+			}
 		}
 		if err := te.CheckInvariants(); err != nil {
 			t.Fatalf("tracked invariants: %v (ops %v)", err, ops)

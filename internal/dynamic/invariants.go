@@ -22,37 +22,55 @@ func (en *Engine) CheckInvariants() error {
 	if len(en.kappa) < c {
 		return fmt.Errorf("dynamic: kappa tracks %d edge slots, substrate has %d", len(en.kappa), c)
 	}
-	for _, s := range [][]int32{en.sc.es, en.sc.evictedAt} {
+	ser := &en.ser
+	for _, s := range [][]int32{ser.sc.es, ser.sc.evictedAt} {
 		if len(s) < c {
 			return fmt.Errorf("dynamic: scratch tracks %d edge slots, substrate has %d", len(s), c)
 		}
 	}
-	if len(en.sc.st) < c || len(en.sc.inQueue) < c {
+	if len(ser.sc.st) < c || len(ser.sc.inQueue) < c {
 		return fmt.Errorf("dynamic: scratch marks track %d/%d edge slots, substrate has %d",
-			len(en.sc.st), len(en.sc.inQueue), c)
+			len(ser.sc.st), len(ser.sc.inQueue), c)
 	}
-	if len(en.offStamp) < en.d.VertexCap() {
+	if len(en.pendMark) < c {
+		return fmt.Errorf("dynamic: pending-insert marks track %d edge slots, substrate has %d",
+			len(en.pendMark), c)
+	}
+	if len(ser.offStamp) < en.d.VertexCap() {
 		return fmt.Errorf("dynamic: off stamps track %d vertex slots, substrate has %d",
-			len(en.offStamp), en.d.VertexCap())
+			len(ser.offStamp), en.d.VertexCap())
 	}
 
 	// Between public updates no off epoch is open and no traversal marks
 	// linger; a leak here means a later update would silently skip edges.
-	if en.offU != -1 || en.offV != -1 {
-		return fmt.Errorf("dynamic: off epoch still open on dense edge {%d, %d}", en.offU, en.offV)
+	if ser.offU != -1 || ser.offV != -1 {
+		return fmt.Errorf("dynamic: off epoch still open on dense edge {%d, %d}", ser.offU, ser.offV)
 	}
-	if len(en.sc.touched) != 0 {
-		return fmt.Errorf("dynamic: %d traversal marks not reset", len(en.sc.touched))
+	if len(ser.sc.touched) != 0 {
+		return fmt.Errorf("dynamic: %d traversal marks not reset", len(ser.sc.touched))
 	}
-	for eid, st := range en.sc.st {
+	for eid, st := range ser.sc.st {
 		if st != 0 {
 			return fmt.Errorf("dynamic: edge %d left with traversal state %d", eid, st)
 		}
 	}
-	for eid, q := range en.sc.inQueue {
+	for eid, q := range ser.sc.inQueue {
 		if q {
 			return fmt.Errorf("dynamic: edge %d left marked in-queue", eid)
 		}
+	}
+	// No live edge may carry the current pending-insert generation outside
+	// an epoch (ApplyBatchParallel retires the generation before returning).
+	var pend error
+	en.d.ForEachEdgeID(func(eid int32) bool {
+		if en.pendMark[eid] == en.pendGen && en.pendGen != 0 {
+			pend = fmt.Errorf("dynamic: edge %d still marked pending-insert outside an epoch", eid)
+			return false
+		}
+		return true
+	})
+	if pend != nil {
+		return pend
 	}
 
 	// Histogram and max κ must agree exactly with the live κ values.

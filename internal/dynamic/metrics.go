@@ -15,6 +15,17 @@ const (
 	StageInsert       = "insert"
 )
 
+// Parallel-apply stage names observed by the
+// trikcore_engine_parallel_stage_seconds phase timer: the serial resolve
+// pre-pass, region partitioning, the parallel execute phase (dispatch to
+// epoch barrier), and validation + funnel merge + conflict suffix.
+const (
+	StageResolve   = "resolve"
+	StagePartition = "partition"
+	StageExecute   = "execute"
+	StageMerge     = "merge"
+)
+
 // engineMetrics holds the engine's metric handles. A nil *engineMetrics
 // (the uninstrumented default) keeps every mutation path bit-identical to
 // an engine built before instrumentation existed: hooks are guarded by one
@@ -25,6 +36,14 @@ type engineMetrics struct {
 	insertSeconds     *obs.Histogram // per public InsertEdge call
 	deleteSeconds     *obs.Histogram // per public DeleteEdge call
 	stages            *obs.PhaseTimer
+
+	applyParallelSeconds *obs.Histogram // whole ApplyBatchParallel call
+	parStages            *obs.PhaseTimer
+	regionsPerBatch      *obs.Histogram // regions per parallel epoch
+	regionSize           *obs.Histogram // ops per region
+	regionConflicts      *obs.Counter   // regions demoted to the suffix
+	barrierWaitSeconds   *obs.Histogram // coordinator wait at the barrier
+	workerBusySeconds    *obs.Histogram // per-worker busy time per epoch
 
 	insertsApplied *obs.Counter
 	deletesApplied *obs.Counter
@@ -58,6 +77,22 @@ func (en *Engine) Instrument(reg *obs.Registry) {
 			"Wall time of one single-edge mutation.", obs.DurationBuckets, obs.Labels{"op": "delete"}),
 		stages: obs.NewPhaseTimer(reg, "trikcore_engine_batch_stage_seconds",
 			"Wall time per ApplyBatch stage.", StageCanonicalize, StageDelete, StageInsert),
+
+		applyParallelSeconds: reg.Histogram("trikcore_engine_apply_parallel_seconds",
+			"Wall time of one ApplyBatchParallel call.", obs.DurationBuckets, nil),
+		parStages: obs.NewPhaseTimer(reg, "trikcore_engine_parallel_stage_seconds",
+			"Wall time per ApplyBatchParallel stage.",
+			StageResolve, StagePartition, StageExecute, StageMerge),
+		regionsPerBatch: reg.Histogram("trikcore_engine_parallel_regions",
+			"Affected regions per parallel epoch.", obs.CountBuckets, nil),
+		regionSize: reg.Histogram("trikcore_engine_parallel_region_ops",
+			"Edge operations per affected region.", obs.CountBuckets, nil),
+		regionConflicts: reg.Counter("trikcore_engine_parallel_region_conflicts_total",
+			"Regions whose reads overlapped earlier-merged writes and re-ran in the conflict suffix.", nil),
+		barrierWaitSeconds: reg.Histogram("trikcore_engine_parallel_barrier_wait_seconds",
+			"Coordinator wait at the epoch barrier, per parallel epoch.", obs.DurationBuckets, nil),
+		workerBusySeconds: reg.Histogram("trikcore_engine_parallel_worker_busy_seconds",
+			"Per-worker busy time per parallel epoch.", obs.DurationBuckets, nil),
 
 		insertsApplied: reg.Counter("trikcore_engine_ops_applied_total",
 			"Edge operations that changed the graph.", obs.Labels{"op": "insert"}),
@@ -135,9 +170,9 @@ func NewEngineFromDecomposition(d *core.Decomposition) *Engine {
 		d:     graph.NewDenseFromStatic(d.S),
 		kappa: append([]int32(nil), d.Kappa...),
 		maxK:  d.MaxKappa,
-		offU:  -1,
-		offV:  -1,
 	}
+	en.ser.init(en)
+	en.ser.stats = &en.stats
 	en.hist = make([]int, en.maxK+1)
 	for _, k := range en.kappa {
 		en.hist[k]++

@@ -1,0 +1,352 @@
+package dynamic
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trikcore/internal/obs"
+)
+
+// ApplyBatchParallel applies a batch of edge operations with κ
+// maintenance fanned out over workers goroutines, returning how many
+// edges were actually inserted and deleted. It is equivalent to
+// ApplyBatch — same final graph, same final κ assignment, same version
+// semantics, net-effect transitions through the same funnel — for every
+// batch and any worker count; only the internal work accounting (Stats)
+// may differ, since regions traverse against a frozen base rather than
+// each other's intermediate states.
+//
+// The epoch protocol (DESIGN.md §"Epoch-coordinated parallel
+// maintenance"):
+//
+//  1. resolve (serial): canonicalize the batch, drop no-ops, add every
+//     surviving insertion to the substrate marked pending — the structure
+//     is now G_max and frozen for the epoch, with pending edges masked so
+//     the active graph equals the pre-batch graph;
+//  2. partition (serial): group ops into regions by triangle-ball overlap
+//     (partition.go);
+//  3. execute (parallel): workers claim regions off a shared cursor and
+//     run the ordinary insert/delete traversals against worker-local
+//     staged contexts — the substrate and every κ are read-only, all
+//     writes land in per-worker overlays, and every κ/liveness read is
+//     recorded;
+//  4. merge (serial, at the epoch barrier): regions are validated in
+//     ascending region order — a region whose read set intersects an
+//     earlier-merged region's write set is demoted to the conflict
+//     suffix, everything else lands its staged transitions through the
+//     κ-transition funnel; then the suffix re-executes serially against
+//     the merged state and lands last;
+//  5. cleanup (serial): deleted edges leave the substrate, the version
+//     advances once if anything changed.
+//
+// Because partitioning, region execution, validation order and merge
+// order are all independent of scheduling, the final engine state is
+// byte-identical across worker counts. workers <= 1 delegates to the
+// serial ApplyBatch — the region machinery has nothing to win
+// single-threaded.
+func (en *Engine) ApplyBatchParallel(ops []EdgeOp, workers int) (added, removed int) {
+	if workers <= 1 || len(ops) == 0 {
+		return en.ApplyBatch(ops)
+	}
+	var sp, stage obs.Span
+	var stages *obs.PhaseTimer
+	var before Stats
+	if en.mt != nil {
+		sp = obs.StartSpan(en.mt.applyParallelSeconds)
+		stages = en.mt.parStages
+		before = en.stats
+	}
+	p := &en.par
+
+	// Resolve: canonicalize, drop no-ops, pre-insert and mask the
+	// insertions. After this the structure is G_max and frozen until
+	// cleanup; the pending marks keep the active graph at the pre-batch
+	// edge set, for which the maintained κ is a consistent assignment.
+	stage = stages.Start(StageResolve)
+	buf := canonicalizeOps(ops, en.ser.sc.ops)
+	en.ser.sc.ops = buf
+	en.pendGen++
+	if en.pendGen == 0 {
+		// Generation wrapped: wipe stale marks so they cannot collide.
+		for i := range en.pendMark {
+			en.pendMark[i] = 0
+		}
+		en.pendGen = 1
+	}
+	resolved := p.resolved[:0]
+	for _, op := range buf {
+		if op.Del {
+			eid := en.d.EdgeIDV(op.U, op.V)
+			if eid < 0 {
+				continue
+			}
+			resolved = append(resolved, resolvedOp{eid: eid, del: true})
+			removed++
+		} else {
+			eid, ok := en.d.AddEdgeV(op.U, op.V)
+			if !ok {
+				continue
+			}
+			resolved = append(resolved, resolvedOp{eid: eid})
+			added++
+		}
+	}
+	p.resolved = resolved
+	en.ensureEdgeCap()
+	en.ensureVertexCap()
+	for _, r := range resolved {
+		if !r.del {
+			en.pendMark[r.eid] = en.pendGen
+		}
+	}
+	stage.End()
+	if len(resolved) == 0 {
+		if en.mt != nil {
+			sp.End()
+			en.mt.opsDeduped.Add(uint64(len(ops) - len(buf)))
+		}
+		en.debugAssert()
+		return 0, 0
+	}
+
+	stage = stages.Start(StagePartition)
+	nRegions := p.partition(en, resolved)
+	stage.End()
+
+	// Execute: nw workers drain the region list through a shared atomic
+	// cursor. Claiming order is scheduling-dependent; nothing else is —
+	// each region's result is a pure function of the frozen base.
+	stage = stages.Start(StageExecute)
+	nw := workers
+	if nw > nRegions {
+		nw = nRegions
+	}
+	for len(p.ctxs) < nw {
+		c := &applyCtx{staged: true}
+		c.init(en)
+		c.en = en
+		p.ctxs = append(p.ctxs, c)
+	}
+	for len(p.busy) < nw {
+		p.busy = append(p.busy, 0)
+	}
+	ecap := en.d.EdgeCap()
+	for _, c := range p.ctxs[:nw] {
+		c.growEdges(ecap)
+		c.growVertices(en.d.VertexCap())
+	}
+	timed := en.mt != nil
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	var barrier obs.Span
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := p.ctxs[w]
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= nRegions {
+					break
+				}
+				c.execRegion(&p.regions[i])
+			}
+			if timed {
+				p.busy[w] = time.Since(t0)
+			}
+		}(w)
+	}
+	if en.mt != nil {
+		barrier = obs.StartSpan(en.mt.barrierWaitSeconds)
+	}
+	wg.Wait()
+	barrier.End()
+	stage.End()
+
+	// Merge at the barrier: validate ascending, land clean regions through
+	// the funnel, re-execute the conflict suffix against the merged state.
+	stage = stages.Start(StageMerge)
+	p.wGen++
+	if p.wGen == 0 {
+		for i := range p.wMark {
+			p.wMark[i] = 0
+		}
+		p.wGen = 1
+	}
+	for len(p.wMark) < ecap {
+		p.wMark = append(p.wMark, 0)
+	}
+	sfx := p.suffix[:0]
+	conflicted := 0
+	for i := 0; i < nRegions; i++ {
+		rg := &p.regions[i]
+		clean := true
+		for _, e := range rg.reads {
+			if p.wMark[e] == p.wGen {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			// Some earlier-merged region wrote state this region read: its
+			// staged result reflects a stale base. Its ops re-run in the
+			// suffix, which is the last slot of the serialization order —
+			// the one place a re-execution sees every earlier write.
+			sfx = append(sfx, rg.ops...)
+			conflicted++
+			continue
+		}
+		en.mergeStaged(rg.writes, rg.vals)
+		for _, e := range rg.writes {
+			p.wMark[e] = p.wGen
+		}
+		en.stats.accumulate(rg.stats)
+	}
+	p.suffix = sfx
+	if len(sfx) > 0 {
+		rg := &p.sfxRegion
+		rg.ops = append(rg.ops[:0], sfx...)
+		rg.reads = rg.reads[:0]
+		rg.writes = rg.writes[:0]
+		rg.vals = rg.vals[:0]
+		rg.stats = Stats{}
+		p.ctxs[0].execRegion(rg)
+		en.mergeStaged(rg.writes, rg.vals)
+		en.stats.accumulate(rg.stats)
+	}
+	stage.End()
+
+	// Cleanup: deletions leave the substrate (their removal transitions
+	// already fired at merge, while the edges were still live), and one
+	// version step covers the whole effective batch. Every pending mark
+	// was cleared by the merges, so no mask survives the epoch.
+	for _, r := range resolved {
+		if r.del {
+			en.d.RemoveEdgeByID(r.eid)
+		}
+	}
+	if added+removed > 0 {
+		en.bumpVersion()
+	}
+	if en.mt != nil {
+		sp.End()
+		en.mt.insertsApplied.Add(uint64(added))
+		en.mt.deletesApplied.Add(uint64(removed))
+		en.mt.opsDeduped.Add(uint64(len(ops) - len(buf)))
+		en.mt.regionsPerBatch.Observe(float64(nRegions))
+		for i := 0; i < nRegions; i++ {
+			en.mt.regionSize.Observe(float64(len(p.regions[i].ops)))
+		}
+		en.mt.regionConflicts.Add(uint64(conflicted))
+		for _, d := range p.busy[:nw] {
+			en.mt.workerBusySeconds.Observe(d.Seconds())
+		}
+		en.mt.recordDelta(en, before)
+		en.mt.substrateBytes.Set(en.d.SizeBytes())
+	}
+	en.debugAssert()
+	return added, removed
+}
+
+// region is one unit of parallel work: a group of resolved ops plus the
+// result of executing them against the frozen base — the recorded read
+// set, the staged writes in first-touch order with their final values,
+// and the work counters.
+type region struct {
+	ops                 []resolvedOp
+	reads, writes, vals []int32
+	stats               Stats
+}
+
+// parScratch is the engine-owned workspace of ApplyBatchParallel, reused
+// across epochs: the resolved op list, the ball-stamping and union-find
+// state of partitioning, the region records, the per-worker staged
+// contexts, and the merge-time written-edge marks.
+type parScratch struct {
+	resolved []resolvedOp
+	ufParent []int32
+	regionID []int32
+	ballMark []uint32
+	ballOp   []int32
+	ballGen  uint32
+	regions  []region
+	ctxs     []*applyCtx
+	busy     []time.Duration
+	wMark    []uint32
+	wGen     uint32
+	suffix   []resolvedOp
+	sfxRegion region
+}
+
+// execRegion runs one region's ops — deletions, then insertions, each in
+// canonical batch order — on a staged context and copies the context's
+// read set, write set and staged values into the region record.
+func (c *applyCtx) execRegion(rg *region) {
+	c.gen++
+	if c.gen == 0 {
+		// Generation wrapped: wipe stale overlay and read marks.
+		for i := range c.sMark {
+			c.sMark[i] = 0
+			c.rMark[i] = 0
+		}
+		c.gen = 1
+	}
+	c.reads = c.reads[:0]
+	c.writes = c.writes[:0]
+	c.stats = &rg.stats
+	for _, op := range rg.ops {
+		if op.del {
+			c.processEdgeDelete(op.eid, &c.sc.tris)
+		}
+	}
+	for _, op := range rg.ops {
+		if !op.del {
+			c.processEdgeInsert(op.eid, &c.sc.tris)
+		}
+	}
+	rg.reads = append(rg.reads[:0], c.reads...)
+	rg.writes = append(rg.writes[:0], c.writes...)
+	rg.vals = rg.vals[:0]
+	for _, e := range c.writes {
+		rg.vals = append(rg.vals, c.sKappa[e])
+	}
+}
+
+// mergeStaged lands one region's staged transitions on the engine, in the
+// region's first-write order, through the κ-transition funnel. The old
+// value of each transition is reconstructed from the engine: -1 for a
+// pending insertion of this batch (cleared here — the edge is active from
+// now on), the maintained κ otherwise; staged -1 values are completed
+// deletions. Transitions that net to no change are skipped, so observers
+// see exactly the per-edge net effect of the batch, as with ApplyBatch's
+// canonicalization.
+func (en *Engine) mergeStaged(writes, vals []int32) {
+	for i, e := range writes {
+		v := vals[i]
+		var old int32
+		if en.pendMark[e] == en.pendGen {
+			old = -1
+			en.pendMark[e] = 0
+		} else {
+			old = en.kappa[e]
+		}
+		if old != v {
+			en.setKappa(e, old, v)
+		}
+	}
+}
+
+// accumulate folds another Stats into s.
+func (s *Stats) accumulate(o Stats) {
+	s.Insertions += o.Insertions
+	s.Deletions += o.Deletions
+	s.TrianglesProcessed += o.TrianglesProcessed
+	s.EdgesVisited += o.EdgesVisited
+	s.Promotions += o.Promotions
+	s.Demotions += o.Demotions
+}

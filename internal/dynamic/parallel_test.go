@@ -1,0 +1,177 @@
+package dynamic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"trikcore/internal/gen"
+	"trikcore/internal/graph"
+)
+
+// randomBatch builds a mixed batch over g's current state: del deletions
+// of present edges and ins insertions of absent (or duplicate-present)
+// edges, drawn from a vertex universe of size n.
+func randomBatch(rng *rand.Rand, g *graph.Graph, n, ins, del int) []EdgeOp {
+	var ops []EdgeOp
+	edges := g.Edges()
+	for i := 0; i < del && len(edges) > 0; i++ {
+		e := edges[rng.Intn(len(edges))]
+		ops = append(ops, EdgeOp{U: e.U, V: e.V, Del: true})
+	}
+	for i := 0; i < ins; i++ {
+		u := graph.Vertex(rng.Intn(n))
+		v := graph.Vertex(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		ops = append(ops, EdgeOp{U: u, V: v})
+	}
+	rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	return ops
+}
+
+// TestApplyBatchParallelEquivalence churns two engines over a
+// triangle-dense graph with identical mixed batches — one through
+// ApplyBatch, one through ApplyBatchParallel — and requires identical
+// κ assignments, counts and version movement after every epoch. Worker
+// counts above the region count and scattered plus clustered batches
+// exercise region execution, validation and the conflict suffix.
+func TestApplyBatchParallelEquivalence(t *testing.T) {
+	for _, workers := range []int{2, 3, 8} {
+		rng := rand.New(rand.NewSource(42))
+		g := gen.PowerLawCluster(300, 4, 0.6, 7)
+		ser := NewEngine(g)
+		par := NewEngine(g)
+		for round := 0; round < 12; round++ {
+			ops := randomBatch(rng, ser.Graph(), 320, 24, 12)
+			a1, r1 := ser.ApplyBatch(ops)
+			a2, r2 := par.ApplyBatchParallel(ops, workers)
+			if a1 != a2 || r1 != r2 {
+				t.Fatalf("workers=%d round %d: counts (%d,%d) parallel vs (%d,%d) serial",
+					workers, round, a2, r2, a1, r1)
+			}
+			if ser.Version() != par.Version() {
+				t.Fatalf("workers=%d round %d: version %d parallel vs %d serial",
+					workers, round, par.Version(), ser.Version())
+			}
+			if ser.MaxKappa() != par.MaxKappa() {
+				t.Fatalf("workers=%d round %d: maxκ %d parallel vs %d serial",
+					workers, round, par.MaxKappa(), ser.MaxKappa())
+			}
+			want := ser.EdgeKappas()
+			got := par.EdgeKappas()
+			if !reflect.DeepEqual(want, got) {
+				for e, k := range want {
+					if got[e] != k {
+						t.Fatalf("workers=%d round %d: κ(%v) = %d parallel, %d serial",
+							workers, round, e, got[e], k)
+					}
+				}
+				t.Fatalf("workers=%d round %d: parallel has %d edges, serial %d",
+					workers, round, len(got), len(want))
+			}
+			if err := par.CheckInvariants(); err != nil {
+				t.Fatalf("workers=%d round %d: %v", workers, round, err)
+			}
+		}
+		if err := par.VerifyConsistency(); err != nil {
+			t.Fatalf("workers=%d: final consistency: %v", workers, err)
+		}
+	}
+}
+
+// TestApplyBatchParallelDeterministic applies the same batch sequence at
+// several worker counts and requires byte-identical engine state:
+// histogram, maxκ, version and the full κ assignment must not depend on
+// scheduling.
+func TestApplyBatchParallelDeterministic(t *testing.T) {
+	run := func(workers int) *Engine {
+		rng := rand.New(rand.NewSource(99))
+		en := NewEngine(gen.PowerLawCluster(200, 5, 0.5, 3))
+		for round := 0; round < 8; round++ {
+			ops := randomBatch(rng, en.Graph(), 220, 20, 10)
+			en.ApplyBatchParallel(ops, workers)
+		}
+		return en
+	}
+	base := run(2)
+	baseKappas := base.EdgeKappas()
+	for _, workers := range []int{1, 4, 8} {
+		en := run(workers)
+		if en.Version() != base.Version() {
+			t.Fatalf("workers=%d: version %d, workers=2 got %d", workers, en.Version(), base.Version())
+		}
+		if en.MaxKappa() != base.MaxKappa() {
+			t.Fatalf("workers=%d: maxκ %d, workers=2 got %d", workers, en.MaxKappa(), base.MaxKappa())
+		}
+		if !reflect.DeepEqual(en.KappaHistogram(), base.KappaHistogram()) {
+			t.Fatalf("workers=%d: histogram %v, workers=2 got %v",
+				workers, en.KappaHistogram(), base.KappaHistogram())
+		}
+		if !reflect.DeepEqual(en.EdgeKappas(), baseKappas) {
+			t.Fatalf("workers=%d: κ assignment differs from workers=2", workers)
+		}
+	}
+}
+
+// TestApplyBatchParallelTracked runs parallel batches through a
+// TrackedEngine and checks the witness invariants after every epoch: the
+// observer only sees net-effect transitions at merge time, and membership
+// repair must still converge from those.
+func TestApplyBatchParallelTracked(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.PowerLawCluster(120, 4, 0.6, 11)
+	te := NewTrackedEngine(g)
+	ser := NewEngine(g)
+	for round := 0; round < 10; round++ {
+		ops := randomBatch(rng, ser.Graph(), 140, 16, 8)
+		ser.ApplyBatch(ops)
+		te.ApplyBatchParallel(ops, 4)
+		if err := te.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !reflect.DeepEqual(te.EdgeKappas(), ser.EdgeKappas()) {
+			t.Fatalf("round %d: tracked parallel κ diverged from serial", round)
+		}
+	}
+}
+
+// TestApplyBatchParallelEdgeCases pins the boundary behavior: empty
+// batches, all-no-op batches, self-canceling batches and workers=1
+// delegation must leave counts and the version exactly as ApplyBatch
+// would.
+func TestApplyBatchParallelEdgeCases(t *testing.T) {
+	en := NewEngine(gen.ErdosRenyi(30, 60, 5))
+	v0 := en.Version()
+	if a, r := en.ApplyBatchParallel(nil, 4); a != 0 || r != 0 {
+		t.Fatalf("empty batch: (%d,%d)", a, r)
+	}
+	// Deleting absent edges and re-inserting present ones is a no-op.
+	var noops []EdgeOp
+	en.Graph().ForEachEdge(func(e graph.Edge) bool {
+		noops = append(noops, EdgeOp{U: e.U, V: e.V})
+		return len(noops) < 5
+	})
+	noops = append(noops, EdgeOp{U: 900, V: 901, Del: true})
+	if a, r := en.ApplyBatchParallel(noops, 4); a != 0 || r != 0 {
+		t.Fatalf("no-op batch: (%d,%d)", a, r)
+	}
+	// Insert-then-delete of an absent edge cancels to nothing.
+	cancel := []EdgeOp{{U: 500, V: 501}, {U: 500, V: 501, Del: true}}
+	if a, r := en.ApplyBatchParallel(cancel, 4); a != 0 || r != 0 {
+		t.Fatalf("self-canceling batch: (%d,%d)", a, r)
+	}
+	if en.Version() != v0 {
+		t.Fatalf("version moved on no-op batches: %d → %d", v0, en.Version())
+	}
+	if a, r := en.ApplyBatchParallel([]EdgeOp{{U: 500, V: 501}}, 1); a != 1 || r != 0 {
+		t.Fatalf("workers=1 insert: (%d,%d)", a, r)
+	}
+	if en.Version() != v0+1 {
+		t.Fatalf("version after effective batch: %d, want %d", en.Version(), v0+1)
+	}
+	if err := en.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -152,6 +152,16 @@ func (te *TrackedEngine) ApplyBatch(ops []EdgeOp) (added, removed int) {
 	return added, removed
 }
 
+// ApplyBatchParallel applies a batch with parallel κ maintenance and
+// repairs membership once at the end. Membership repair itself stays
+// serial: the observer marks dirty edges during the epoch's merge phase,
+// which already runs on the coordinator alone.
+func (te *TrackedEngine) ApplyBatchParallel(ops []EdgeOp, workers int) (added, removed int) {
+	added, removed = te.Engine.ApplyBatchParallel(ops, workers)
+	te.repair()
+	return added, removed
+}
+
 // ApplyDiff applies a snapshot diff with membership maintained.
 func (te *TrackedEngine) ApplyDiff(d graph.Diff) {
 	te.Engine.ApplyDiff(d)

@@ -4,19 +4,19 @@ package dynamic
 // Algorithm 2: the triangle over edges (e0, e1, e2) has just been
 // activated, μ is the minimum κ of its edges, and by Rule 0 exactly the
 // κ=μ edges triangle-connected to it may rise to μ+1.
-func (en *Engine) processTriangleInsert(e0, e1, e2 int32) {
-	en.stats.TrianglesProcessed++
-	mu := en.kappa[e0]
-	if k := en.kappa[e1]; k < mu {
+func (c *applyCtx) processTriangleInsert(e0, e1, e2 int32) {
+	c.stats.TrianglesProcessed++
+	mu := c.kappaOf(e0)
+	if k := c.kappaOf(e1); k < mu {
 		mu = k
 	}
-	if k := en.kappa[e2]; k < mu {
+	if k := c.kappaOf(e2); k < mu {
 		mu = k
 	}
 
-	ins := insertSearch{en: en, mu: mu}
+	ins := insertSearch{c: c, mu: mu}
 	for _, e := range [3]int32{e0, e1, e2} {
-		if en.kappa[e] == mu {
+		if c.kappaOf(e) == mu {
 			ins.roots[ins.nRoots] = e
 			ins.nRoots++
 		}
@@ -26,11 +26,11 @@ func (en *Engine) processTriangleInsert(e0, e1, e2 int32) {
 	// Promote the surviving live candidates and reset the step's marks.
 	// touched may hold duplicates (forgotten then re-discovered edges);
 	// zeroing st on first visit makes the loop idempotent.
-	sc := &en.sc
+	sc := &c.sc
 	for _, e := range sc.touched {
 		if sc.st[e] == stLive {
-			en.setKappa(e, mu, mu+1)
-			en.stats.Promotions++
+			c.setK(e, mu, mu+1)
+			c.stats.Promotions++
 		}
 		sc.st[e] = 0
 	}
@@ -54,7 +54,7 @@ func (en *Engine) processTriangleInsert(e0, e1, e2 int32) {
 // so the traversal never sweeps an entire κ=μ shell just to promote
 // nothing.
 //
-// All per-edge state (st, es, evictedAt) lives in the engine's scratch
+// All per-edge state (st, es, evictedAt) lives in the context's scratch
 // arrays indexed by dense edge id; the touched list records every edge
 // whose st mark went nonzero so the caller resets exactly the visited
 // region. evictedAt stamps the order in which edges were evicted: a
@@ -62,7 +62,7 @@ func (en *Engine) processTriangleInsert(e0, e1, e2 int32) {
 // once — by the FIRST of its other two edges to be evicted — and when a
 // cascade evicts both in one wave, the stamps decide who withdraws.
 type insertSearch struct {
-	en       *Engine
+	c        *applyCtx
 	mu       int32
 	roots    [3]int32
 	nRoots   int
@@ -88,7 +88,7 @@ func (s *insertSearch) run() {
 	if s.nRoots == 0 {
 		return
 	}
-	sc := &s.en.sc
+	sc := &s.c.sc
 	sc.stack = sc.stack[:0]
 	for i := 0; i < s.nRoots; i++ {
 		e := s.roots[i]
@@ -115,16 +115,16 @@ func (s *insertSearch) run() {
 // qualifies reports whether edge z can still sit at level ≥ μ+1: it is
 // above μ already, or at μ and not (yet) evicted.
 func (s *insertSearch) qualifies(z int32) bool {
-	k := s.en.kappa[z]
-	return k > s.mu || (k == s.mu && s.en.sc.st[z] != stEvicted)
+	k := s.c.kappaOf(z)
+	return k > s.mu || (k == s.mu && s.c.sc.st[z] != stEvicted)
 }
 
 // referencedByLive reports whether some live candidate counts a triangle
 // through e (so e's resolution is still needed).
 func (s *insertSearch) referencedByLive(e int32) bool {
-	st := s.en.sc.st
+	st := s.c.sc.st
 	found := false
-	s.en.forEachActiveTriangleOn(e, func(_, a, b int32) bool {
+	s.c.forEachActiveTriangleOn(e, func(_, a, b int32) bool {
 		if (st[a] == stLive && s.qualifies(b)) || (st[b] == stLive && s.qualifies(a)) {
 			found = true
 			return false
@@ -137,10 +137,10 @@ func (s *insertSearch) referencedByLive(e int32) bool {
 // resolve computes e's optimistic effective support and marks it live or
 // evicted, expanding or cascading accordingly.
 func (s *insertSearch) resolve(e int32) {
-	s.en.stats.EdgesVisited++
-	sc := &s.en.sc
+	s.c.stats.EdgesVisited++
+	sc := &s.c.sc
 	n := int32(0)
-	s.en.forEachActiveTriangleOn(e, func(_, a, b int32) bool {
+	s.c.forEachActiveTriangleOn(e, func(_, a, b int32) bool {
 		if s.qualifies(a) && s.qualifies(b) {
 			n++
 		}
@@ -154,12 +154,12 @@ func (s *insertSearch) resolve(e int32) {
 	}
 	sc.st[e] = stLive
 	// Demand the unresolved κ=μ co-edges of e's qualifying triangles.
-	s.en.forEachActiveTriangleOn(e, func(_, a, b int32) bool {
+	s.c.forEachActiveTriangleOn(e, func(_, a, b int32) bool {
 		if !s.qualifies(a) || !s.qualifies(b) {
 			return true
 		}
 		for _, ne := range [2]int32{a, b} {
-			if s.en.kappa[ne] == s.mu && sc.st[ne] == 0 {
+			if s.c.kappaOf(ne) == s.mu && sc.st[ne] == 0 {
 				sc.st[ne] = stQueued
 				sc.touched = append(sc.touched, ne)
 				sc.stack = append(sc.stack, ne)
@@ -171,9 +171,9 @@ func (s *insertSearch) resolve(e int32) {
 
 // evict marks e evicted and stamps its eviction order.
 func (s *insertSearch) evict(e int32) {
-	s.en.sc.st[e] = stEvicted
+	s.c.sc.st[e] = stEvicted
 	s.evictSeq++
-	s.en.sc.evictedAt[e] = s.evictSeq
+	s.c.sc.evictedAt[e] = s.evictSeq
 }
 
 // cascade withdraws e's contribution from resolved live candidates,
@@ -183,29 +183,29 @@ func (s *insertSearch) evict(e int32) {
 // while x still qualified). The stamps make this exactly-once even when
 // x and z fall in the same cascade wave.
 func (s *insertSearch) cascade(e int32) {
-	sc := &s.en.sc
+	sc := &s.c.sc
 	work := [...]int32{e}
 	stack := work[:]
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		xAt := sc.evictedAt[x]
-		s.en.forEachActiveTriangleOn(x, func(_, a, b int32) bool {
+		s.c.forEachActiveTriangleOn(x, func(_, a, b int32) bool {
 			for _, pair := range [2][2]int32{{a, b}, {b, a}} {
-				c, z := pair[0], pair[1]
-				if sc.st[c] != stLive {
+				cand, z := pair[0], pair[1]
+				if sc.st[cand] != stLive {
 					continue
 				}
 				if sc.st[z] == stEvicted && sc.evictedAt[z] < xAt {
 					continue // z's earlier eviction already withdrew it
 				}
-				if s.en.kappa[z] < s.mu {
-					continue // never counted for c in the first place
+				if s.c.kappaOf(z) < s.mu {
+					continue // never counted for cand in the first place
 				}
-				sc.es[c]--
-				if sc.es[c] < s.mu+1 {
-					s.evict(c)
-					stack = append(stack, c)
+				sc.es[cand]--
+				if sc.es[cand] < s.mu+1 {
+					s.evict(cand)
+					stack = append(stack, cand)
 				}
 			}
 			return true
@@ -217,13 +217,13 @@ func (s *insertSearch) cascade(e int32) {
 // Algorithm 2: the triangle over edges (e0, e1, e2) has just been
 // deactivated, μ is the minimum κ of its edges, and by Rule 0 exactly κ=μ
 // edges may fall to μ-1.
-func (en *Engine) processTriangleDelete(e0, e1, e2 int32) {
-	en.stats.TrianglesProcessed++
-	mu := en.kappa[e0]
-	if k := en.kappa[e1]; k < mu {
+func (c *applyCtx) processTriangleDelete(e0, e1, e2 int32) {
+	c.stats.TrianglesProcessed++
+	mu := c.kappaOf(e0)
+	if k := c.kappaOf(e1); k < mu {
 		mu = k
 	}
-	if k := en.kappa[e2]; k < mu {
+	if k := c.kappaOf(e2); k < mu {
 		mu = k
 	}
 	if mu == 0 {
@@ -236,10 +236,10 @@ func (en *Engine) processTriangleDelete(e0, e1, e2 int32) {
 	// κ ≥ μ; otherwise it demotes to μ-1 and its loss cascades to κ=μ
 	// edges that shared qualifying triangles with it. The inQueue marks
 	// are self-cleaning: every enqueued edge is popped exactly once.
-	sc := &en.sc
+	sc := &c.sc
 	queue := sc.queue[:0]
 	for _, e := range [3]int32{e0, e1, e2} {
-		if en.kappa[e] == mu && !sc.inQueue[e] {
+		if c.kappaOf(e) == mu && !sc.inQueue[e] {
 			sc.inQueue[e] = true
 			queue = append(queue, e)
 		}
@@ -247,13 +247,13 @@ func (en *Engine) processTriangleDelete(e0, e1, e2 int32) {
 	for head := 0; head < len(queue); head++ {
 		e := queue[head]
 		sc.inQueue[e] = false
-		if en.kappa[e] != mu {
+		if c.kappaOf(e) != mu {
 			continue // already demoted by an earlier cascade step
 		}
-		en.stats.EdgesVisited++
+		c.stats.EdgesVisited++
 		n := int32(0)
-		en.forEachActiveTriangleOn(e, func(_, a, b int32) bool {
-			if en.kappa[a] >= mu && en.kappa[b] >= mu {
+		c.forEachActiveTriangleOn(e, func(_, a, b int32) bool {
+			if c.kappaOf(a) >= mu && c.kappaOf(b) >= mu {
 				n++
 			}
 			return true
@@ -261,17 +261,17 @@ func (en *Engine) processTriangleDelete(e0, e1, e2 int32) {
 		if n >= mu {
 			continue
 		}
-		en.setKappa(e, mu, mu-1)
-		en.stats.Demotions++
+		c.setK(e, mu, mu-1)
+		c.stats.Demotions++
 		// Neighbors at level μ that used a triangle through e must be
 		// rechecked; the triangle qualified only if its third edge was
 		// also at level ≥ μ.
-		en.forEachActiveTriangleOn(e, func(_, a, b int32) bool {
-			if en.kappa[a] < mu || en.kappa[b] < mu {
+		c.forEachActiveTriangleOn(e, func(_, a, b int32) bool {
+			if c.kappaOf(a) < mu || c.kappaOf(b) < mu {
 				return true
 			}
 			for _, ne := range [2]int32{a, b} {
-				if en.kappa[ne] == mu && !sc.inQueue[ne] {
+				if c.kappaOf(ne) == mu && !sc.inQueue[ne] {
 					sc.inQueue[ne] = true
 					queue = append(queue, ne)
 				}

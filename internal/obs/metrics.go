@@ -133,3 +133,11 @@ var DurationBuckets = []float64{
 	1e-2, 2.5e-2, 5e-2,
 	0.1, 0.25, 0.5, 1,
 }
+
+// CountBuckets is the default bucket layout for small-cardinality count
+// histograms (items per batch, sizes of work units): powers of two from
+// 1 to 64k, which keeps resolution high where such distributions live.
+var CountBuckets = []float64{
+	1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+	1024, 4096, 16384, 65536,
+}

@@ -135,3 +135,60 @@ func TestRepublishDeterministic(t *testing.T) {
 		t.Errorf("graph-shape stats changed across round trip: %+v vs %+v", st0, st1)
 	}
 }
+
+// TestWorkerCountDeterministic drives servers configured with 1, 2 and 8
+// maintenance workers through the same batched churn and requires
+// byte-identical bodies from every content endpoint afterwards. The
+// parallel apply path promises snapshot-level determinism regardless of
+// worker count; this is the regression net for that promise at the
+// serving boundary.
+func TestWorkerCountDeterministic(t *testing.T) {
+	build := func(workers int) *httptest.Server {
+		g, _ := determinismGraphs()
+		ts := httptest.NewServer(NewWith(g, Options{Workers: workers}).Handler())
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	// Batches that tear triangles apart, rebuild them elsewhere, and close
+	// new ones across the two components — enough churn that regions,
+	// validation and the conflict suffix all participate.
+	batches := []string{
+		`{"remove":[[1,2],[3,4],[20,21]],"add":[[1,20],[2,21],[3,22],[8,9],[8,10],[9,10]]}`,
+		`{"remove":[[1,20],[8,9]],"add":[[1,2],[3,4],[20,21],[8,11],[9,11],[10,11]]}`,
+		`{"remove":[[2,21],[3,22]],"add":[[8,9],[5,8],[5,9],[6,10],[6,11]]}`,
+	}
+	servers := map[int]*httptest.Server{1: build(1), 2: build(2), 8: build(8)}
+	for _, body := range batches {
+		for _, ts := range servers {
+			postJSON(t, ts.URL+"/edges", body)
+		}
+	}
+	paths := []string{
+		"/histogram",
+		"/communities?k=1",
+		"/communities?k=2",
+		"/plot.svg",
+		"/plot.txt",
+	}
+	base := servers[1]
+	for _, path := range paths {
+		want := fetchBody(t, base.URL+path)
+		for workers, ts := range servers {
+			if workers == 1 {
+				continue
+			}
+			if got := fetchBody(t, ts.URL+path); string(got) != string(want) {
+				t.Errorf("%s: workers=%d differs from workers=1:\n%s\n---\n%s", path, workers, want, got)
+			}
+		}
+	}
+	var v1 VersionReply
+	getJSON(t, base.URL+"/version", &v1)
+	for workers, ts := range servers {
+		var v VersionReply
+		getJSON(t, ts.URL+"/version", &v)
+		if v.Version != v1.Version {
+			t.Errorf("workers=%d: version %d, workers=1 got %d", workers, v.Version, v1.Version)
+		}
+	}
+}

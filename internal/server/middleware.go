@@ -32,6 +32,10 @@ type Options struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
 	// profiling endpoints expose internals and should be opted into.
 	Pprof bool
+	// Workers, when > 1, applies write batches through the engine's
+	// parallel maintenance path with that many workers. Served state is
+	// identical at any setting; this only changes write throughput.
+	Workers int
 }
 
 // NewWith builds a server over a copy of g with explicit observability
@@ -51,6 +55,9 @@ func NewWith(g *graph.Graph, opts Options) *Server {
 		pub.Instrument(opts.Registry)
 	} else {
 		pub = view.NewPublisherFromGraph(g)
+	}
+	if opts.Workers > 1 {
+		pub.SetWorkers(opts.Workers)
 	}
 	s := &Server{
 		pub:   pub,

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"trikcore/internal/graph"
+)
+
+// TestParallelApplyUnderReadLoad hammers a server whose publisher runs
+// the epoch-coordinated parallel apply path (Workers: 4) with batched
+// churn while reader goroutines pound every content endpoint. The race
+// detector watches the worker fan-out, the staging buffers and the
+// snapshot swap; under -tags trikdebug the engine additionally asserts
+// its full invariant suite after every epoch. This is the test the
+// `make debugrace` target exists to run.
+func TestParallelApplyUnderReadLoad(t *testing.T) {
+	g := graph.New()
+	for i := graph.Vertex(1); i <= 8; i++ {
+		for j := i + 1; j <= 8; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	g.AddEdge(40, 41)
+	s := NewWith(g, Options{Workers: 4})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	const rounds = 25
+	var wg sync.WaitGroup
+	// Two writers alternate between growing cliques in disjoint vertex
+	// ranges and tearing them down, so every batch resolves into several
+	// regions and the barrier, validation and merge phases all run hot.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := graph.Vertex(100 + 50*w)
+			for i := 0; i < rounds; i++ {
+				a, b, c := base, base+1, base+graph.Vertex(2+i%3)
+				add := fmt.Sprintf(`{"add":[[%d,%d],[%d,%d],[%d,%d],[%d,%d]]}`,
+					a, b, a, c, b, c, a, base+5)
+				del := fmt.Sprintf(`{"remove":[[%d,%d],[%d,%d]]}`, a, c, b, c)
+				for _, body := range []string{add, del} {
+					resp, err := http.Post(ts.URL+"/edges", "application/json", strings.NewReader(body))
+					if err == nil {
+						resp.Body.Close()
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			paths := []string{"/stats", "/histogram", "/communities?k=1", "/plot.txt", "/version"}
+			for i := 0; i < rounds*2; i++ {
+				resp, err := http.Get(ts.URL + paths[(r+i)%len(paths)])
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	var st StatsReply
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Edges == 0 {
+		t.Fatal("hammered server lost its graph")
+	}
+}

@@ -17,6 +17,10 @@ type Publisher struct {
 	mu  sync.Mutex
 	en  *dynamic.Engine
 	cur atomic.Pointer[Snapshot]
+	// workers, when > 1, routes Apply through the engine's parallel batch
+	// path (ApplyBatchParallel) with that worker count. Zero or one keeps
+	// the serial ApplyBatch. Guarded by mu like the engine itself.
+	workers int
 	// mt, when non-nil (see Instrument), records publish latency and
 	// counts; published snapshots carry it for memo accounting.
 	mt *pubMetrics
@@ -43,6 +47,17 @@ func NewPublisherFromGraph(g *graph.Graph) *Publisher {
 // consistent view is needed and re-Acquire for freshness.
 func (p *Publisher) Acquire() *Snapshot { return p.cur.Load() }
 
+// SetWorkers opts the write path into parallel batch application with n
+// workers (n <= 1 keeps the serial path). The final state published for
+// any batch is identical either way — the parallel path is
+// byte-deterministic across worker counts — so this is purely a
+// throughput knob for multi-core hosts.
+func (p *Publisher) SetWorkers(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.workers = n
+}
+
 // Apply applies one batch of edge operations and, if the batch
 // effectively changed the graph, freezes and publishes a new snapshot
 // before returning. Concurrent writers serialize; readers are never
@@ -52,7 +67,11 @@ func (p *Publisher) Apply(ops []dynamic.EdgeOp) (added, removed int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	before := p.en.Version()
-	added, removed = p.en.ApplyBatch(ops)
+	if p.workers > 1 {
+		added, removed = p.en.ApplyBatchParallel(ops, p.workers)
+	} else {
+		added, removed = p.en.ApplyBatch(ops)
+	}
 	if p.en.Version() != before {
 		p.cur.Store(p.freeze())
 	}
