@@ -33,9 +33,10 @@ race:
 # TestParallelApplyUnderReadLoad, which drives the epoch-coordinated
 # ApplyBatchParallel worker fan-out against concurrent GET load — and
 # obs rides along so its lock-free counters and histogram bins are
-# hammered under the detector.
+# hammered under the detector, and registry so the multi-tenant
+# create/delete/write/subscribe hammer runs checked too.
 debugrace:
-	$(GO) test -tags trikdebug -race ./internal/graph ./internal/dynamic ./internal/view ./internal/server ./internal/obs
+	$(GO) test -tags trikdebug -race ./internal/graph ./internal/dynamic ./internal/view ./internal/server ./internal/obs ./internal/registry
 
 # Runs the headline benches (static decompose, engine churn through the
 # per-edge / batched / parallel paths, server mixed workload) and pipes

@@ -14,6 +14,9 @@
 //	trikcore events    -old old.txt -new new.txt -k 3
 //	trikcore convert   -in graph.txt -out graph.tkcg
 //	trikcore serve     -in graph.txt -addr :8080 [-pprof] [-quiet]
+//	                   [-graphs name=file,...] [-max-graphs N]
+//	                   [-max-vertices N] [-max-edges N] [-max-body-bytes N]
+//	                   [-shutdown-timeout 5s]
 //
 // Edge-list files hold one "u v" pair per line ('#' comments allowed).
 // Ops files hold one "+ u v" or "- u v" per line.
@@ -21,16 +24,21 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"slices"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"trikcore"
 	"trikcore/internal/server"
@@ -326,26 +334,88 @@ func cmdHierarchy(args []string) error {
 
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	in := fs.String("in", "", "input edge-list file (optional; empty graph if omitted)")
+	in := fs.String("in", "", "edge-list file for the default graph (optional; empty graph if omitted)")
 	addr := fs.String("addr", ":8080", "listen address")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	quiet := fs.Bool("quiet", false, "disable per-request structured logs")
 	workers := fs.Int("workers", 1, "worker goroutines for parallel batch maintenance (1 = serial)")
+	graphs := fs.String("graphs", "", "additional graphs to host, comma-separated name=edgelist pairs")
+	maxGraphs := fs.Int("max-graphs", 0, "cap on hosted graph spaces (0 = default 64, negative = unlimited)")
+	maxVertices := fs.Int("max-vertices", 0, "per-graph vertex quota (0 = unlimited)")
+	maxEdges := fs.Int("max-edges", 0, "per-graph edge quota (0 = unlimited)")
+	maxBody := fs.Int64("max-body-bytes", 0, "per-request write body cap in bytes (0 = default 16 MiB)")
+	drain := fs.Duration("shutdown-timeout", 5*time.Second, "graceful shutdown drain timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv, err := buildServer(*in, *pprofOn, *quiet, *workers)
+	srv, err := buildServer(*in, server.Options{
+		Pprof:     *pprofOn,
+		Workers:   *workers,
+		MaxGraphs: *maxGraphs,
+		Quotas: trikcore.GraphQuotas{
+			MaxVertices:  *maxVertices,
+			MaxEdges:     *maxEdges,
+			MaxBodyBytes: *maxBody,
+		},
+	}, *quiet)
 	if err != nil {
 		return err
 	}
+	if err := preloadGraphs(srv, *graphs); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "trikcore: serving on %s (metrics on /metrics)\n", *addr)
-	return http.ListenAndServe(*addr, srv.Handler())
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	fmt.Fprintf(os.Stderr, "trikcore: shutting down (drain timeout %s)\n", *drain)
+	// End every SSE stream first — a change-feed subscriber would
+	// otherwise hold Shutdown open until the timeout expired.
+	srv.Close()
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return errors.Join(err, hs.Close())
+	}
+	return nil
+}
+
+// preloadGraphs creates the -graphs spaces: "name=file" pairs, comma
+// separated.
+func preloadGraphs(srv *server.Server, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		name, path, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("bad -graphs entry %q, want name=file", pair)
+		}
+		g, err := trikcore.LoadEdgeListFile(path)
+		if err != nil {
+			return err
+		}
+		if _, err := srv.Registry().Create(name, g); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // buildServer loads the optional initial graph and wraps it in the HTTP
-// service. Served instances are always metered (GET /metrics); request
-// logging and pprof are flag-controlled.
-func buildServer(in string, pprofOn, quiet bool, workers int) (*server.Server, error) {
+// service as the default graph space. Served instances are always
+// metered (GET /metrics); request logging and pprof are flag-controlled.
+func buildServer(in string, opts server.Options, quiet bool) (*server.Server, error) {
 	g := trikcore.NewGraph()
 	if in != "" {
 		loaded, err := trikcore.LoadEdgeListFile(in)
@@ -354,7 +424,7 @@ func buildServer(in string, pprofOn, quiet bool, workers int) (*server.Server, e
 		}
 		g = loaded
 	}
-	opts := server.Options{Registry: trikcore.NewMetricsRegistry(), Pprof: pprofOn, Workers: workers}
+	opts.Registry = trikcore.NewMetricsRegistry()
 	if !quiet {
 		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}

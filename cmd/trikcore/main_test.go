@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"trikcore/internal/server"
 )
 
 // writeFile writes content into dir/name and returns the path.
@@ -163,15 +165,32 @@ func TestCmdHierarchy(t *testing.T) {
 func TestBuildServer(t *testing.T) {
 	dir := t.TempDir()
 	in := writeFile(t, dir, "g.txt", k5edges)
-	srv, err := buildServer(in, false, true, 4)
+	srv, err := buildServer(in, server.Options{Workers: 4}, true)
 	if err != nil || srv == nil {
 		t.Fatalf("buildServer: %v", err)
 	}
-	if _, err := buildServer(filepath.Join(dir, "missing.txt"), false, true, 1); err == nil {
+	if _, err := buildServer(filepath.Join(dir, "missing.txt"), server.Options{}, true); err == nil {
 		t.Fatal("buildServer with missing file succeeded")
 	}
-	if srv, err := buildServer("", true, true, 1); err != nil || srv == nil {
+	if srv, err := buildServer("", server.Options{Pprof: true}, true); err != nil || srv == nil {
 		t.Fatal("buildServer with empty graph failed")
+	}
+	// -graphs preloading: good spec, bad pair syntax, missing file.
+	srv, err = buildServer("", server.Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := preloadGraphs(srv, "extra="+in); err != nil {
+		t.Fatalf("preloadGraphs: %v", err)
+	}
+	if _, ok := srv.Registry().Get("extra"); !ok {
+		t.Fatal("preloaded graph missing")
+	}
+	if err := preloadGraphs(srv, "nopair"); err == nil {
+		t.Fatal("bad -graphs pair accepted")
+	}
+	if err := preloadGraphs(srv, "x="+filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing -graphs file accepted")
 	}
 }
 

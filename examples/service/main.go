@@ -4,10 +4,15 @@
 // snapshot version it was served from, and a conditional request at an
 // unchanged version is answered 304 with no recomputation.
 //
+// The second half shows the multi-tenant surface: two named graph spaces
+// created under /g/{name}, mutated in isolation, and a Server-Sent
+// Events subscription streaming κ promotions and template-pattern
+// detections from one of them.
+//
 // The server is built fully instrumented, so the walkthrough ends on the
 // observability surface: GET /healthz reports version, uptime and build
 // info, and GET /metrics exposes every layer's metrics in Prometheus
-// text format.
+// text format, including per-graph trikcore_graph_* series.
 //
 //	go run ./examples/service
 //
@@ -19,6 +24,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -113,16 +119,76 @@ func main() {
 	fmt.Printf("\n--> GET /plot.svg with If-None-Match: %s\n%s (unchanged version, no re-render)\n",
 		etag, cond.Status)
 
+	// Multi-tenant hosting: the server maps names to independent graph
+	// spaces under /g/{name} — the unprefixed routes above were aliases
+	// for the "default" space all along. Create two more.
+	post := func(path, body string) []byte {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		must(err)
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		must(err)
+		return out
+	}
+	fmt.Printf("\n--> POST /g/team-a (seeded)\n%s", post("/g/team-a", `{"add":[[1,2],[2,3],[1,3]]}`))
+	fmt.Printf("\n--> POST /g/team-b (empty)\n%s", post("/g/team-b", ""))
+	fmt.Printf("\n--> GET /graphs\n%s", get("/graphs"))
+
+	// Subscribe to team-a's change feed, then grow its triangle into a
+	// 4-clique: κ promotions and template-pattern detections stream back
+	// as Server-Sent Events with monotone ids (resumable after a
+	// disconnect via the Last-Event-ID header).
+	sseReq, err := http.NewRequest(http.MethodGet, srv.URL+"/g/team-a/subscribe", nil)
+	must(err)
+	sseResp, err := http.DefaultClient.Do(sseReq)
+	must(err)
+	br := bufio.NewReader(sseResp.Body)
+	for i := 0; i < 2; i++ { // handshake comment + blank line
+		_, err = br.ReadString('\n')
+		must(err)
+	}
+	post("/g/team-a/edges", `{"add":[[1,4],[2,4],[3,4]]}`)
+	last := teamAFeedLast(s)
+	fmt.Printf("\n--> GET /g/team-a/subscribe (events from the POST above)\n")
+	var cur uint64
+	for {
+		line, err := br.ReadString('\n')
+		must(err)
+		fmt.Print(line)
+		if strings.HasPrefix(line, "id: ") {
+			_, err = fmt.Sscanf(line, "id: %d", &cur)
+			must(err)
+		}
+		if line == "\n" && cur >= last {
+			break
+		}
+	}
+	must(sseResp.Body.Close())
+
+	// Spaces are isolated: team-a's 4-clique never touched team-b.
+	fmt.Printf("\n--> GET /g/team-b/stats\n%s", get("/g/team-b/stats"))
+
 	// Everything the service just did is on the metrics surface: request
 	// latencies and counts per endpoint, engine promotions and triangle
-	// visits from the ingest, publisher memo hits from the repeated reads.
+	// visits from the ingest, publisher memo hits from the repeated
+	// reads, and per-graph trikcore_graph_* series for the tenants.
 	expo := string(get("/metrics"))
-	fmt.Printf("\n--> GET /metrics (%d lines; trikcore_engine_* shown)\n", strings.Count(expo, "\n"))
+	fmt.Printf("\n--> GET /metrics (%d lines; trikcore_graph_* shown)\n", strings.Count(expo, "\n"))
 	for _, line := range strings.Split(expo, "\n") {
-		if strings.HasPrefix(line, "trikcore_engine_") && !strings.Contains(line, "_bucket") {
+		if strings.HasPrefix(line, "trikcore_graph_") && !strings.Contains(line, "_bucket") {
 			fmt.Println(line)
 		}
 	}
+}
+
+// teamAFeedLast returns the id of team-a's most recent change-feed
+// event, so the demo knows when it has printed the whole burst.
+func teamAFeedLast(s *server.Server) uint64 {
+	sp, ok := s.Registry().Get("team-a")
+	if !ok {
+		return 0
+	}
+	return sp.Feed().LastID()
 }
 
 func must(err error) {

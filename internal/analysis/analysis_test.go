@@ -43,6 +43,9 @@ func TestRules(t *testing.T) {
 	}{
 		{"kappafunnel", "internal/dynamic", "kappa-funnel"},
 		{"maporder", "internal/plot", "map-order"},
+		// The same fixture under internal/registry pins the Applies gate:
+		// the change-feed package is map-order-checked like the renderers.
+		{"maporder", "internal/registry", "map-order"},
 		{"narrow", "internal/graph", "unchecked-narrow"},
 		{"nostdout", "internal/report", "no-stdout"},
 		{"nostdout_cmd", "cmd/demo", "no-stdout"}, // Applies gate: binaries may print

@@ -19,6 +19,9 @@ var mapOrderPackages = map[string]bool{
 	// obs renders /metrics bodies; map-ordered emission would break the
 	// exposition's byte-determinism guarantee.
 	"internal/obs": true,
+	// registry renders the change feed; map-ordered events would break
+	// the feed's byte-determinism guarantee.
+	"internal/registry": true,
 }
 
 // mapOrderWriterMethods are method/function names that emit bytes; a call

@@ -268,18 +268,18 @@ type region struct {
 // state of partitioning, the region records, the per-worker staged
 // contexts, and the merge-time written-edge marks.
 type parScratch struct {
-	resolved []resolvedOp
-	ufParent []int32
-	regionID []int32
-	ballMark []uint32
-	ballOp   []int32
-	ballGen  uint32
-	regions  []region
-	ctxs     []*applyCtx
-	busy     []time.Duration
-	wMark    []uint32
-	wGen     uint32
-	suffix   []resolvedOp
+	resolved  []resolvedOp
+	ufParent  []int32
+	regionID  []int32
+	ballMark  []uint32
+	ballOp    []int32
+	ballGen   uint32
+	regions   []region
+	ctxs      []*applyCtx
+	busy      []time.Duration
+	wMark     []uint32
+	wGen      uint32
+	suffix    []resolvedOp
 	sfxRegion region
 }
 

@@ -1,0 +1,60 @@
+package obs
+
+import "sync"
+
+// Overflow is the label value a LabelCap substitutes once its distinct
+// value budget is spent. The underscore prefix keeps it from colliding
+// with user-supplied names that pass the server's name validation.
+const Overflow = "_other"
+
+// LabelCap bounds the distinct values one metric label may take. The
+// registry itself never evicts series, so an unbounded label (say, a
+// tenant-chosen graph name) would let one client grow the /metrics
+// exposition without limit. A LabelCap admits the first max distinct
+// values it sees and maps every later value to Overflow, so the series
+// count stays bounded while the hot tenants keep their own series.
+//
+// Admission is first-come-first-served and permanent: a value admitted
+// once keeps its own series forever (re-admitting after eviction would
+// split one logical series across two label values). The zero value is
+// not usable; a nil *LabelCap passes values through uncapped.
+type LabelCap struct {
+	mu   sync.Mutex
+	max  int
+	seen map[string]bool
+}
+
+// NewLabelCap returns a cap admitting at most max distinct values.
+// max <= 0 means unbounded.
+func NewLabelCap(max int) *LabelCap {
+	return &LabelCap{max: max, seen: make(map[string]bool)}
+}
+
+// Value returns v if v is already admitted or the cap still has room,
+// and Overflow otherwise. Overflow itself is always passed through and
+// never consumes a slot.
+func (lc *LabelCap) Value(v string) string {
+	if lc == nil || v == Overflow {
+		return v
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.seen[v] {
+		return v
+	}
+	if lc.max > 0 && len(lc.seen) >= lc.max {
+		return Overflow
+	}
+	lc.seen[v] = true
+	return v
+}
+
+// Admitted returns the number of distinct values currently admitted.
+func (lc *LabelCap) Admitted() int {
+	if lc == nil {
+		return 0
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return len(lc.seen)
+}

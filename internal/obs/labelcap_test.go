@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLabelCapAdmitsUpToMax(t *testing.T) {
+	lc := NewLabelCap(3)
+	for _, v := range []string{"a", "b", "c"} {
+		if got := lc.Value(v); got != v {
+			t.Fatalf("Value(%q) = %q, want itself", v, got)
+		}
+	}
+	// Budget spent: new values overflow, admitted values keep their own.
+	if got := lc.Value("d"); got != Overflow {
+		t.Fatalf("Value(d) = %q, want %q", got, Overflow)
+	}
+	if got := lc.Value("b"); got != "b" {
+		t.Fatalf("admitted value lost its series: Value(b) = %q", got)
+	}
+	if n := lc.Admitted(); n != 3 {
+		t.Fatalf("Admitted() = %d, want 3", n)
+	}
+}
+
+func TestLabelCapOverflowNeverConsumesSlot(t *testing.T) {
+	lc := NewLabelCap(2)
+	if got := lc.Value(Overflow); got != Overflow {
+		t.Fatalf("Value(%q) = %q", Overflow, got)
+	}
+	if n := lc.Admitted(); n != 0 {
+		t.Fatalf("Overflow consumed a slot: Admitted() = %d", n)
+	}
+}
+
+func TestLabelCapNilAndUnbounded(t *testing.T) {
+	var nilCap *LabelCap
+	if got := nilCap.Value("anything"); got != "anything" {
+		t.Fatalf("nil cap altered value: %q", got)
+	}
+	un := NewLabelCap(0)
+	for i := 0; i < 100; i++ {
+		v := fmt.Sprintf("v%d", i)
+		if got := un.Value(v); got != v {
+			t.Fatalf("unbounded cap overflowed at %q", v)
+		}
+	}
+}
+
+// TestLabelCapBoundsExposition is the cardinality guard end to end: a
+// registry fed through a capped label stays at max+1 series however many
+// distinct values arrive.
+func TestLabelCapBoundsExposition(t *testing.T) {
+	reg := NewRegistry()
+	lc := NewLabelCap(4)
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("tenant%d", i)
+		reg.Counter("trikcore_graph_ops_total", "Ops per graph.",
+			Labels{"graph": lc.Value(name)}).Inc()
+	}
+	expo := string(reg.Gather())
+	series := 0
+	for _, line := range strings.Split(expo, "\n") {
+		if strings.HasPrefix(line, "trikcore_graph_ops_total{") {
+			series++
+		}
+	}
+	if series != 5 { // 4 admitted + _other
+		t.Fatalf("exposition has %d series, want 5:\n%s", series, expo)
+	}
+	if !strings.Contains(expo, `trikcore_graph_ops_total{graph="_other"} 46`) {
+		t.Fatalf("overflow bucket missing or wrong:\n%s", expo)
+	}
+}
+
+func TestLabelCapConcurrent(t *testing.T) {
+	lc := NewLabelCap(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v := fmt.Sprintf("v%d", i%16)
+				if got := lc.Value(v); got != v && got != Overflow {
+					t.Errorf("Value(%q) = %q", v, got)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := lc.Admitted(); n != 8 {
+		t.Fatalf("Admitted() = %d, want 8", n)
+	}
+}

@@ -1,0 +1,275 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"trikcore/internal/dynamic"
+	"trikcore/internal/graph"
+)
+
+// collect drains every event currently buffered on sub.
+func collect(sub *Subscriber) []Event {
+	var out []Event
+	for {
+		select {
+		case ev := <-sub.C:
+			out = append(out, ev)
+		default:
+			return out
+		}
+	}
+}
+
+func TestFeedArmsOnFirstSubscribe(t *testing.T) {
+	r := New(Config{})
+	sp, err := r.Create("g", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publications before any subscriber are not recorded: nobody pays
+	// for diffing a feed no one has ever watched.
+	if _, _, err := sp.Apply([]dynamic.EdgeOp{add(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if id := sp.Feed().LastID(); id != 0 {
+		t.Fatalf("unarmed feed recorded events: LastID = %d", id)
+	}
+	_, sub := sp.Feed().Subscribe(0)
+	defer sp.Feed().Unsubscribe(sub)
+	if _, _, err := sp.Apply([]dynamic.EdgeOp{add(2, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(sub)
+	if len(evs) != 1 || evs[0].ID != 1 || evs[0].Kind != KindKappa {
+		t.Fatalf("events after arming = %+v", evs)
+	}
+	// Armed is permanent: with zero live subscribers the feed keeps
+	// recording, so a reconnect can resume without a gap.
+	sp.Feed().Unsubscribe(sub)
+	if _, _, err := sp.Apply([]dynamic.EdgeOp{add(3, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	if id := sp.Feed().LastID(); id != 2 {
+		t.Fatalf("armed feed stopped recording: LastID = %d", id)
+	}
+}
+
+func TestFeedKappaEventShape(t *testing.T) {
+	r := New(Config{})
+	sp, err := r.Create("g", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sub := sp.Feed().Subscribe(0)
+	defer sp.Feed().Unsubscribe(sub)
+
+	// A fresh triangle: three promote events, sorted by edge, κ -1 → 1.
+	if _, _, err := sp.Apply([]dynamic.EdgeOp{add(21, 22), add(20, 21), add(20, 22)}); err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(sub)
+	if len(evs) < 3 {
+		t.Fatalf("got %d events, want >= 3", len(evs))
+	}
+	wantEdges := [][2]graph.Vertex{{20, 21}, {20, 22}, {21, 22}}
+	version := sp.Acquire().Version
+	for i, want := range wantEdges {
+		var ke KappaEvent
+		if err := json.Unmarshal(evs[i].Data, &ke); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if ke.ID != uint64(i+1) || ke.Version != version || ke.Type != TypePromote ||
+			ke.U != want[0] || ke.V != want[1] || ke.From != KappaAbsent || ke.To != 1 {
+			t.Fatalf("event %d = %+v, want promote %v -1→1", i, ke, want)
+		}
+	}
+
+	// Removing one edge demotes the other two (κ 1 → 0) and demotes the
+	// removed edge to absent.
+	if _, _, err := sp.Apply([]dynamic.EdgeOp{del(20, 21)}); err != nil {
+		t.Fatal(err)
+	}
+	evs = collect(sub)
+	if len(evs) != 3 {
+		t.Fatalf("got %d demotion events, want 3: %+v", len(evs), evs)
+	}
+	var gone KappaEvent
+	if err := json.Unmarshal(evs[0].Data, &gone); err != nil {
+		t.Fatal(err)
+	}
+	if gone.Type != TypeDemote || gone.U != 20 || gone.V != 21 || gone.To != KappaAbsent {
+		t.Fatalf("removal event = %+v", gone)
+	}
+}
+
+func TestFeedPatternEvents(t *testing.T) {
+	// Seed: a 6-cycle — original vertices, no triangles.
+	seed := graph.New()
+	for i := graph.Vertex(0); i < 6; i++ {
+		seed.AddEdge(i, (i+1)%6)
+	}
+	r := New(Config{})
+	sp, err := r.Create("g", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sub := sp.Feed().Subscribe(0)
+	defer sp.Feed().Unsubscribe(sub)
+
+	// Chords among the original vertices form a triangle of entirely new
+	// edges — the paper's New Form pattern (Figure 4a).
+	ops := []dynamic.EdgeOp{add(0, 2), add(2, 4), add(0, 4)}
+	if _, _, err := sp.Apply(ops); err != nil {
+		t.Fatal(err)
+	}
+	var patterns []PatternEvent
+	for _, ev := range collect(sub) {
+		if ev.Kind != KindPattern {
+			continue
+		}
+		var pe PatternEvent
+		if err := json.Unmarshal(ev.Data, &pe); err != nil {
+			t.Fatal(err)
+		}
+		patterns = append(patterns, pe)
+	}
+	if len(patterns) == 0 {
+		t.Fatal("no pattern events for a new-form triangle")
+	}
+	found := false
+	for _, pe := range patterns {
+		if pe.Pattern == "new-form" && len(pe.Vertices) == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("new-form over {0,2,4} missing: %+v", patterns)
+	}
+}
+
+func TestFeedResumeAndRingEviction(t *testing.T) {
+	r := New(Config{FeedCapacity: 4})
+	sp, err := r.Create("g", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, arm := sp.Feed().Subscribe(0)
+	sp.Feed().Unsubscribe(arm)
+
+	// Ten single-edge publications in disjoint regions: one event each.
+	for i := 0; i < 10; i++ {
+		base := graph.Vertex(100 * (i + 1))
+		if _, _, err := sp.Apply([]dynamic.EdgeOp{add(base, base+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if id := sp.Feed().LastID(); id != 10 {
+		t.Fatalf("LastID = %d, want 10", id)
+	}
+	// Resume from 7: ids 8..10 are retained and replayed.
+	replay, sub := sp.Feed().Subscribe(7)
+	sp.Feed().Unsubscribe(sub)
+	if len(replay) != 3 || replay[0].ID != 8 || replay[2].ID != 10 {
+		t.Fatalf("resume from 7 replayed %+v", replay)
+	}
+	// Resume from 0: the ring only holds the last 4.
+	replay, sub = sp.Feed().Subscribe(0)
+	sp.Feed().Unsubscribe(sub)
+	if len(replay) != 4 || replay[0].ID != 7 {
+		t.Fatalf("full replay %+v, want ids 7..10", replay)
+	}
+}
+
+func TestFeedDropsSlowConsumer(t *testing.T) {
+	r := New(Config{})
+	sp, err := r.Create("g", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, slow := sp.Feed().Subscribe(0)
+	// Never read: once the buffer is full and another event arrives the
+	// subscriber is dropped rather than allowed to stall the writer.
+	for i := 0; i <= subscriberBuffer+1; i++ {
+		base := graph.Vertex(100 * (i + 1))
+		if _, _, err := sp.Apply([]dynamic.EdgeOp{add(base, base+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-slow.Done:
+	default:
+		t.Fatal("slow consumer not dropped")
+	}
+	// The feed itself is unaffected: a fresh subscriber still works.
+	_, fresh := sp.Feed().Subscribe(sp.Feed().LastID())
+	defer sp.Feed().Unsubscribe(fresh)
+	if _, _, err := sp.Apply([]dynamic.EdgeOp{add(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if evs := collect(fresh); len(evs) != 1 {
+		t.Fatalf("fresh subscriber got %d events, want 1", len(evs))
+	}
+}
+
+// TestFeedDeterministicAcrossWorkers pins the feed's core guarantee:
+// identical publish sequences produce byte-identical event streams, at
+// any worker count.
+func TestFeedDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []Event {
+		r := New(Config{Workers: workers})
+		sp, err := r.Create("g", k5())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sub := sp.Feed().Subscribe(0)
+		defer sp.Feed().Unsubscribe(sub)
+		batches := [][]dynamic.EdgeOp{
+			{add(20, 21), add(21, 22), add(20, 22), add(0, 20)},
+			{del(0, 1), add(22, 23), add(20, 23), add(21, 23)},
+			{del(20, 21)},
+		}
+		for _, ops := range batches {
+			if _, _, err := sp.Apply(ops); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var out []Event
+		for {
+			evs := collect(sub)
+			if evs == nil {
+				return out
+			}
+			out = append(out, evs...)
+		}
+	}
+	base := run(1)
+	if len(base) == 0 {
+		t.Fatal("no events")
+	}
+	for _, workers := range []int{1, 4} {
+		got := run(workers)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d events vs %d", workers, len(got), len(base))
+		}
+		for i := range base {
+			if got[i].ID != base[i].ID || got[i].Kind != base[i].Kind ||
+				!bytes.Equal(got[i].Data, base[i].Data) {
+				t.Fatalf("workers=%d event %d differs:\n%d %s %s\nvs\n%d %s %s",
+					workers, i, got[i].ID, got[i].Kind, got[i].Data,
+					base[i].ID, base[i].Kind, base[i].Data)
+			}
+		}
+	}
+}
+
+func TestQuotaErrorMessage(t *testing.T) {
+	qe := &QuotaError{Resource: "edges", Limit: 10, Have: 9, Want: 12}
+	want := "quota exceeded: batch would grow edges from 9 to 12, limit 10"
+	if got := qe.Error(); got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+	_ = fmt.Sprintf("%v", qe)
+}

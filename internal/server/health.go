@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"trikcore/internal/registry"
 )
 
 // BuildReply describes the running binary in the /healthz response,
@@ -24,11 +26,14 @@ type BuildReply struct {
 // HealthzReply is the /healthz response body.
 type HealthzReply struct {
 	Status string `json:"status"`
-	// Version is the currently published snapshot version (the same
-	// number the X-Trikcore-Version header carries).
+	// Version is the default graph's currently published snapshot
+	// version (the same number the legacy routes' X-Trikcore-Version
+	// header carries); 0 if the default graph was deleted.
 	Version       uint64     `json:"version"`
 	UptimeSeconds float64    `json:"uptimeSeconds"`
 	Build         BuildReply `json:"build"`
+	// Graphs counts the hosted graph spaces.
+	Graphs int `json:"graphs"`
 }
 
 // buildReply resolves the binary's build description once; ReadBuildInfo
@@ -56,16 +61,20 @@ var buildReply = sync.OnceValue(func() BuildReply {
 })
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	sn := s.pub.Acquire()
-	w.Header().Set("X-Trikcore-Version", strconv.FormatUint(sn.Version, 10))
+	var version uint64
+	if sp, ok := s.reg.Get(registry.DefaultGraph); ok {
+		version = sp.Acquire().Version
+	}
+	w.Header().Set("X-Trikcore-Version", strconv.FormatUint(version, 10))
 	uptime := 0.0
 	if !s.start.IsZero() {
 		uptime = time.Since(s.start).Seconds()
 	}
 	writeJSON(w, HealthzReply{
 		Status:        "ok",
-		Version:       sn.Version,
+		Version:       version,
 		UptimeSeconds: uptime,
 		Build:         buildReply(),
+		Graphs:        s.reg.Len(),
 	})
 }

@@ -12,18 +12,21 @@ import (
 	"trikcore/internal/dynamic"
 	"trikcore/internal/graph"
 	"trikcore/internal/obs"
+	"trikcore/internal/registry"
 	"trikcore/internal/view"
 )
 
-// Options configure optional server observability. The zero value — no
-// registry, no logger, no pprof — yields a server identical to one built
-// before instrumentation existed: no middleware wraps the handlers and no
-// extra routes are registered.
+// Options configure the server: observability wiring plus the
+// multi-tenancy envelope (graph-count cap and per-graph quotas). The
+// zero value — no registry, no logger, no pprof, default caps, no
+// quotas — yields a server whose legacy routes behave identically to
+// the pre-tenancy single-graph server.
 type Options struct {
 	// Registry, when non-nil, receives metrics from every layer (engine,
-	// publisher, HTTP) and is served on GET /metrics in Prometheus text
-	// format. The /metrics endpoint itself is not instrumented, so two
-	// back-to-back scrapes of an idle server are byte-identical.
+	// publisher, HTTP, per-graph registry) and is served on GET /metrics
+	// in Prometheus text format. The /metrics endpoint itself is not
+	// instrumented, so two back-to-back scrapes of an idle server are
+	// byte-identical.
 	Registry *obs.Registry
 	// Logger, when non-nil, receives one structured line per request:
 	// method, path (the route pattern, not the raw URL), status, body
@@ -36,12 +39,24 @@ type Options struct {
 	// parallel maintenance path with that many workers. Served state is
 	// identical at any setting; this only changes write throughput.
 	Workers int
+	// MaxGraphs caps how many graph spaces the server hosts at once
+	// (0 = registry.DefaultMaxGraphs, negative = unlimited).
+	MaxGraphs int
+	// Quotas bound every hosted graph space (zero fields = unlimited).
+	Quotas registry.Quotas
+	// MaxGraphLabels bounds the distinct `graph` metric label values
+	// (0 = registry.DefaultMaxGraphLabels); later graph names share the
+	// obs.Overflow bucket so metric cardinality cannot grow without
+	// limit.
+	MaxGraphLabels int
 }
 
-// NewWith builds a server over a copy of g with explicit observability
-// options. With a registry, the initial decomposition runs with its
-// phases timed and both the engine and the publisher are instrumented
-// against the same registry before the first snapshot is served.
+// NewWith builds a server hosting g as its "default" graph space, with
+// explicit options. With a metrics registry, the initial decomposition
+// runs with its phases timed and both the engine and the publisher of
+// the default graph are instrumented against that registry before the
+// first snapshot is served; additional graph spaces get per-graph
+// trikcore_graph_* series instead (bounded by MaxGraphLabels).
 func NewWith(g *graph.Graph, opts Options) *Server {
 	var pub *view.Publisher
 	if opts.Registry != nil {
@@ -56,18 +71,26 @@ func NewWith(g *graph.Graph, opts Options) *Server {
 	} else {
 		pub = view.NewPublisherFromGraph(g)
 	}
-	if opts.Workers > 1 {
-		pub.SetWorkers(opts.Workers)
+	reg := registry.New(registry.Config{
+		MaxGraphs:      opts.MaxGraphs,
+		Quotas:         opts.Quotas,
+		Workers:        opts.Workers,
+		Registry:       opts.Registry,
+		MaxGraphLabels: opts.MaxGraphLabels,
+	})
+	if _, err := reg.Adopt(registry.DefaultGraph, pub); err != nil {
+		// A fresh registry with a valid constant name cannot refuse.
+		panic("server: adopt default graph: " + err.Error())
 	}
 	s := &Server{
-		pub:   pub,
-		reg:   opts.Registry,
-		log:   opts.Logger,
-		pprof: opts.Pprof,
-		start: time.Now(),
+		reg:    reg,
+		obsReg: opts.Registry,
+		log:    opts.Logger,
+		pprof:  opts.Pprof,
+		start:  time.Now(),
 	}
-	if s.reg != nil {
-		s.inFlight = s.reg.Gauge("trikcore_http_in_flight_requests",
+	if s.obsReg != nil {
+		s.inFlight = s.obsReg.Gauge("trikcore_http_in_flight_requests",
 			"Requests currently being handled.", nil)
 	}
 	return s
@@ -122,13 +145,20 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush keeps SSE streaming working through the middleware wrapper.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // route registers pattern on mux, wrapped in the observability middleware
 // when a registry or logger is configured. An unconfigured server
 // registers the bare handler — zero overhead, exactly the pre-middleware
 // behavior. The pattern's path segment (not the raw request URL) becomes
 // the path label and log field, keeping label cardinality fixed.
 func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
-	if s.reg == nil && s.log == nil {
+	if s.obsReg == nil && s.log == nil {
 		mux.HandleFunc(pattern, h)
 		return
 	}
@@ -137,11 +167,11 @@ func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
 		method, path = "", pattern
 	}
 	var em *endpointMetrics
-	if s.reg != nil {
+	if s.obsReg != nil {
 		em = &endpointMetrics{
 			method: method,
 			path:   path,
-			latency: s.reg.Histogram("trikcore_http_request_seconds",
+			latency: s.obsReg.Histogram("trikcore_http_request_seconds",
 				"HTTP request latency by endpoint.", obs.DurationBuckets,
 				obs.Labels{"method": method, "path": path}),
 		}
@@ -159,7 +189,7 @@ func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
 		s.inFlight.Add(-1)
 		if em != nil {
 			em.latency.Observe(d.Seconds())
-			em.counterFor(s.reg, sw.status).Inc()
+			em.counterFor(s.obsReg, sw.status).Inc()
 		}
 		if s.log != nil {
 			s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
@@ -179,5 +209,5 @@ func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
 // byte-identical.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", obs.TextContentType)
-	w.Write(s.reg.Gather())
+	w.Write(s.obsReg.Gather())
 }

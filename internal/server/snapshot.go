@@ -10,12 +10,14 @@ import (
 
 // Snapshot endpoints: bookmark the current published snapshot, then ask
 // how the live graph evolved relative to the bookmark — the dual-view
-// plot (Algorithm 3) and community events over HTTP.
+// plot (Algorithm 3) and community events over HTTP. Each graph space
+// carries its own bookmark slot; the unprefixed legacy routes address
+// the default graph's.
 //
-//	POST /snapshot            bookmark the current published snapshot
-//	GET  /dualview            dual-view markers vs the bookmark (JSON)
-//	GET  /dualview.svg        the changed-clique plot with marker bands
-//	GET  /events?k=K          community-evolution events vs the bookmark
+//	POST /g/{name}/snapshot       bookmark the current published snapshot
+//	GET  /g/{name}/dualview       dual-view markers vs the bookmark (JSON)
+//	GET  /g/{name}/dualview.svg   the changed-clique plot with marker bands
+//	GET  /g/{name}/events?k=K     community-evolution events vs the bookmark
 //
 // The bookmark is just an extra reference to an already-published
 // immutable view.Snapshot — taking one copies nothing and decomposes
@@ -24,10 +26,10 @@ import (
 // snapshot, so their ETags carry both versions ("v<live>.b<bookmark>").
 
 func (s *Server) registerSnapshotRoutes(mux *http.ServeMux) {
-	s.route(mux, "POST /snapshot", s.handleSnapshot)
-	s.route(mux, "GET /dualview", s.handleDualView)
-	s.route(mux, "GET /dualview.svg", s.handleDualViewSVG)
-	s.route(mux, "GET /events", s.handleEvents)
+	s.scoped(mux, "POST", "/snapshot", s.handleSnapshot)
+	s.scoped(mux, "GET", "/dualview", s.handleDualView)
+	s.scoped(mux, "GET", "/dualview.svg", s.handleDualViewSVG)
+	s.scoped(mux, "GET", "/events", s.handleEvents)
 }
 
 // SnapshotReply is the /snapshot response body.
@@ -37,8 +39,12 @@ type SnapshotReply struct {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	sn := s.pub.Acquire()
-	s.bookmark.Store(sn)
+	sp, ok := s.space(w, r)
+	if !ok {
+		return
+	}
+	sn := sp.Acquire()
+	sp.SetBookmark(sn)
 	w.Header().Set("X-Trikcore-Version", strconv.FormatUint(sn.Version, 10))
 	writeJSON(w, SnapshotReply{Vertices: sn.NumVertices(), Edges: sn.NumEdges()})
 }
@@ -56,12 +62,16 @@ type DualViewMarkerReply struct {
 }
 
 func (s *Server) handleDualView(w http.ResponseWriter, r *http.Request) {
-	bm := s.bookmark.Load()
+	sp, ok := s.space(w, r)
+	if !ok {
+		return
+	}
+	bm := sp.Bookmark()
 	if bm == nil {
 		httpError(w, http.StatusConflict, "no snapshot bookmarked; POST /snapshot first")
 		return
 	}
-	sn := s.pub.Acquire()
+	sn := sp.Acquire()
 	if preamble(w, r, sn, bm) {
 		return
 	}
@@ -83,12 +93,16 @@ func (s *Server) handleDualView(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDualViewSVG(w http.ResponseWriter, r *http.Request) {
-	bm := s.bookmark.Load()
+	sp, ok := s.space(w, r)
+	if !ok {
+		return
+	}
+	bm := sp.Bookmark()
 	if bm == nil {
 		httpError(w, http.StatusConflict, "no snapshot bookmarked; POST /snapshot first")
 		return
 	}
-	sn := s.pub.Acquire()
+	sn := sp.Acquire()
 	if preamble(w, r, sn, bm) {
 		return
 	}
@@ -104,17 +118,21 @@ type EventReply struct {
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sp, ok := s.space(w, r)
+	if !ok {
+		return
+	}
 	k, err := strconv.ParseInt(r.URL.Query().Get("k"), 10, 32)
 	if err != nil || k < 1 {
 		httpError(w, http.StatusBadRequest, "k must be a positive integer")
 		return
 	}
-	bm := s.bookmark.Load()
+	bm := sp.Bookmark()
 	if bm == nil {
 		httpError(w, http.StatusConflict, "no snapshot bookmarked; POST /snapshot first")
 		return
 	}
-	sn := s.pub.Acquire()
+	sn := sp.Acquire()
 	if preamble(w, r, sn, bm) {
 		return
 	}

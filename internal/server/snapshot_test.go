@@ -100,14 +100,14 @@ func TestSnapshotIsIsolatedCopy(t *testing.T) {
 	postJSON(t, ts.URL+"/edges", `{"remove":[[1,2]]}`)
 	// The bookmark is an immutable published snapshot: mutating the live
 	// graph must publish a new snapshot, not disturb the pinned one.
-	bm := s.bookmark.Load()
+	bm := s.defaultSpace().Bookmark()
 	if _, ok := bm.KappaOf(graph.NewEdge(1, 2)); !ok {
 		t.Fatal("mutating the live graph changed the bookmark")
 	}
-	if live := s.pub.Acquire(); live.Version <= bm.Version {
+	if live := s.defaultSpace().Acquire(); live.Version <= bm.Version {
 		t.Fatalf("live version %d not past bookmark %d", live.Version, bm.Version)
 	}
-	if _, ok := s.pub.Acquire().KappaOf(graph.NewEdge(1, 2)); ok {
+	if _, ok := s.defaultSpace().Acquire().KappaOf(graph.NewEdge(1, 2)); ok {
 		t.Fatal("removed edge still live")
 	}
 }

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"trikcore/internal/graph"
+)
+
+// openSSE opens an SSE stream and consumes the handshake comment, so the
+// subscription is guaranteed armed when it returns.
+func openSSE(t *testing.T, url string, lastID uint64) (*bufio.Reader, func()) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(lastID, 10))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("subscribe status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	for _, want := range []string{": subscribed", ""} {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("handshake: %v", err)
+		}
+		if !strings.HasPrefix(strings.TrimRight(line, "\n"), want) {
+			t.Fatalf("handshake line %q, want prefix %q", line, want)
+		}
+	}
+	return br, func() { resp.Body.Close() }
+}
+
+// readSSEUntil accumulates raw stream bytes until the frame carrying
+// target's id has been fully read (its terminating blank line included).
+func readSSEUntil(t *testing.T, br *bufio.Reader, target uint64) string {
+	t.Helper()
+	var buf strings.Builder
+	var cur uint64
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended before id %d: %v (got %q)", target, err, buf.String())
+		}
+		buf.WriteString(line)
+		if strings.HasPrefix(line, "id: ") {
+			if _, err := fmt.Sscanf(line, "id: %d", &cur); err != nil {
+				t.Fatalf("bad id line %q", line)
+			}
+		}
+		if line == "\n" && cur >= target {
+			return buf.String()
+		}
+	}
+}
+
+func TestSubscribeStreamsKappaAndPatternEvents(t *testing.T) {
+	s, ts := newTestServer(t)
+	br, done := openSSE(t, ts.URL+"/subscribe", 0)
+	defer done()
+
+	// New triangle bridging into the pendant edge's vertices.
+	postJSON(t, ts.URL+"/edges", `{"add":[[20,21],[21,22],[20,22]]}`)
+	last := s.defaultSpace().Feed().LastID()
+	if last == 0 {
+		t.Fatal("no events recorded")
+	}
+	raw := readSSEUntil(t, br, last)
+	if !strings.Contains(raw, "event: kappa") {
+		t.Fatalf("no kappa events in stream:\n%s", raw)
+	}
+	if !strings.Contains(raw, `"type":"promote"`) ||
+		!strings.Contains(raw, `"u":20,"v":21,"from":-1,"to":1`) {
+		t.Fatalf("promotion payload missing:\n%s", raw)
+	}
+	first := strings.SplitN(raw, "\n", 2)[0]
+	if first != "id: 1" {
+		t.Fatalf("first frame %q, want id: 1", first)
+	}
+}
+
+// TestSubscribeDeterministicAcrossRunsAndWorkers replays one publish
+// sequence against fresh servers — twice at one worker and once at four
+// — and requires byte-identical SSE streams.
+func TestSubscribeDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	run := func(workers int) string {
+		g := graph.New()
+		for i := graph.Vertex(1); i <= 5; i++ {
+			for j := i + 1; j <= 5; j++ {
+				g.AddEdge(i, j)
+			}
+		}
+		g.AddEdge(10, 11)
+		s := NewWith(g, Options{Workers: workers})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		br, done := openSSE(t, ts.URL+"/g/default/subscribe", 0)
+		defer done()
+		for _, body := range []string{
+			`{"add":[[20,21],[21,22],[20,22],[1,20]]}`,
+			`{"remove":[[1,2]],"add":[[22,23],[20,23],[21,23]]}`,
+			`{"remove":[[20,21]]}`,
+		} {
+			postJSON(t, ts.URL+"/edges", body)
+		}
+		return readSSEUntil(t, br, s.defaultSpace().Feed().LastID())
+	}
+	base := run(1)
+	if again := run(1); again != base {
+		t.Fatalf("two identical runs diverged:\n%s\nvs\n%s", base, again)
+	}
+	if par := run(4); par != base {
+		t.Fatalf("workers=4 diverged from workers=1:\n%s\nvs\n%s", base, par)
+	}
+}
+
+func TestSubscribeLastEventIDResume(t *testing.T) {
+	s, ts := newTestServer(t)
+	br, done := openSSE(t, ts.URL+"/subscribe", 0)
+	postJSON(t, ts.URL+"/edges", `{"add":[[20,21],[21,22],[20,22]]}`)
+	n1 := s.defaultSpace().Feed().LastID()
+	first := readSSEUntil(t, br, n1)
+	done()
+
+	// Events published while disconnected...
+	postJSON(t, ts.URL+"/edges", `{"remove":[[20,21]]}`)
+	n2 := s.defaultSpace().Feed().LastID()
+	if n2 <= n1 {
+		t.Fatalf("no new events: %d -> %d", n1, n2)
+	}
+
+	// ...are replayed on reconnect from the Last-Event-ID.
+	br, done = openSSE(t, ts.URL+"/subscribe", n1)
+	defer done()
+	tail := readSSEUntil(t, br, n2)
+	if got := strings.SplitN(tail, "\n", 2)[0]; got != fmt.Sprintf("id: %d", n1+1) {
+		t.Fatalf("resume started at %q, want id: %d", got, n1+1)
+	}
+	for id := uint64(1); id <= n1; id++ {
+		if strings.Contains(tail, fmt.Sprintf("id: %d\n", id)) {
+			t.Fatalf("resume replayed already-seen id %d:\n%s", id, tail)
+		}
+	}
+
+	// A full re-subscribe via the ?last= query form replays everything:
+	// the pre-disconnect prefix then the same tail.
+	br, done2 := openSSE(t, ts.URL+"/subscribe?last=0", 0)
+	defer done2()
+	full := readSSEUntil(t, br, n2)
+	if full != first+tail {
+		t.Fatalf("full replay != first+tail:\n%s\nvs\n%s", full, first+tail)
+	}
+}
+
+func TestSubscribeBadLastEventID(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/subscribe?last=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSubscribeUnknownGraph(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/g/nope/subscribe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSubscribeClosesOnServerClose pins the graceful-shutdown contract:
+// Server.Close terminates live SSE streams instead of leaving them to
+// ride out a shutdown timeout.
+func TestSubscribeClosesOnServerClose(t *testing.T) {
+	s, ts := newTestServer(t)
+	br, done := openSSE(t, ts.URL+"/subscribe", 0)
+	defer done()
+	s.Close()
+	if _, err := br.ReadString('\n'); err == nil {
+		t.Fatal("stream still open after Server.Close")
+	}
+}
+
+// TestSubscribeClosesOnGraphDelete: deleting a graph ends its streams.
+func TestSubscribeClosesOnGraphDelete(t *testing.T) {
+	_, ts := newTestServer(t)
+	mustStatus(t, http.MethodPost, ts.URL+"/g/tmp", "", http.StatusCreated)
+	br, done := openSSE(t, ts.URL+"/g/tmp/subscribe", 0)
+	defer done()
+	mustStatus(t, http.MethodDelete, ts.URL+"/g/tmp", "", http.StatusOK)
+	if _, err := br.ReadString('\n'); err == nil {
+		t.Fatal("stream still open after graph deletion")
+	}
+}

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"trikcore/internal/graph"
+	"trikcore/internal/registry"
+)
+
+// mustStatus performs one request and asserts its status, returning the
+// response body.
+func mustStatus(t *testing.T, method, url, body string, want int) []byte {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != want {
+		t.Fatalf("%s %s: status %d, want %d (body %q)", method, url, resp.StatusCode, want, data)
+	}
+	return data
+}
+
+func TestGraphLifecycleHTTP(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Create with a seed body.
+	body := mustStatus(t, http.MethodPost, ts.URL+"/g/alpha",
+		`{"add":[[1,2],[2,3],[1,3]]}`, http.StatusCreated)
+	var created GraphReply
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.Name != "alpha" || created.Edges != 3 || created.Vertices != 3 || created.MaxKappa != 1 {
+		t.Fatalf("create reply = %+v", created)
+	}
+
+	// Listing shows both graphs, sorted.
+	var list GraphsReply
+	if code := getJSON(t, ts.URL+"/graphs", &list); code != 200 {
+		t.Fatalf("graphs status %d", code)
+	}
+	if len(list.Graphs) != 2 || list.Graphs[0].Name != "alpha" || list.Graphs[1].Name != "default" {
+		t.Fatalf("graphs = %+v", list.Graphs)
+	}
+
+	// The named graph serves the full endpoint surface.
+	var stats StatsReply
+	if code := getJSON(t, ts.URL+"/g/alpha/stats", &stats); code != 200 {
+		t.Fatalf("alpha stats status %d", code)
+	}
+	if stats.Edges != 3 || stats.MaxKappa != 1 {
+		t.Fatalf("alpha stats = %+v", stats)
+	}
+
+	// Conflicts and invalid names.
+	mustStatus(t, http.MethodPost, ts.URL+"/g/alpha", "", http.StatusConflict)
+	mustStatus(t, http.MethodPost, ts.URL+"/g/-bad-", "", http.StatusBadRequest)
+	mustStatus(t, http.MethodPost, ts.URL+"/g/alpha2", `{"remove":[[1,2]]}`, http.StatusBadRequest)
+
+	// Delete, then the name 404s and is reusable.
+	mustStatus(t, http.MethodDelete, ts.URL+"/g/alpha", "", http.StatusOK)
+	mustStatus(t, http.MethodDelete, ts.URL+"/g/alpha", "", http.StatusNotFound)
+	if code := getJSON(t, ts.URL+"/g/alpha/stats", nil); code != http.StatusNotFound {
+		t.Fatalf("deleted graph stats status %d", code)
+	}
+	mustStatus(t, http.MethodPost, ts.URL+"/g/alpha", "", http.StatusCreated)
+}
+
+// TestLegacyRoutesAliasDefaultGraph pins the compatibility contract: the
+// unprefixed endpoints serve the default graph byte-identically to their
+// /g/default twins.
+func TestLegacyRoutesAliasDefaultGraph(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{"/stats", "/version", "/histogram", "/kappa?u=1&v=2",
+		"/core?u=1&v=2", "/communities?k=3", "/plot.svg", "/plot.txt"} {
+		_, legacy, _ := get(t, ts.URL+path, nil)
+		sep := "/g/default" + path
+		_, scoped, _ := get(t, ts.URL+sep, nil)
+		if !bytes.Equal(legacy, scoped) {
+			t.Fatalf("%s and %s differ:\n%q\nvs\n%q", path, sep, legacy, scoped)
+		}
+	}
+	// A write through the legacy route is visible through the scoped one.
+	postJSON(t, ts.URL+"/edges", `{"add":[[30,31]]}`)
+	var rep KappaReply
+	if code := getJSON(t, ts.URL+"/g/default/kappa?u=30&v=31", &rep); code != 200 {
+		t.Fatalf("scoped kappa status %d", code)
+	}
+}
+
+// TestGraphsAreIsolated mutates two graphs concurrently and checks that
+// neither ever observes the other's edges.
+func TestGraphsAreIsolated(t *testing.T) {
+	_, ts := newTestServer(t)
+	mustStatus(t, http.MethodPost, ts.URL+"/g/a", "", http.StatusCreated)
+	mustStatus(t, http.MethodPost, ts.URL+"/g/b", "", http.StatusCreated)
+
+	var wg sync.WaitGroup
+	for _, gr := range []struct {
+		name string
+		base graph.Vertex
+	}{{"a", 1000}, {"b", 2000}} {
+		wg.Add(1)
+		go func(name string, base graph.Vertex) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				b := base + graph.Vertex(3*i)
+				body := strings.NewReader(
+					`{"add":[[` + itoa(b) + `,` + itoa(b+1) + `],[` +
+						itoa(b+1) + `,` + itoa(b+2) + `],[` + itoa(b) + `,` + itoa(b+2) + `]]}`)
+				resp, err := http.Post(ts.URL+"/g/"+name+"/edges", "application/json", body)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}(gr.name, gr.base)
+	}
+	wg.Wait()
+
+	var sa, sb StatsReply
+	getJSON(t, ts.URL+"/g/a/stats", &sa)
+	getJSON(t, ts.URL+"/g/b/stats", &sb)
+	if sa.Edges != 60 || sb.Edges != 60 {
+		t.Fatalf("a=%d b=%d edges, want 60 each", sa.Edges, sb.Edges)
+	}
+	// No cross-contamination: b's vertex range is absent from a.
+	if code := getJSON(t, ts.URL+"/g/a/kappa?u=2000&v=2001", nil); code != http.StatusNotFound {
+		t.Fatalf("a sees b's edge: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/g/b/kappa?u=1000&v=1001", nil); code != http.StatusNotFound {
+		t.Fatalf("b sees a's edge: status %d", code)
+	}
+}
+
+func itoa(v graph.Vertex) string { return strconv.Itoa(int(v)) }
+
+// TestErrorEnvelope pins the JSON error envelope byte-for-byte across
+// every error path: handler rejections, unknown graphs, and the mux's
+// own 404/405 fallbacks.
+func TestErrorEnvelope(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		method, path, body string
+		status             int
+		want               string
+	}{
+		{"GET", "/g/nope/stats", "", 404, `{"error":"unknown graph \"nope\"","status":404}` + "\n"},
+		{"GET", "/no/such/route", "", 404, `{"error":"Not Found","status":404}` + "\n"},
+		{"DELETE", "/stats", "", 405, `{"error":"Method Not Allowed","status":405}` + "\n"},
+		{"GET", "/communities?k=0", "", 400, `{"error":"k must be a positive integer","status":400}` + "\n"},
+		{"GET", "/dualview", "", 409, `{"error":"no snapshot bookmarked; POST /snapshot first","status":409}` + "\n"},
+	}
+	for _, tc := range cases {
+		got := mustStatus(t, tc.method, ts.URL+tc.path, tc.body, tc.status)
+		if string(got) != tc.want {
+			t.Errorf("%s %s body = %q, want %q", tc.method, tc.path, got, tc.want)
+		}
+	}
+}
+
+func newQuotaServer(t *testing.T, q registry.Quotas, maxGraphs int) (*Server, *httptest.Server) {
+	t.Helper()
+	g := graph.New()
+	g.AddEdge(1, 2)
+	s := NewWith(g, Options{Quotas: q, MaxGraphs: maxGraphs})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestQuotaBreachHTTP(t *testing.T) {
+	s, ts := newQuotaServer(t, registry.Quotas{MaxEdges: 3}, 0)
+
+	// In-quota write succeeds.
+	if code, _ := postJSON(t, ts.URL+"/edges", `{"add":[[2,3],[1,3]]}`); code != 200 {
+		t.Fatalf("in-quota status %d", code)
+	}
+	v0 := s.defaultSpace().Acquire().Version
+
+	// Over-quota write: structured 429, nothing mutated.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/edges",
+		strings.NewReader(`{"add":[[4,5]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status %d (body %q)", resp.StatusCode, body)
+	}
+	var env struct {
+		Error  string `json:"error"`
+		Status int    `json:"status"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("non-JSON 429 body %q: %v", body, err)
+	}
+	if env.Status != 429 || !strings.Contains(env.Error, "quota exceeded") {
+		t.Fatalf("envelope = %+v", env)
+	}
+	if v := s.defaultSpace().Acquire().Version; v != v0 {
+		t.Fatalf("rejected write moved version %d -> %d", v0, v)
+	}
+	var stats StatsReply
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Edges != 3 {
+		t.Fatalf("edges = %d after rejection, want 3", stats.Edges)
+	}
+
+	// Seed-quota breach on create is a 429 too.
+	mustStatus(t, http.MethodPost, ts.URL+"/g/big",
+		`{"add":[[1,2],[2,3],[3,4],[4,5]]}`, http.StatusTooManyRequests)
+}
+
+func TestBodySizeQuotaHTTP(t *testing.T) {
+	_, ts := newQuotaServer(t, registry.Quotas{MaxBodyBytes: 64}, 0)
+	big := `{"add":[` + strings.Repeat(`[1,2],`, 20) + `[1,2]]}`
+	body := mustStatus(t, http.MethodPost, ts.URL+"/edges", big,
+		http.StatusRequestEntityTooLarge)
+	if !strings.Contains(string(body), `"status":413`) {
+		t.Fatalf("413 body = %q", body)
+	}
+}
+
+func TestMaxGraphsHTTP(t *testing.T) {
+	_, ts := newQuotaServer(t, registry.Quotas{}, 2) // default + 1
+	mustStatus(t, http.MethodPost, ts.URL+"/g/one", "", http.StatusCreated)
+	body := mustStatus(t, http.MethodPost, ts.URL+"/g/two", "", http.StatusTooManyRequests)
+	if !strings.Contains(string(body), "graph limit reached") {
+		t.Fatalf("cap body = %q", body)
+	}
+}
+
+func TestHealthzCountsGraphs(t *testing.T) {
+	_, ts := newTestServer(t)
+	mustStatus(t, http.MethodPost, ts.URL+"/g/extra", "", http.StatusCreated)
+	var rep HealthzReply
+	if code := getJSON(t, ts.URL+"/healthz", &rep); code != 200 {
+		t.Fatalf("healthz status %d", code)
+	}
+	if rep.Status != "ok" || rep.Graphs != 2 {
+		t.Fatalf("healthz = %+v", rep)
+	}
+}

@@ -167,7 +167,7 @@ func TestETagNotModified(t *testing.T) {
 // once per version.
 func TestPlotServedFromSnapshotCache(t *testing.T) {
 	s, ts := newTestServer(t)
-	sn := s.pub.Acquire()
+	sn := s.defaultSpace().Acquire()
 
 	_, b1, hdr1 := get(t, ts.URL+"/plot.svg", nil)
 	_, b2, hdr2 := get(t, ts.URL+"/plot.svg", nil)

@@ -45,6 +45,7 @@ import (
 	"trikcore/internal/kcore"
 	"trikcore/internal/obs"
 	"trikcore/internal/plot"
+	"trikcore/internal/registry"
 	"trikcore/internal/template"
 	"trikcore/internal/view"
 )
@@ -270,6 +271,37 @@ func NewPublisher(g *Graph) *Publisher { return view.NewPublisherFromGraph(g) }
 // mutating the engine directly; all further updates go through the
 // publisher.
 func NewPublisherFromEngine(en *Engine) *Publisher { return view.NewPublisher(en) }
+
+// Multi-tenant graph hosting: a GraphRegistry maps names to GraphSpaces,
+// each one an independent Publisher with per-graph quotas, a bookmark
+// slot and a change feed that turns every publication into κ
+// promotion/demotion and template-pattern events.
+type (
+	// GraphRegistry is the concurrency-safe name → GraphSpace map with
+	// lifecycle (Create/Get/List/Delete), a global graph-count cap and
+	// per-graph quotas.
+	GraphRegistry = registry.Registry
+	// GraphSpace is one hosted graph: publisher, quotas, bookmark, feed.
+	GraphSpace = registry.Space
+	// GraphQuotas bound one graph space (zero fields = unlimited).
+	GraphQuotas = registry.Quotas
+	// GraphRegistryConfig parameterizes NewGraphRegistry.
+	GraphRegistryConfig = registry.Config
+	// GraphQuotaError reports a write batch rejected by quota.
+	GraphQuotaError = registry.QuotaError
+	// ChangeFeed is a space's event hub: bounded replay ring plus live
+	// subscribers with monotone event ids.
+	ChangeFeed = registry.Feed
+	// ChangeEvent is one rendered feed entry (id, kind, JSON payload).
+	ChangeEvent = registry.Event
+)
+
+// DefaultGraphName is the space the server's legacy unprefixed HTTP
+// routes alias.
+const DefaultGraphName = registry.DefaultGraph
+
+// NewGraphRegistry builds an empty graph registry.
+func NewGraphRegistry(cfg GraphRegistryConfig) *GraphRegistry { return registry.New(cfg) }
 
 // MetricsRegistry is the zero-dependency observability registry shared
 // across layers: atomic counters, gauges and histograms with Prometheus
