@@ -35,8 +35,13 @@ race:
 # obs rides along so its lock-free counters and histogram bins are
 # hammered under the detector, and registry so the multi-tenant
 # create/delete/write/subscribe hammer runs checked too.
+# halt_on_error=1 stops the run at the first race so the report that
+# matters is the one at the bottom of the log (and the one CI uploads),
+# not page three of a cascade; trikdebug also arms the lock watchdog
+# (internal/watchdog), which panics with full stacks if a publisher or
+# registry critical section wedges instead of letting the run hang.
 debugrace:
-	$(GO) test -tags trikdebug -race ./internal/graph ./internal/dynamic ./internal/view ./internal/server ./internal/obs ./internal/registry
+	GORACE=halt_on_error=1 $(GO) test -tags trikdebug -race ./internal/graph ./internal/dynamic ./internal/view ./internal/server ./internal/obs ./internal/registry
 
 # Runs the headline benches (static decompose, engine churn through the
 # per-edge / batched / parallel paths, server mixed workload) and pipes

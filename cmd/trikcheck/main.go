@@ -9,12 +9,18 @@
 //
 // Usage:
 //
-//	trikcheck [-C dir] [-rules name,name]
+//	trikcheck [-C dir] [-rule name] [-rules name,name] [-json] [-list]
+//
+// -rule runs a single rule (repeat -rules for a comma-separated subset),
+// -json renders the findings as a JSON array for tooling, and -list
+// prints the rule set with one-line docs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,21 +30,79 @@ import (
 
 func main() {
 	dir := flag.String("C", ".", "directory inside the module to analyze")
+	ruleName := flag.String("rule", "", "run a single rule by name")
 	ruleNames := flag.String("rules", "", "comma-separated rule subset (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	list := flag.Bool("list", false, "list the rules and exit")
 	flag.Parse()
 
-	diags, err := run(*dir, *ruleNames)
+	if *list {
+		for _, r := range analysis.AllRules() {
+			fmt.Printf("%-20s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+
+	diags, err := run(*dir, selector(*ruleName, *ruleNames))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trikcheck:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Printf("%s:%d:%d: %s [%s]\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+	if *asJSON {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "trikcheck:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s [%s]\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "trikcheck: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// selector merges the -rule and -rules flags into one comma-separated
+// rule list ("" = all rules).
+func selector(rule, rules string) string {
+	switch {
+	case rule == "":
+		return rules
+	case rules == "":
+		return rule
+	default:
+		return rule + "," + rules
+	}
+}
+
+// jsonFinding is the -json output shape: stable field names, one object
+// per finding, positions 1-indexed as in the text form.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// writeJSON renders diags as an indented JSON array (an empty array for
+// a clean tree, never null).
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	out := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonFinding{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func run(dir, ruleNames string) ([]analysis.Diagnostic, error) {

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"trikcore/internal/analysis"
+)
 
 // TestTreeIsClean runs every rule over every package of the module and
 // requires zero findings — the repository itself must satisfy its own
@@ -15,5 +22,63 @@ func TestTreeIsClean(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+	}
+}
+
+// TestRunSingleRule pins the -rule path: a named subset runs only that
+// rule and an unknown name is a hard error, not an empty run.
+func TestRunSingleRule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short")
+	}
+	if _, err := run(".", "lock-guard"); err != nil {
+		t.Fatalf("run(-rule lock-guard): %v", err)
+	}
+	if _, err := run(".", "lock-guard,no-such-rule"); err == nil {
+		t.Fatal("unknown rule name silently accepted")
+	}
+}
+
+func TestSelector(t *testing.T) {
+	cases := []struct{ rule, rules, want string }{
+		{"", "", ""},
+		{"lock-guard", "", "lock-guard"},
+		{"", "atomic-mix,map-order", "atomic-mix,map-order"},
+		{"lock-guard", "atomic-mix", "lock-guard,atomic-mix"},
+	}
+	for _, tc := range cases {
+		if got := selector(tc.rule, tc.rules); got != tc.want {
+			t.Errorf("selector(%q, %q) = %q, want %q", tc.rule, tc.rules, got, tc.want)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := writeJSON(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(b.String()); got != "[]" {
+		t.Errorf("empty findings render %q, want []", got)
+	}
+
+	b.Reset()
+	diags := []analysis.Diagnostic{{
+		Pos:     token.Position{Filename: "internal/x/y.go", Line: 12, Column: 3},
+		Rule:    "lock-guard",
+		Message: "access to X.f without holding x.mu",
+	}}
+	if err := writeJSON(&b, diags); err != nil {
+		t.Fatal(err)
+	}
+	var out []jsonFinding
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(out) != 1 || out[0] != (jsonFinding{
+		File: "internal/x/y.go", Line: 12, Column: 3,
+		Rule: "lock-guard", Message: "access to X.f without holding x.mu",
+	}) {
+		t.Errorf("round-trip mismatch: %+v", out)
 	}
 }

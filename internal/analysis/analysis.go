@@ -5,11 +5,15 @@
 //
 // The rules encode invariants the test suite cannot see syntactically:
 //
-//	kappa-funnel     κ state is only written through the engine funnel
-//	map-order        output packages never emit map-ordered data
-//	unchecked-narrow int32/uint32 narrowing in core packages is guarded
-//	no-stdout        library packages do not print to stdout
-//	discarded-error  error results are not silently dropped
+//	kappa-funnel        κ state is only written through the engine funnel
+//	map-order           output packages never emit map-ordered data
+//	unchecked-narrow    int32/uint32 narrowing in core packages is guarded
+//	no-stdout           library packages do not print to stdout
+//	discarded-error     error results are not silently dropped
+//	lock-guard          //trikcheck:guardedby fields are touched only under their mutex
+//	atomic-mix          atomically accessed fields are never plain-loaded/stored
+//	snapshot-immutable  published snapshots and frozen CSRs are never mutated
+//	goroutine-lifecycle goroutines in the serving tiers select on a ctx/done channel
 //
 // Each rule runs over one type-checked Package at a time and reports
 // position-anchored Diagnostics. Fixture packages under testdata exercise
@@ -52,7 +56,7 @@ type Pass struct {
 	Rule  string
 	diags []Diagnostic
 
-	checkedLines map[string]map[int]bool // filename → lines carrying //trikcheck:checked
+	annotLines map[string]map[string]map[int]bool // marker → filename → annotated lines
 }
 
 // Reportf records a diagnostic at pos.
@@ -64,27 +68,41 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// checkedMarker is the annotation that acknowledges a reviewed narrowing
-// conversion; it suppresses unchecked-narrow on its own line and the line
-// directly below it.
-const checkedMarker = "trikcheck:checked"
+// Review annotations. Each suppresses (or re-scopes) one rule at a
+// reviewed site, on its own line or the line directly below it:
+//
+//	//trikcheck:checked    a narrowing conversion whose bound was reviewed
+//	//trikcheck:locked     the enclosing function (or access) runs with the
+//	                       guard already held by the caller
+//	//trikcheck:bounded    a goroutine whose lifetime is bounded by a
+//	                       reviewed mechanism the analyzer cannot see
+const (
+	checkedMarker = "trikcheck:checked"
+	lockedMarker  = "trikcheck:locked"
+	boundedMarker = "trikcheck:bounded"
+)
 
-// Checked reports whether pos sits on (or directly below) a line carrying
-// a //trikcheck:checked annotation.
-func (p *Pass) Checked(pos token.Pos) bool {
-	if p.checkedLines == nil {
-		p.checkedLines = make(map[string]map[int]bool)
+// Annotated reports whether pos sits on (or directly below) a line
+// carrying the given //trikcheck:<marker> annotation.
+func (p *Pass) Annotated(marker string, pos token.Pos) bool {
+	if p.annotLines == nil {
+		p.annotLines = make(map[string]map[string]map[int]bool)
+	}
+	files, ok := p.annotLines[marker]
+	if !ok {
+		files = make(map[string]map[int]bool)
+		p.annotLines[marker] = files
 		for _, f := range p.Pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					if !strings.Contains(c.Text, checkedMarker) {
+					if !strings.Contains(c.Text, marker) {
 						continue
 					}
 					cp := p.Pkg.Fset.Position(c.Pos())
-					lines := p.checkedLines[cp.Filename]
+					lines := files[cp.Filename]
 					if lines == nil {
 						lines = make(map[int]bool)
-						p.checkedLines[cp.Filename] = lines
+						files[cp.Filename] = lines
 					}
 					lines[cp.Line] = true
 				}
@@ -92,13 +110,20 @@ func (p *Pass) Checked(pos token.Pos) bool {
 		}
 	}
 	at := p.Pkg.Fset.Position(pos)
-	lines := p.checkedLines[at.Filename]
+	lines := files[at.Filename]
 	return lines[at.Line] || lines[at.Line-1]
 }
 
+// Checked reports whether pos sits on (or directly below) a line carrying
+// a //trikcheck:checked annotation.
+func (p *Pass) Checked(pos token.Pos) bool { return p.Annotated(checkedMarker, pos) }
+
 // AllRules returns every rule trikcheck runs, in reporting order.
 func AllRules() []Rule {
-	return []Rule{KappaFunnel, MapOrder, UncheckedNarrow, NoStdout, DiscardedError}
+	return []Rule{
+		KappaFunnel, MapOrder, UncheckedNarrow, NoStdout, DiscardedError,
+		LockGuard, AtomicMix, SnapshotImmutable, GoroutineLifecycle,
+	}
 }
 
 // RuleByName returns the named rule, or false.

@@ -50,6 +50,13 @@ func TestRules(t *testing.T) {
 		{"nostdout", "internal/report", "no-stdout"},
 		{"nostdout_cmd", "cmd/demo", "no-stdout"}, // Applies gate: binaries may print
 		{"discarderr", "internal/store", "discarded-error"},
+		{"lockguard", "internal/registry", "lock-guard"},
+		{"atomicmix", "internal/obs", "atomic-mix"},
+		{"snapshotimmut", "internal/plot", "snapshot-immutable"},
+		// The same rule under internal/graph pins the constructor allowlist:
+		// FreezeStatic and friends may fill a Static in place.
+		{"snapshotimmut_ctor", "internal/graph", "snapshot-immutable"},
+		{"golifecycle", "internal/server", "goroutine-lifecycle"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

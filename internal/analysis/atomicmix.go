@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// atomicMixPackages are the concurrency-bearing tiers where a field that
+// is accessed atomically anywhere must be accessed atomically everywhere:
+// one plain load racing an atomic store is still a data race, and the
+// race detector only sees the interleavings the tests happen to produce.
+var atomicMixPackages = map[string]bool{
+	"internal/dynamic":  true,
+	"internal/obs":      true,
+	"internal/view":     true,
+	"internal/registry": true,
+	"internal/server":   true,
+}
+
+// atomicFuncs are the sync/atomic package-level operation name prefixes
+// (AddUint64, LoadPointer, StoreInt32, SwapUint32, CompareAndSwap...).
+var atomicFuncPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"}
+
+// AtomicMix enforces atomic discipline on struct fields:
+//
+//   - a field passed to a sync/atomic function anywhere in the package
+//     (atomic.AddUint64(&s.f, 1)) must never be read or written as a
+//     plain load/store elsewhere in the package;
+//   - a field of a typed atomic (atomic.Uint64, atomic.Pointer[T], ...)
+//     may only be used as a method-call receiver or have its address
+//     taken — copying or reassigning the whole value silently forks the
+//     cell (and go vet's copylocks only sees some of those shapes).
+var AtomicMix = Rule{
+	Name:    "atomic-mix",
+	Doc:     "atomically accessed fields are never mixed with plain loads/stores",
+	Applies: func(rel string) bool { return atomicMixPackages[rel] },
+	Run:     runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	info := p.Pkg.Info
+
+	// Phase 1: find every field that is the operand of a sync/atomic
+	// call, and remember the exact selector nodes those calls use — they
+	// are the sanctioned accesses.
+	plainAtomic := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isAtomicCall(info, call) {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr); ok {
+				if v, ok := selectedField(info, sel); ok {
+					plainAtomic[v] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 2: find every struct field whose type is a typed atomic.
+	typedAtomic := make(map[*types.Var]bool)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					v, ok := info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if isTypedAtomic(v.Type()) {
+						typedAtomic[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(plainAtomic) == 0 && len(typedAtomic) == 0 {
+		return
+	}
+
+	// Phase 3: every other access. Parent links tell a method-call
+	// receiver or address-of (fine) from a plain load, store or copy.
+	for _, f := range p.Pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok && len(stack) > 0 {
+				if v, ok := selectedField(info, sel); ok {
+					parent := stack[len(stack)-1]
+					switch {
+					case plainAtomic[v] && !sanctioned[sel] && !isAddrForAtomic(parent):
+						p.Reportf(sel.Pos(),
+							"plain access to %s, which is accessed via sync/atomic elsewhere in this package", v.Name())
+					case typedAtomic[v] && !atomicReceiverUse(parent, sel):
+						p.Reportf(sel.Pos(),
+							"atomic-typed field %s used as a plain value; call its methods or take its address", v.Name())
+					}
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// selectedField resolves sel to the struct field it names, if any.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) (*types.Var, bool) {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return nil, false
+	}
+	v, ok := s.Obj().(*types.Var)
+	return v, ok
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package-level
+// operation (by package identity, not identifier spelling).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range atomicFuncPrefixes {
+		if strings.HasPrefix(sel.Sel.Name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed cells
+// (atomic.Uint64, atomic.Pointer[T], atomic.Value, ...).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// isAddrForAtomic reports whether parent takes the child's address — the
+// only plain-syntax use of a sync/atomic-managed field that does not
+// itself load or store it. (The sanctioned set has already cleared the
+// addresses inside atomic calls; a stray &s.f handed elsewhere is still
+// only an alias, and the callee's own accesses are checked where they
+// occur.)
+func isAddrForAtomic(parent ast.Node) bool {
+	u, ok := parent.(*ast.UnaryExpr)
+	return ok && u.Op.String() == "&"
+}
+
+// atomicReceiverUse reports whether sel (a typed-atomic field) is used
+// the way typed atomics must be: as the receiver of a method call
+// (s.f.Load()) or behind an address-of.
+func atomicReceiverUse(parent ast.Node, sel *ast.SelectorExpr) bool {
+	switch x := parent.(type) {
+	case *ast.SelectorExpr:
+		return x.X == sel // s.f.Load — sel is the receiver part
+	case *ast.UnaryExpr:
+		return x.Op.String() == "&"
+	}
+	return false
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goLifecyclePackages are the serving tiers: every goroutine launched
+// here outlives a request only if something can stop it, so each one
+// must observably select on a context/done channel. The compute packages
+// (graph's parallel freeze, dynamic's worker fan-out) are exempt — their
+// goroutines are joined by WaitGroups within one call.
+var goLifecyclePackages = map[string]bool{
+	"internal/server":   true,
+	"internal/registry": true,
+	"internal/view":     true,
+}
+
+// goLifecycleBounded are named spawn helpers whose implementations bound
+// the goroutine's lifetime themselves (reserved for the per-space writer
+// pools of ROADMAP items 1 and 4; exercised today by the rule fixtures).
+var goLifecycleBounded = map[string]bool{
+	"spawnBounded": true,
+}
+
+// GoroutineLifecycle requires every `go` statement in the serving tiers
+// to be cancellable: the launched function (a literal, or a same-package
+// named function) must receive from a context's Done channel or from a
+// `chan struct{}` done/quit channel — in a select or a direct receive —
+// or the launch must go through an allowlisted bounded helper. An
+// unkillable goroutine behind an SSE handler survives client disconnect,
+// graph deletion and server shutdown; this rule is why there aren't any.
+var GoroutineLifecycle = Rule{
+	Name:    "goroutine-lifecycle",
+	Doc:     "goroutines in server/registry/view select on a ctx/done channel or use a bounded helper",
+	Applies: func(rel string) bool { return goLifecyclePackages[rel] },
+	Run:     runGoroutineLifecycle,
+}
+
+func runGoroutineLifecycle(p *Pass) {
+	// Index same-package function declarations so `go s.loop(ctx)` can be
+	// checked against loop's body.
+	decls := make(map[string]*ast.FuncDecl)
+	for _, fd := range funcDecls(p.Pkg) {
+		decls[fd.Name.Name] = fd
+	}
+
+	for _, fd := range funcDecls(p.Pkg) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if p.Annotated(boundedMarker, g.Pos()) {
+				return true
+			}
+			switch fun := g.Call.Fun.(type) {
+			case *ast.FuncLit:
+				if !hasDoneDiscipline(p, fun.Body) {
+					p.Reportf(g.Pos(), "goroutine never selects on a ctx/done channel; it cannot be stopped (use a bounded helper or annotate //trikcheck:bounded)")
+				}
+				return true
+			case *ast.Ident:
+				if checkNamedSpawn(p, g, decls, fun.Name) {
+					return true
+				}
+			case *ast.SelectorExpr:
+				if checkNamedSpawn(p, g, decls, fun.Sel.Name) {
+					return true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkNamedSpawn handles `go name(...)` / `go recv.name(...)`: fine if
+// name is an allowlisted bounded helper or a same-package function whose
+// body has done discipline; reported otherwise. Always returns true (the
+// diagnostic, if any, has been emitted).
+func checkNamedSpawn(p *Pass, g *ast.GoStmt, decls map[string]*ast.FuncDecl, name string) bool {
+	if goLifecycleBounded[name] {
+		return true
+	}
+	if fd, ok := decls[name]; ok {
+		if !hasDoneDiscipline(p, fd.Body) {
+			p.Reportf(g.Pos(), "goroutine runs %s, which never selects on a ctx/done channel (use a bounded helper or annotate //trikcheck:bounded)", name)
+		}
+		return true
+	}
+	p.Reportf(g.Pos(), "goroutine runs %s, which this analysis cannot see into (use a bounded helper or annotate //trikcheck:bounded)", name)
+	return true
+}
+
+// hasDoneDiscipline reports whether body contains a receive — direct or
+// in a select — from a cancellation channel: a context Done() call, or
+// any channel of element type struct{} (the done-channel convention).
+func hasDoneDiscipline(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		u, ok := n.(*ast.UnaryExpr)
+		if !ok || u.Op.String() != "<-" {
+			return true
+		}
+		if isCancelChannel(p, u.X) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isCancelChannel reports whether e looks like a cancellation channel: a
+// .Done() call (context.Context and friends), or an expression whose
+// type is a receivable channel of struct{}.
+func isCancelChannel(p *Pass, e ast.Expr) bool {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	}
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok || ch.Dir() == types.SendOnly {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// guardedByMarker annotates a struct field with the mutex that guards it:
+//
+//	mu    sync.Mutex
+//	subs  map[*Subscriber]struct{} //trikcheck:guardedby mu
+//
+// Every read or write of the field must then happen while <base>.mu is
+// held in the same function — tracked intra-procedurally through
+// Lock/RLock, Unlock/RUnlock and defer Unlock in source order. Functions
+// whose callers hold the lock (internal helpers named *Locked, funnel
+// internals) carry //trikcheck:locked on their declaration, which exempts
+// the whole body; the same marker on an access line exempts just that
+// line.
+const guardedByMarker = "trikcheck:guardedby"
+
+// LockGuard enforces annotated mutex contracts: a field carrying
+// //trikcheck:guardedby mu may only be touched in stretches of code where
+// the owning value's mu is held. The check is intra-procedural and
+// source-ordered — no alias or interprocedural analysis — which matches
+// the project style of lock-at-top, defer-unlock methods; anything
+// cleverer is annotated //trikcheck:locked and reviewed by hand.
+var LockGuard = Rule{
+	Name:    "lock-guard",
+	Doc:     "//trikcheck:guardedby fields are read and written only under their mutex",
+	Applies: func(rel string) bool { return true },
+	Run:     runLockGuard,
+}
+
+// lockMethods classify mutex calls: acquire, release, and the method
+// names recognized on sync.Mutex and sync.RWMutex.
+var (
+	lockAcquire = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
+	lockRelease = map[string]bool{"Unlock": true, "RUnlock": true}
+)
+
+// guardedField is one annotated field: the struct that owns it and the
+// name of the sibling mutex field that guards it.
+type guardedField struct {
+	owner string
+	mutex string
+}
+
+func runLockGuard(p *Pass) {
+	guarded := collectGuardedFields(p)
+	if len(guarded) == 0 {
+		return
+	}
+	w := &lockWalker{p: p, guarded: guarded}
+	for _, fd := range funcDecls(p.Pkg) {
+		if commentGroupHas(fd.Doc, lockedMarker) {
+			continue // caller holds the guard; reviewed by hand
+		}
+		w.walk(fd.Body, make(map[string]int), make(map[ast.Node]bool))
+	}
+}
+
+// collectGuardedFields resolves every //trikcheck:guardedby annotation in
+// the package to its *types.Var.
+func collectGuardedFields(p *Pass) map[*types.Var]guardedField {
+	guarded := make(map[*types.Var]guardedField)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutex := guardAnnotation(field)
+				if mutex == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := p.Pkg.Info.Defs[name].(*types.Var); ok {
+						guarded[v] = guardedField{owner: ts.Name.Name, mutex: mutex}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// guardAnnotation extracts the mutex name from a field's
+// //trikcheck:guardedby annotation (trailing comment or doc line).
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if i := strings.Index(c.Text, guardedByMarker); i >= 0 {
+				rest := strings.TrimSpace(c.Text[i+len(guardedByMarker):])
+				if j := strings.IndexAny(rest, " \t"); j >= 0 {
+					rest = rest[:j]
+				}
+				return rest
+			}
+		}
+	}
+	return ""
+}
+
+// commentGroupHas reports whether cg carries the marker.
+func commentGroupHas(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// lockWalker walks function bodies in source order, maintaining the set
+// of held mutexes keyed by their access path ("r.mu"). It is branch-
+// sensitive at if statements: each arm runs on a clone of the lock state,
+// an arm ending in return/panic/break/continue contributes nothing to
+// the fall-through state (the `if bad { mu.Unlock(); return }` idiom),
+// and surviving arms merge pessimistically (a lock counts as held after
+// the if only if every surviving path holds it). Function literals start
+// over with no locks held: the analyzer cannot see when a closure runs,
+// so a closure that touches guarded state must lock for itself or carry
+// //trikcheck:locked.
+type lockWalker struct {
+	p       *Pass
+	guarded map[*types.Var]guardedField
+}
+
+func (w *lockWalker) walk(n ast.Node, held map[string]int, deferred map[ast.Node]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			w.walk(x.Body, make(map[string]int), make(map[ast.Node]bool))
+			return false
+		case *ast.IfStmt:
+			w.walkIf(x, held, deferred)
+			return false
+		case *ast.DeferStmt:
+			deferred[x.Call] = true
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			key := types.ExprString(sel.X)
+			switch {
+			case lockAcquire[sel.Sel.Name]:
+				held[key]++
+			case lockRelease[sel.Sel.Name]:
+				// defer Unlock keeps the lock to function end; the floor at
+				// zero keeps unmodeled control flow (releases inside loops
+				// or switches) conservative rather than negative.
+				if !deferred[x] && held[key] > 0 {
+					held[key]--
+				}
+			}
+		case *ast.SelectorExpr:
+			s, ok := w.p.Pkg.Info.Selections[x]
+			if !ok {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			g, hit := w.guarded[v]
+			if !hit {
+				return true
+			}
+			mutexPath := types.ExprString(x.X) + "." + g.mutex
+			if held[mutexPath] > 0 || w.p.Annotated(lockedMarker, x.Pos()) {
+				return true
+			}
+			w.p.Reportf(x.Pos(), "access to %s.%s without holding %s (annotate //trikcheck:locked if the caller holds it)",
+				g.owner, v.Name(), mutexPath)
+		}
+		return true
+	})
+}
+
+// walkIf processes one if statement branch-sensitively and merges the
+// surviving arms' lock states into held.
+func (w *lockWalker) walkIf(x *ast.IfStmt, held map[string]int, deferred map[ast.Node]bool) {
+	if x.Init != nil {
+		w.walk(x.Init, held, deferred)
+	}
+	w.walk(x.Cond, held, deferred)
+
+	thenHeld := cloneCounts(held)
+	w.walk(x.Body, thenHeld, deferred)
+	thenEnds := terminates(x.Body)
+
+	if x.Else == nil {
+		if !thenEnds {
+			mergeMin(held, thenHeld)
+		}
+		return
+	}
+	elseHeld := cloneCounts(held)
+	if ei, ok := x.Else.(*ast.IfStmt); ok {
+		w.walkIf(ei, elseHeld, deferred)
+	} else {
+		w.walk(x.Else, elseHeld, deferred)
+	}
+	elseEnds := terminates(x.Else)
+
+	switch {
+	case thenEnds && elseEnds:
+		// Both arms leave the straight-line path; whatever follows is
+		// reached some other way. Leave held as it was.
+	case thenEnds:
+		replaceCounts(held, elseHeld)
+	case elseEnds:
+		replaceCounts(held, thenHeld)
+	default:
+		replaceCounts(held, thenHeld)
+		mergeMin(held, elseHeld)
+	}
+}
+
+// terminates reports whether executing stmt always leaves the enclosing
+// straight-line path: it ends in return, panic, or a branch statement.
+// An if terminates only when both arms do.
+func terminates(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		if len(s.List) == 0 {
+			return false
+		}
+		return terminates(s.List[len(s.List)-1])
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	case *ast.IfStmt:
+		return s.Else != nil && terminates(s.Body) && terminates(s.Else)
+	}
+	return false
+}
+
+func cloneCounts(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// replaceCounts makes dst equal to src in place.
+func replaceCounts(dst, src map[string]int) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// mergeMin lowers dst to the pointwise minimum of dst and src: a lock is
+// held after a merge point only if both paths held it.
+func mergeMin(dst, src map[string]int) {
+	for k, v := range dst {
+		if sv := src[k]; sv < v {
+			dst[k] = sv
+		}
+	}
+	for k := range src {
+		if _, ok := dst[k]; !ok {
+			dst[k] = 0
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Fixture for the atomic-mix rule: fields driven through sync/atomic
+// functions, typed atomic cells, and the plain accesses that would race
+// them.
+package obs
+
+import "sync/atomic"
+
+type Counters struct {
+	hits  uint64 // accessed via atomic.AddUint64/LoadUint64 below
+	cold  uint64 // never accessed atomically: plain access is fine
+	gauge atomic.Int64
+	ptr   atomic.Pointer[Counters]
+}
+
+func (c *Counters) Hit() {
+	atomic.AddUint64(&c.hits, 1) // ok: the sanctioned access form
+}
+
+func (c *Counters) Snapshot() uint64 {
+	return atomic.LoadUint64(&c.hits) // ok
+}
+
+func (c *Counters) Reset() {
+	c.hits = 0 // want "plain access to hits"
+	c.cold = 0 // ok: cold is not an atomic field
+}
+
+func (c *Counters) Racy() uint64 {
+	return c.hits + c.cold // want "plain access to hits"
+}
+
+func (c *Counters) Publish(next *Counters) {
+	c.ptr.Store(next) // ok: method call on the typed cell
+	c.gauge.Add(1)    // ok
+	_ = c.ptr.Load()  // ok
+	_ = &c.gauge      // ok: address for a helper
+}
+
+func (c *Counters) ForkCell() atomic.Int64 {
+	return c.gauge // want "atomic-typed field gauge used as a plain value"
+}
+
+func (c *Counters) OverwriteCell() {
+	c.gauge = atomic.Int64{} // want "atomic-typed field gauge used as a plain value"
+}

@@ -1,0 +1,67 @@
+// Fixture for the goroutine-lifecycle rule: every goroutine launched in
+// a serving-tier package must be stoppable — select on a ctx/done
+// channel, go through a bounded helper, or carry a reviewed
+// //trikcheck:bounded annotation.
+package server
+
+import (
+	"context"
+	"net/http"
+)
+
+type hub struct {
+	done chan struct{}
+	out  chan int
+}
+
+func (h *hub) fanout(ctx context.Context) {
+	go func() { // want "goroutine never selects on a ctx/done channel"
+		for v := range h.out {
+			_ = v
+		}
+	}()
+
+	go func() { // ok: selects on ctx.Done
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-h.out:
+				_ = v
+			}
+		}
+	}()
+
+	go func() { // ok: direct receive from a chan struct{} done channel
+		<-h.done
+	}()
+}
+
+func (h *hub) drain() { // no done discipline: flagged at its spawn sites
+	for v := range h.out {
+		_ = v
+	}
+}
+
+func (h *hub) pump(ctx context.Context) { // selects on ctx.Done: fine to spawn
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case h.out <- 0:
+		}
+	}
+}
+
+func (h *hub) start(ctx context.Context, srv *http.Server) {
+	go h.drain()   // want "goroutine runs drain, which never selects on a ctx/done channel"
+	go h.pump(ctx) // ok: pump's body has done discipline
+	go spawnBounded(h.drain)
+
+	go h.drain() //trikcheck:bounded joined by the hub's WaitGroup in the real code
+
+	go srv.ListenAndServe() // want "goroutine runs ListenAndServe, which this analysis cannot see into"
+}
+
+// spawnBounded stands in for the allowlisted bounded-pool helper.
+func spawnBounded(fn func()) { fn() }

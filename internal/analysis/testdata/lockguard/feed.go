@@ -1,0 +1,106 @@
+// Fixture for the lock-guard rule: a miniature feed hub with annotated
+// guarded fields, correctly locked methods, //trikcheck:locked helpers,
+// and unguarded access sites.
+package registry
+
+import "sync"
+
+type Feed struct {
+	mu     sync.Mutex
+	closed bool          // trikcheck:guardedby mu
+	nextID uint64        // trikcheck:guardedby mu
+	subs   map[*Sub]bool // trikcheck:guardedby mu
+	ring   []int         //trikcheck:guardedby mu
+	gauge  int           // not guarded: set once before the feed escapes
+}
+
+type Sub struct {
+	done chan struct{}
+}
+
+func newFeed() *Feed {
+	// Composite-literal construction never selects a field, so the
+	// constructor needs no annotation.
+	return &Feed{subs: make(map[*Sub]bool)}
+}
+
+func (f *Feed) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed { // ok: mu held
+		return
+	}
+	f.closed = true // ok: mu held
+	for s := range f.subs {
+		close(s.done)
+	}
+	f.subs = make(map[*Sub]bool) // ok: mu held (defer keeps it to the end)
+}
+
+func (f *Feed) record(n int) {
+	f.mu.Lock()
+	f.nextID += uint64(n) // ok: mu held
+	f.ring = append(f.ring, n)
+	f.mu.Unlock()
+	f.gauge = len(f.ring) // want "access to Feed.ring without holding f.mu"
+}
+
+// dropLocked is called with f.mu held by every caller.
+//
+//trikcheck:locked
+func (f *Feed) dropLocked(s *Sub) {
+	delete(f.subs, s) // ok: function annotated //trikcheck:locked
+	close(s.done)
+}
+
+func (f *Feed) leakyRead() uint64 {
+	return f.nextID // want "access to Feed.nextID without holding f.mu"
+}
+
+func (f *Feed) closedUnderReview() bool {
+	return f.closed //trikcheck:locked single racy read reviewed — fixture only
+}
+
+func (f *Feed) lockTooLate() {
+	f.closed = true // want "access to Feed.closed without holding f.mu"
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nextID++ // ok: mu held from here on
+}
+
+func (f *Feed) closureEscapes() func() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return func() {
+		f.nextID++ // want "access to Feed.nextID without holding f.mu"
+	}
+}
+
+func (f *Feed) earlyReturnUnlock() int {
+	f.mu.Lock()
+	if f.closed { // ok: mu held
+		f.mu.Unlock()
+		return 0
+	}
+	n := len(f.ring) // ok: the unlocking arm returned, this path still holds mu
+	f.mu.Unlock()
+	return n
+}
+
+func (f *Feed) conditionalLock(b bool) {
+	if b {
+		f.mu.Lock()
+	}
+	f.ring = nil // want "access to Feed.ring without holding f.mu"
+	if b {
+		f.mu.Unlock()
+	}
+}
+
+func (f *Feed) closureLocksItself() func() {
+	return func() {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		f.nextID++ // ok: the closure acquires the lock for itself
+	}
+}

@@ -1,0 +1,25 @@
+// Fixture for the snapshot-immutable constructor allowlist: loaded at
+// module-relative path internal/graph, where FreezeStatic/Freeze/
+// buildOriented legitimately fill a Static in place before it escapes.
+// Any other function in the package is held to the same rule as a
+// consumer.
+package graph
+
+import "trikcore/internal/graph"
+
+func FreezeStatic(s *graph.Static) *graph.Static {
+	s.RowPtr[0] = 0 // ok: the constructor fills the CSR in place
+	s.AdjNbr[0] = 1 // ok
+	s.OutPtr = nil  // ok
+	return s
+}
+
+func buildOriented(s *graph.Static) {
+	for i := range s.OutPtr {
+		s.OutPtr[i] = 0 // ok: allowlisted constructor half
+	}
+}
+
+func compactInPlace(s *graph.Static) {
+	s.AdjNbr[0] = 2 // want "assignment through graph.Static field AdjNbr"
+}

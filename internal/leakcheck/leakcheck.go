@@ -1,0 +1,184 @@
+// Package leakcheck fails tests that leave goroutines behind. It is the
+// runtime complement to trikcheck's goroutine-lifecycle rule: the static
+// rule proves every goroutine in the serving tiers *can* be stopped, and
+// leakcheck verifies the test actually stopped them.
+//
+// Built entirely on runtime.Stack: a snapshot of all goroutine stacks is
+// taken before the test (or test binary) runs and diffed against one
+// taken after. Goroutines the runtime or the testing framework own are
+// filtered out; anything else that appeared and survived is a leak.
+// Because a well-behaved goroutine may still be winding down when the
+// test returns (an SSE handler observing its closed Done channel, say),
+// the post-check retries with doubling backoff before declaring a leak.
+//
+// Two wirings:
+//
+//	func TestMain(m *testing.M) { os.Exit(leakcheck.Main(m)) }
+//
+// checks the whole package once after every test has run, and
+//
+//	func TestSomething(t *testing.T) {
+//	    leakcheck.Check(t)
+//	    ...
+//	}
+//
+// pins one test: goroutines alive at the Check call are grandfathered,
+// anything the test itself started must be gone by its cleanup phase.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Retry schedule: attempts doubling from firstDelay cover roughly one
+// second in total, long enough for an unblocked goroutine to observe its
+// done channel and exit on a loaded CI machine.
+const (
+	defaultAttempts   = 7
+	defaultFirstDelay = 10 * time.Millisecond
+)
+
+// goroutine is one parsed stack stanza.
+type goroutine struct {
+	id    uint64
+	state string // the bracketed state: "running", "chan receive", ...
+	stack string // the full stanza, first line included
+}
+
+// Check arms leak detection for one test: goroutines alive now are
+// grandfathered, and a cleanup registered on t fails the test if any
+// goroutine created after this call is still alive when the test ends.
+func Check(t testing.TB) {
+	t.Helper()
+	before := snapshot()
+	t.Cleanup(func() {
+		if err := verify(before, defaultAttempts, defaultFirstDelay); err != nil {
+			t.Errorf("leakcheck: %v", err)
+		}
+	})
+}
+
+// Main wraps m.Run with a whole-binary leak check: after all tests pass,
+// any non-system goroutine still alive fails the run with exit code 1.
+// Wire it as the package's TestMain.
+func Main(m *testing.M) int {
+	code := m.Run()
+	if code != 0 {
+		return code // test failures win; don't pile a leak report on top
+	}
+	if err := verify(nil, defaultAttempts, defaultFirstDelay); err != nil {
+		fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+		return 1
+	}
+	return code
+}
+
+// verify diffs the current goroutine set against before (nil = only the
+// system filter applies), retrying with doubling backoff while leaks
+// remain. It returns an error describing the survivors of the last
+// attempt.
+func verify(before map[uint64]goroutine, attempts int, firstDelay time.Duration) error {
+	delay := firstDelay
+	var leaked []goroutine
+	for i := 0; ; i++ {
+		leaked = leaked[:0]
+		for id, g := range snapshot() {
+			if _, ok := before[id]; ok {
+				continue
+			}
+			if ignored(g) {
+				continue
+			}
+			leaked = append(leaked, g)
+		}
+		if len(leaked) == 0 {
+			return nil
+		}
+		if i+1 >= attempts {
+			break
+		}
+		time.Sleep(delay)
+		delay *= 2
+	}
+	sort.Slice(leaked, func(i, j int) bool { return leaked[i].id < leaked[j].id })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d leaked goroutine(s):", len(leaked))
+	for _, g := range leaked {
+		b.WriteString("\n\n")
+		b.WriteString(g.stack)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// snapshot captures every live goroutine, keyed by id.
+func snapshot() map[uint64]goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	return parseStacks(string(buf))
+}
+
+// parseStacks splits runtime.Stack(all=true) output into stanzas. Each
+// begins "goroutine N [state]:" and stanzas are separated by blank
+// lines.
+func parseStacks(dump string) map[uint64]goroutine {
+	out := make(map[uint64]goroutine)
+	for _, stanza := range strings.Split(strings.TrimSpace(dump), "\n\n") {
+		header, _, _ := strings.Cut(stanza, "\n")
+		rest, ok := strings.CutPrefix(header, "goroutine ")
+		if !ok {
+			continue
+		}
+		idStr, state, ok := strings.Cut(rest, " ")
+		if !ok {
+			continue
+		}
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		state = strings.TrimSuffix(strings.TrimPrefix(state, "["), "]:")
+		out[id] = goroutine{id: id, state: state, stack: stanza}
+	}
+	return out
+}
+
+// systemFrames mark goroutines the runtime or test framework own; their
+// lifetimes are not the test's responsibility.
+var systemFrames = []string{
+	"created by runtime.",         // GC workers, scavenger, finalizer
+	"created by testing.",         // tRunner goroutines for (sub)tests
+	"testing.(*M).Run",            // the main goroutine during TestMain
+	"testing.runFuzzing",          // fuzz workers
+	"testing.(*F).Fuzz",           // fuzz targets
+	"os/signal.",                  // signal delivery loop
+	"runtime/pprof.",              // profile writers
+	"internal/leakcheck.snapshot", // the goroutine taking this snapshot
+}
+
+// ignored reports whether g is a system goroutine (or the snapshotting
+// goroutine itself).
+func ignored(g goroutine) bool {
+	if g.state == "running" && strings.Contains(g.stack, "leakcheck") {
+		return true
+	}
+	for _, frame := range systemFrames {
+		if strings.Contains(g.stack, frame) {
+			return true
+		}
+	}
+	return false
+}

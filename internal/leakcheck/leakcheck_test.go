@@ -1,0 +1,93 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseStacks(t *testing.T) {
+	dump := "goroutine 1 [running]:\nmain.main()\n\t/src/main.go:10 +0x1\n\n" +
+		"goroutine 42 [chan receive]:\nmain.worker()\n\t/src/main.go:20 +0x2\ncreated by main.main\n\t/src/main.go:15 +0x3\n"
+	gs := parseStacks(dump)
+	if len(gs) != 2 {
+		t.Fatalf("parsed %d goroutines, want 2", len(gs))
+	}
+	if g := gs[1]; g.state != "running" {
+		t.Errorf("goroutine 1 state = %q, want running", g.state)
+	}
+	g, ok := gs[42]
+	if !ok {
+		t.Fatalf("goroutine 42 not parsed")
+	}
+	if g.state != "chan receive" {
+		t.Errorf("goroutine 42 state = %q, want chan receive", g.state)
+	}
+	if !strings.Contains(g.stack, "created by main.main") {
+		t.Errorf("goroutine 42 stack lost its created-by line:\n%s", g.stack)
+	}
+}
+
+func TestVerifyCatchesLeak(t *testing.T) {
+	before := snapshot()
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-release
+	}()
+
+	err := verify(before, 2, time.Millisecond)
+	if err == nil {
+		t.Fatalf("verify missed a blocked goroutine")
+	}
+	if !strings.Contains(err.Error(), "leaked goroutine") {
+		t.Errorf("error %q does not name the leak", err)
+	}
+	if !strings.Contains(err.Error(), "TestVerifyCatchesLeak") {
+		t.Errorf("error does not carry the leaking stack:\n%v", err)
+	}
+
+	close(release)
+	<-done
+	if err := verify(before, defaultAttempts, defaultFirstDelay); err != nil {
+		t.Errorf("verify still reports a leak after the goroutine exited: %v", err)
+	}
+}
+
+func TestVerifyRetriesThroughWinddown(t *testing.T) {
+	before := snapshot()
+	go func() {
+		time.Sleep(40 * time.Millisecond) // winds down while verify retries
+	}()
+	if err := verify(before, defaultAttempts, defaultFirstDelay); err != nil {
+		t.Errorf("verify did not wait out a winding-down goroutine: %v", err)
+	}
+}
+
+func TestVerifyGrandfathersExisting(t *testing.T) {
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-release
+	}()
+	defer func() { close(release); <-done }()
+
+	// The goroutine is alive at snapshot time, so it is not a leak.
+	if err := verify(snapshot(), 2, time.Millisecond); err != nil {
+		t.Errorf("verify flagged a grandfathered goroutine: %v", err)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+	}()
+	close(stop)
+	<-done
+}

@@ -20,8 +20,8 @@ const Overflow = "_other"
 // not usable; a nil *LabelCap passes values through uncapped.
 type LabelCap struct {
 	mu   sync.Mutex
-	max  int
-	seen map[string]bool
+	max  int             // set once in NewLabelCap; immutable
+	seen map[string]bool // trikcheck:guardedby mu
 }
 
 // NewLabelCap returns a cap admitting at most max distinct values.

@@ -67,7 +67,7 @@ func (k metricKind) String() string {
 // returns a nil (no-op) handle.
 type Registry struct {
 	mu       sync.Mutex
-	families map[string]*family
+	families map[string]*family // trikcheck:guardedby mu
 }
 
 // family is one metric name: its metadata plus every labeled series.

@@ -9,6 +9,7 @@ import (
 	"trikcore/internal/obs"
 	"trikcore/internal/template"
 	"trikcore/internal/view"
+	"trikcore/internal/watchdog"
 )
 
 // The change feed turns snapshot publications into a totally ordered
@@ -96,13 +97,15 @@ const (
 // Feed is one space's event hub: the bounded ring of recent events plus
 // the live subscriber set. All methods are safe for concurrent use.
 type Feed struct {
-	mu        sync.Mutex
-	armed     bool
-	closed    bool
-	nextID    uint64 // id the next event will get; ids start at 1
-	ring      []Event
+	mu     sync.Mutex
+	armed  bool                     // trikcheck:guardedby mu
+	closed bool                     // trikcheck:guardedby mu
+	nextID uint64                   // trikcheck:guardedby mu — id the next event will get; ids start at 1
+	ring   []Event                  // trikcheck:guardedby mu
+	subs   map[*Subscriber]struct{} // trikcheck:guardedby mu
+	// capacity and subsGauge are set once in newFeed/newSpace before the
+	// feed escapes; immutable thereafter.
 	capacity  int
-	subs      map[*Subscriber]struct{}
 	subsGauge *obs.Gauge
 }
 
@@ -170,6 +173,9 @@ func (f *Feed) Unsubscribe(sub *Subscriber) {
 	f.dropLocked(sub)
 }
 
+// dropLocked removes sub and closes its Done; every caller holds f.mu.
+//
+//trikcheck:locked
 func (f *Feed) dropLocked(sub *Subscriber) {
 	if _, ok := f.subs[sub]; !ok {
 		return
@@ -215,6 +221,7 @@ func (f *Feed) Close() {
 // subscriber whose buffer is full is dropped on the spot: the feed
 // never blocks the write path on a slow consumer.
 func (f *Feed) publish(prev, cur *view.Snapshot) int {
+	defer watchdog.Start("registry.Feed.publish")()
 	f.mu.Lock()
 	if !f.armed || f.closed {
 		f.mu.Unlock()

@@ -33,6 +33,7 @@ import (
 	"trikcore/internal/graph"
 	"trikcore/internal/obs"
 	"trikcore/internal/view"
+	"trikcore/internal/watchdog"
 )
 
 // DefaultGraph is the space the legacy unprefixed HTTP routes alias, so
@@ -122,8 +123,8 @@ const (
 type Registry struct {
 	mu     sync.Mutex
 	cfg    Config
-	spaces map[string]*Space
-	closed bool
+	spaces map[string]*Space // trikcheck:guardedby mu
+	closed bool              // trikcheck:guardedby mu
 
 	labelCap *obs.LabelCap
 	graphs   *obs.Gauge // current space count
@@ -325,6 +326,7 @@ func (r *Registry) Delete(name string) error {
 // graceful-shutdown hook: closing feeds unblocks all SSE handlers so
 // http.Server.Shutdown can drain.
 func (r *Registry) Close() {
+	defer watchdog.Start("registry.Registry.Close")()
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -411,6 +413,7 @@ func (sp *Space) MaxBodyBytes() int64 { return sp.quotas.MaxBodyBytes }
 func (sp *Space) Apply(ops []dynamic.EdgeOp) (added, removed int, err error) {
 	sp.wmu.Lock()
 	defer sp.wmu.Unlock()
+	defer watchdog.Start("registry.Space.Apply")()
 	prev := sp.pub.Acquire()
 	cur := sp.pub.Mutate(func(en *dynamic.Engine) {
 		if err = sp.quotas.check(en, ops); err != nil {

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"bufio"
+	"net/http"
+	"testing"
+	"time"
+
+	"trikcore/internal/leakcheck"
+)
+
+// Goroutine-leak regression tests for the three ways an SSE stream ends.
+// Each arms leakcheck after the httptest server exists (grandfathering
+// its accept loop) and before any subscription, so the verification —
+// which t.Cleanup runs before the server's own teardown — catches a
+// subscribe handler that outlives its stream. If handleSubscribe ever
+// stops watching ctx.Done/sub.Done, or registry deletion and server
+// shutdown stop closing feeds, these tests fail with the leaked
+// handler's stack instead of riding out the whole go-test timeout.
+
+// armLeakcheck orders the cleanup stack for a leak test: client-side
+// keepalive connections are closed first (so their server halves can
+// exit), then leakcheck verifies, then the server closes its feeds
+// (unsticking any handler the verification just reported, so the
+// httptest teardown below it can finish instead of hanging the run),
+// and finally — registered before this call, in newTestServer — the
+// httptest server shuts down.
+func armLeakcheck(t *testing.T, s *Server) {
+	t.Cleanup(s.Close) // idempotent
+	leakcheck.Check(t)
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
+}
+
+// expectStreamEnd asserts the server ends the stream (EOF) within a
+// bounded wait, so a handler that ignores its shutdown signal fails the
+// test in seconds rather than hanging it.
+func expectStreamEnd(t *testing.T, br *bufio.Reader, who string) {
+	t.Helper()
+	got := make(chan error, 1)
+	go func() {
+		_, err := br.ReadString('\n')
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		if err == nil {
+			t.Fatalf("%s: stream still delivering data", who)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s: stream still open, handler did not exit", who)
+	}
+}
+
+// TestLeakSSEClientDisconnect: the client hangs up; the handler must
+// observe the canceled request context and return.
+func TestLeakSSEClientDisconnect(t *testing.T) {
+	s, ts := newTestServer(t)
+	armLeakcheck(t, s)
+	_, done := openSSE(t, ts.URL+"/subscribe", 0)
+	done()
+}
+
+// TestLeakGraphDeleteWithLiveSubscribers: DELETE /g/{name} closes the
+// graph's feed; both live handlers must observe their closed Done
+// channels and return even though the clients are still connected.
+func TestLeakGraphDeleteWithLiveSubscribers(t *testing.T) {
+	s, ts := newTestServer(t)
+	armLeakcheck(t, s)
+	mustStatus(t, http.MethodPost, ts.URL+"/g/tmp", "", http.StatusCreated)
+	br1, done1 := openSSE(t, ts.URL+"/g/tmp/subscribe", 0)
+	defer done1()
+	br2, done2 := openSSE(t, ts.URL+"/g/tmp/subscribe", 0)
+	defer done2()
+	mustStatus(t, http.MethodDelete, ts.URL+"/g/tmp", "", http.StatusOK)
+	expectStreamEnd(t, br1, "subscriber 1 after graph deletion")
+	expectStreamEnd(t, br2, "subscriber 2 after graph deletion")
+}
+
+// TestLeakServerShutdownWithLiveSubscribers: Server.Close closes every
+// feed, which must unblock all SSE handlers so the HTTP server can
+// drain.
+func TestLeakServerShutdownWithLiveSubscribers(t *testing.T) {
+	s, ts := newTestServer(t)
+	armLeakcheck(t, s)
+	br, done := openSSE(t, ts.URL+"/subscribe", 0)
+	defer done()
+	s.Close()
+	expectStreamEnd(t, br, "subscriber after Server.Close")
+}

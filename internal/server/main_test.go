@@ -1,0 +1,16 @@
+package server
+
+import (
+	"os"
+	"testing"
+
+	"trikcore/internal/leakcheck"
+)
+
+// TestMain fails the suite if any test leaves a goroutine behind — the
+// runtime counterpart of trikcheck's goroutine-lifecycle rule. SSE
+// handlers, per-connection server goroutines and feed subscribers must
+// all be gone once every test (and its cleanups) has finished.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

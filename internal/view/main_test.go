@@ -1,0 +1,16 @@
+package view
+
+import (
+	"os"
+	"testing"
+
+	"trikcore/internal/leakcheck"
+)
+
+// TestMain fails the suite if any test leaves a goroutine behind — the
+// runtime counterpart of trikcheck's goroutine-lifecycle rule. The
+// publisher's parallel batch path joins its workers before returning;
+// this check keeps it that way.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -7,6 +7,7 @@ import (
 	"trikcore/internal/dynamic"
 	"trikcore/internal/graph"
 	"trikcore/internal/obs"
+	"trikcore/internal/watchdog"
 )
 
 // Publisher owns a dynamic engine and publishes immutable Snapshots of
@@ -15,15 +16,15 @@ import (
 // Acquire — one atomic pointer load, no lock, ever.
 type Publisher struct {
 	mu  sync.Mutex
-	en  *dynamic.Engine
+	en  *dynamic.Engine // trikcheck:guardedby mu
 	cur atomic.Pointer[Snapshot]
 	// workers, when > 1, routes Apply through the engine's parallel batch
 	// path (ApplyBatchParallel) with that worker count. Zero or one keeps
 	// the serial ApplyBatch. Guarded by mu like the engine itself.
-	workers int
+	workers int // trikcheck:guardedby mu
 	// mt, when non-nil (see Instrument), records publish latency and
 	// counts; published snapshots carry it for memo accounting.
-	mt *pubMetrics
+	mt *pubMetrics // trikcheck:guardedby mu
 }
 
 // NewPublisher wraps an engine, taking ownership of it: the caller must
@@ -66,6 +67,7 @@ func (p *Publisher) SetWorkers(n int) {
 func (p *Publisher) Apply(ops []dynamic.EdgeOp) (added, removed int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer watchdog.Start("view.Publisher.Apply")()
 	before := p.en.Version()
 	if p.workers > 1 {
 		added, removed = p.en.ApplyBatchParallel(ops, p.workers)
@@ -85,6 +87,7 @@ func (p *Publisher) Apply(ops []dynamic.EdgeOp) (added, removed int) {
 func (p *Publisher) Mutate(fn func(en *dynamic.Engine)) *Snapshot {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer watchdog.Start("view.Publisher.Mutate")()
 	before := p.en.Version()
 	fn(p.en)
 	if p.en.Version() != before {
@@ -95,6 +98,8 @@ func (p *Publisher) Mutate(fn func(en *dynamic.Engine)) *Snapshot {
 
 // freeze builds a Snapshot of the engine's current state. Callers hold
 // mu (or are the constructor, before the Publisher escapes).
+//
+//trikcheck:locked
 func (p *Publisher) freeze() *Snapshot {
 	var sp obs.Span
 	if p.mt != nil {

@@ -1,0 +1,38 @@
+// Package watchdog panics when an instrumented critical section overruns
+// its deadline — a trikdebug-only deadlock tripwire. The race detector
+// finds unsynchronized accesses but says nothing about a writer section
+// that simply never finishes (a deadlock between Publisher.mu and a
+// feed's mutex, a quota check that re-enters the engine, a subscriber
+// fan-out blocking on a full channel while holding a lock). Under
+// `-tags trikdebug` every guarded section arms a timer on entry; if the
+// section is still open when the deadline fires, the watchdog panics
+// with the section's name, crashing the test with full goroutine stacks
+// while the deadlock is still in place.
+//
+// In normal builds Start compiles to a no-op returning a shared no-op
+// stop function; the instrumented hot paths pay one call and one defer.
+//
+//	stop := watchdog.Start("publisher.Apply")
+//	defer stop()
+package watchdog
+
+import (
+	"fmt"
+	"time"
+)
+
+// Deadline is how long an instrumented section may stay open before the
+// watchdog trips. Generous by design: real sections finish in
+// microseconds-to-milliseconds, so anything near a human timescale is a
+// hang, not a slow day. Tests may lower it to exercise the tripwire.
+var Deadline = 30 * time.Second
+
+// overrun is what a tripped watchdog does. A variable so the package
+// test can observe a trip without crashing the suite.
+var overrun = func(name string, deadline time.Duration) {
+	panic(fmt.Sprintf("watchdog: %s still running after %v — likely deadlock", name, deadline))
+}
+
+// nop is the shared no-op stop function returned by the disabled build
+// (and by Enabled builds' fast path, were one added).
+func nop() {}

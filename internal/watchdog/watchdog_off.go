@@ -1,0 +1,10 @@
+//go:build !trikdebug
+
+package watchdog
+
+// Enabled reports whether watchdog instrumentation is compiled in.
+const Enabled = false
+
+// Start is a no-op in normal builds; the returned stop function is the
+// shared nop, so instrumented sections allocate nothing.
+func Start(string) func() { return nop }

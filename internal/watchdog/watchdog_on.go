@@ -1,0 +1,16 @@
+//go:build trikdebug
+
+package watchdog
+
+import "time"
+
+// Enabled reports whether watchdog instrumentation is compiled in.
+const Enabled = true
+
+// Start arms a deadline timer for the named critical section and returns
+// the disarm function; call it (usually via defer) when the section
+// exits. If the timer fires first, overrun panics with name.
+func Start(name string) func() {
+	t := time.AfterFunc(Deadline, func() { overrun(name, Deadline) })
+	return func() { t.Stop() }
+}

@@ -1,0 +1,64 @@
+package watchdog
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStartDisarmIsQuiet(t *testing.T) {
+	if !Enabled {
+		stop := Start("off.section")
+		stop() // no-op build: nothing to arm, nothing to trip
+		return
+	}
+	old := Deadline
+	Deadline = 10 * time.Millisecond
+	defer func() { Deadline = old }()
+
+	tripped := make(chan string, 1)
+	oldOverrun := overrun
+	overrun = func(name string, _ time.Duration) { tripped <- name }
+	defer func() { overrun = oldOverrun }()
+
+	stop := Start("quiet.section")
+	stop()
+	select {
+	case name := <-tripped:
+		t.Fatalf("disarmed watchdog tripped for %q", name)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestOverrunTrips(t *testing.T) {
+	if !Enabled {
+		t.Skip("watchdog compiled out; run with -tags trikdebug")
+	}
+	old := Deadline
+	Deadline = 10 * time.Millisecond
+	defer func() { Deadline = old }()
+
+	tripped := make(chan string, 1)
+	oldOverrun := overrun
+	overrun = func(name string, _ time.Duration) { tripped <- name }
+	defer func() { overrun = oldOverrun }()
+
+	stop := Start("stuck.section")
+	defer stop()
+	select {
+	case name := <-tripped:
+		if name != "stuck.section" {
+			t.Fatalf("tripped for %q, want stuck.section", name)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never tripped on an overrunning section")
+	}
+}
+
+func TestOverrunDefaultPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("default overrun did not panic")
+		}
+	}()
+	overrun("some.section", time.Second)
+}
