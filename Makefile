@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race debugrace bench fuzz fuzzchurn ci
+.PHONY: all build test vet lint race debugrace bench fuzz fuzzchurn fuzzexternal ci
 
 all: ci
 
@@ -48,7 +48,12 @@ debugrace:
 # the stream through cmd/benchjson, which echoes it and drops a
 # machine-readable BENCH_<stamp>.json with the host shape alongside.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkFreezeStatic$$|BenchmarkDecomposeStatic$$|BenchmarkTriangleCountStatic$$|BenchmarkEngineChurn$$|BenchmarkServerMixedWorkload$$' -benchmem -benchtime 3s . | $(GO) run ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'BenchmarkFreezeStatic$$|BenchmarkDecomposeStatic$$|BenchmarkTriangleCountStatic$$|BenchmarkEngineChurn$$|BenchmarkServerMixedWorkload$$|BenchmarkDecomposeExternal$$' -benchmem -benchtime 3s . | $(GO) run ./cmd/benchjson
+
+# Short out-of-core equivalence fuzz (CI-sized; κ under three budgets
+# must match the in-memory decomposition).
+fuzzexternal:
+	$(GO) test -run '^$$' -fuzz FuzzExternalDecompose -fuzztime 20s ./internal/extcore
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFreezeStatic -fuzztime 30s ./internal/graph

@@ -31,6 +31,7 @@ import (
 	"trikcore/internal/dynamic"
 	"trikcore/internal/events"
 	"trikcore/internal/expt"
+	"trikcore/internal/extcore"
 	"trikcore/internal/gen"
 	"trikcore/internal/graph"
 	"trikcore/internal/kcore"
@@ -459,6 +460,37 @@ func BenchmarkTriangleCountStatic(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.TriangleCount()
+	}
+}
+
+// --- Out-of-core decomposition (ISSUE 9) ----------------------------------
+
+// BenchmarkDecomposeExternal peels the Astro fixture through the
+// partitioned out-of-core path at the CI budget (256 KiB, which planned
+// 4 partitions at authoring time) and unbounded (the resident arm,
+// bounding the EdgeView indirection against BenchmarkDecompose_Astro20pct).
+func BenchmarkDecomposeExternal(b *testing.B) {
+	_, astro := fixtures()
+	s := graph.FreezeStatic(astro)
+	for _, bc := range []struct {
+		name   string
+		budget int64
+	}{
+		{"Budget256KiB", 256 << 10},
+		{"Unbounded", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := extcore.Decompose(s, extcore.Options{MemBudget: bc.budget, TempDir: b.TempDir()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bc.budget > 0 && !res.Stats.External {
+					b.Fatal("budget did not trigger the external path")
+				}
+			}
+		})
 	}
 }
 

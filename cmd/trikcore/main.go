@@ -6,13 +6,15 @@
 //
 //	trikcore stats     -in graph.txt
 //	trikcore decompose -in graph.txt [-top 10] [-k 3]
+//	trikcore decompose -in graph.tkcg -external -mem-budget 262144
 //	trikcore plot      -in graph.txt [-format ascii|svg] [-out plot.svg]
 //	trikcore update    -in graph.txt -ops ops.txt
 //	trikcore template  -old old.txt -new new.txt -pattern new-form|bridge|new-join
 //	trikcore hierarchy -in graph.txt [-min-edges 3]
 //	trikcore dualview  -old old.txt -new new.txt [-svg outdir]
 //	trikcore events    -old old.txt -new new.txt -k 3
-//	trikcore convert   -in graph.txt -out graph.tkcg
+//	trikcore convert   -in graph.txt -out graph.tkcg [-to text|binary|csr]
+//	trikcore gen       -dataset Astro-Author -scale 0.2 -out astro.txt
 //	trikcore serve     -in graph.txt -addr :8080 [-pprof] [-quiet]
 //	                   [-graphs name=file,...] [-max-graphs N]
 //	                   [-max-vertices N] [-max-edges N] [-max-body-bytes N]
@@ -53,7 +55,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: trikcore <stats|decompose|plot|update|template|hierarchy|dualview|events|convert|serve> [flags]")
+		return fmt.Errorf("usage: trikcore <stats|decompose|plot|update|template|hierarchy|dualview|events|convert|gen|serve> [flags]")
 	}
 	switch args[0] {
 	case "stats":
@@ -74,6 +76,8 @@ func run(args []string) error {
 		return cmdEvents(args[1:])
 	case "convert":
 		return cmdConvert(args[1:])
+	case "gen":
+		return cmdGen(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
 	default:
@@ -103,18 +107,110 @@ func cmdStats(args []string) error {
 
 func cmdDecompose(args []string) error {
 	fs := flag.NewFlagSet("decompose", flag.ContinueOnError)
-	in := fs.String("in", "", "input edge-list file")
+	in := fs.String("in", "", "input file (.txt edge list or .tkcg CSR)")
 	top := fs.Int("top", 10, "print the top-N edges by κ")
-	k := fs.Int("k", -1, "also list triangle-connected communities at level k")
+	k := fs.Int("k", -1, "also list triangle-connected communities at level k (in-memory only)")
+	external := fs.Bool("external", false, "out-of-core decomposition: partitioned bottom-up peel under -mem-budget")
+	memBudget := fs.Int64("mem-budget", 0, "resident peel-state budget in bytes for -external (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	g, err := trikcore.LoadEdgeListFile(*in)
+	if *external {
+		if *k >= 0 {
+			return fmt.Errorf("community listing (-k) needs the in-memory path; drop -external")
+		}
+		return decomposeExternal(*in, *memBudget, *top)
+	}
+	g, err := loadGraphFile(*in)
 	if err != nil {
 		return err
 	}
 	d := trikcore.Decompose(g)
-	hist := d.KappaHistogram()
+	printKappaHistogram(d.KappaHistogram())
+	var all []edgeKappa
+	for e, kv := range d.EdgeKappas() {
+		all = append(all, edgeKappa{e, kv})
+	}
+	printTopEdges(all, *top)
+	if *k >= 0 {
+		comms := d.Communities(int32(*k))
+		fmt.Printf("communities at k=%d: %d\n", *k, len(comms))
+		for i, c := range comms {
+			fmt.Printf("  community %d: %d edges\n", i+1, len(c))
+		}
+	}
+	return nil
+}
+
+// decomposeExternal is the -external arm of cmdDecompose: .tkcg inputs
+// are mmap'd (never parsed onto the heap), the peel runs partitioned
+// under the byte budget, and the κ report is formatted exactly like the
+// in-memory arm so the two can be diffed.
+func decomposeExternal(in string, budget int64, top int) error {
+	s, closer, err := loadStaticFile(in)
+	if err != nil {
+		return err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	res, err := trikcore.DecomposeExternal(s, trikcore.ExternalOptions{MemBudget: budget})
+	if err != nil {
+		return err
+	}
+	hist := make(map[int32]int)
+	for _, kv := range res.Kappa {
+		hist[kv]++
+	}
+	printKappaHistogram(hist)
+	all := make([]edgeKappa, len(res.Kappa))
+	for i, kv := range res.Kappa {
+		u, v := s.Endpoints(int32(i))
+		all[i] = edgeKappa{trikcore.Edge{U: s.OrigID[u], V: s.OrigID[v]}, int(kv)}
+	}
+	printTopEdges(all, top)
+	st := res.Stats
+	fmt.Fprintf(os.Stderr,
+		"trikcore: external peel: %d partitions, %d levels, %d sweeps, %d activations, %d spill records (%d bytes), peak resident %d bytes\n",
+		st.Partitions, st.Levels, st.Sweeps, st.Activations, st.SpillRecords, st.SpillBytes, st.PeakResidentBytes)
+	return nil
+}
+
+// loadGraphFile loads either format into a mutable graph.
+func loadGraphFile(path string) (*trikcore.Graph, error) {
+	if strings.HasSuffix(path, ".tkcg") {
+		return trikcore.LoadBinaryFile(path)
+	}
+	return trikcore.LoadEdgeListFile(path)
+}
+
+// loadStaticFile produces a frozen view of the input: mapped .tkcg
+// files alias the page cache (the closer unmaps them), text edge lists
+// are parsed and frozen.
+func loadStaticFile(path string) (*trikcore.StaticGraph, interface{ Close() error }, error) {
+	if strings.HasSuffix(path, ".tkcg") {
+		m, err := trikcore.OpenMapped(path)
+		if err == nil {
+			return m.Static(), m, nil
+		}
+		if !errors.Is(err, trikcore.ErrCorruptGraphFile) {
+			// Snapshot-layout .tkcg: fall back to parsing it.
+			g, gerr := trikcore.LoadBinaryFile(path)
+			if gerr != nil {
+				return nil, nil, gerr
+			}
+			return trikcore.FreezeGraph(g), nil, nil
+		}
+		return nil, nil, err
+	}
+	g, err := trikcore.LoadEdgeListFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return trikcore.FreezeGraph(g), nil, nil
+}
+
+func printKappaHistogram(hist map[int32]int) {
 	var ks []int32
 	for kv := range hist {
 		ks = append(ks, kv)
@@ -124,35 +220,29 @@ func cmdDecompose(args []string) error {
 	for _, kv := range ks {
 		fmt.Printf("  κ=%-4d %d edges\n", kv, hist[kv])
 	}
-	type ek struct {
-		e trikcore.Edge
-		k int
-	}
-	var all []ek
-	for e, kv := range d.EdgeKappas() {
-		all = append(all, ek{e, kv})
-	}
+}
+
+// edgeKappa pairs an edge (original vertex ids) with its κ for the
+// top-N report.
+type edgeKappa struct {
+	e trikcore.Edge
+	k int
+}
+
+func printTopEdges(all []edgeKappa, top int) {
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].k != all[j].k {
 			return all[i].k > all[j].k
 		}
 		return all[i].e.Less(all[j].e)
 	})
-	if *top > len(all) {
-		*top = len(all)
+	if top > len(all) {
+		top = len(all)
 	}
-	fmt.Printf("top %d edges:\n", *top)
-	for _, x := range all[:*top] {
+	fmt.Printf("top %d edges:\n", top)
+	for _, x := range all[:top] {
 		fmt.Printf("  %-12s κ=%d\n", x.e, x.k)
 	}
-	if *k >= 0 {
-		comms := d.Communities(int32(*k))
-		fmt.Printf("communities at k=%d: %d\n", *k, len(comms))
-		for i, c := range comms {
-			fmt.Printf("  community %d: %d edges\n", i+1, len(c))
-		}
-	}
-	return nil
 }
 
 func cmdPlot(args []string) error {
@@ -431,39 +521,45 @@ func buildServer(in string, opts server.Options, quiet bool) (*server.Server, er
 	return server.NewWith(g, opts), nil
 }
 
-// cmdConvert translates between the text edge-list format and the
-// compact binary snapshot format, inferring direction from extensions
-// unless -to is given.
+// cmdConvert translates between the text edge-list format and the two
+// .tkcg layouts, inferring direction from extensions unless -to is
+// given. Text → csr streams through BuildMappedFile in two passes
+// without materializing the edge set, so inputs larger than RAM
+// convert in O(|V|) resident space.
 func cmdConvert(args []string) error {
 	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
-	in := fs.String("in", "", "input file (.txt edge list or .tkcg binary)")
+	in := fs.String("in", "", "input file (.txt edge list or .tkcg)")
 	out := fs.String("out", "", "output file")
-	to := fs.String("to", "", "output format: text or binary (default: by extension)")
+	to := fs.String("to", "", "output format: text, binary (varint snapshot) or csr (mmap-friendly; default for .tkcg output)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("convert needs -in and -out")
 	}
-	var g *trikcore.Graph
-	var err error
-	if strings.HasSuffix(*in, ".tkcg") {
-		g, err = trikcore.LoadBinaryFile(*in)
-	} else {
-		g, err = trikcore.LoadEdgeListFile(*in)
-	}
-	if err != nil {
-		return err
-	}
 	format := *to
 	if format == "" {
 		if strings.HasSuffix(*out, ".tkcg") {
-			format = "binary"
+			format = "csr"
 		} else {
 			format = "text"
 		}
 	}
+	if format == "csr" && !strings.HasSuffix(*in, ".tkcg") {
+		st, err := trikcore.ConvertEdgeListToCSR(*in, *out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("converted %d vertices, %d edges to %s (%s)\n", st.Vertices, st.Edges, *out, format)
+		return nil
+	}
+	g, err := loadGraphFile(*in)
+	if err != nil {
+		return err
+	}
 	switch format {
+	case "csr":
+		err = trikcore.SaveCSRFile(*out, trikcore.FreezeGraph(g))
 	case "binary":
 		err = trikcore.SaveBinaryFile(*out, g)
 	case "text":
@@ -475,6 +571,43 @@ func cmdConvert(args []string) error {
 		return err
 	}
 	fmt.Printf("converted %d vertices, %d edges to %s (%s)\n", g.NumVertices(), g.NumEdges(), *out, format)
+	return nil
+}
+
+// cmdGen materializes one of the paper's Table I dataset stand-ins as
+// an edge-list file, for pipelines (and CI) that need a deterministic
+// paper-scale fixture without shipping one.
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	name := fs.String("dataset", "", "Table I dataset name (see -list)")
+	scale := fs.Float64("scale", 1, "fraction of the stand-in's target size to generate")
+	out := fs.String("out", "", "output edge-list file")
+	list := fs.Bool("list", false, "list available datasets and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, d := range trikcore.Datasets() {
+			fmt.Printf("%-14s target |V|=%d |E|=%d  %s\n", d.Name, d.TargetV(), d.TargetE(), d.Description)
+		}
+		return nil
+	}
+	if *name == "" || *out == "" {
+		return fmt.Errorf("gen needs -dataset and -out (or -list)")
+	}
+	d, ok := trikcore.DatasetByName(*name)
+	if !ok {
+		return fmt.Errorf("unknown dataset %q (try gen -list)", *name)
+	}
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("-scale %g outside (0, 1]", *scale)
+	}
+	g := d.GenerateAt(*scale)
+	if err := trikcore.SaveEdgeListFile(*out, g); err != nil {
+		return err
+	}
+	fmt.Printf("generated %s at scale %g: %d vertices, %d edges to %s\n",
+		d.Name, *scale, g.NumVertices(), g.NumEdges(), *out)
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"trikcore"
 	"trikcore/internal/server"
 )
 
@@ -214,6 +215,94 @@ func TestCmdConvert(t *testing.T) {
 	}
 	if err := run([]string{"convert", "-in", in, "-out", back, "-to", "bogus"}); err == nil {
 		t.Fatal("convert with bad format succeeded")
+	}
+}
+
+func TestCmdConvertCSRStreaming(t *testing.T) {
+	dir := t.TempDir()
+	// Duplicates and reversed orientations exercise the streaming
+	// builder's dedup path.
+	in := writeFile(t, dir, "g.txt", k5edges+"2 1\n1 2\n")
+	csr := filepath.Join(dir, "g.tkcg")
+	out := capture(t, "convert", "-in", in, "-out", csr)
+	if !strings.Contains(out, "converted 8 vertices, 12 edges") || !strings.Contains(out, "(csr)") {
+		t.Fatalf("convert output:\n%s", out)
+	}
+	// The default .tkcg layout is now the mapped CSR: OpenMapped must
+	// accept it directly.
+	m, err := trikcore.OpenMapped(csr)
+	if err != nil {
+		t.Fatalf("convert did not produce a mapped CSR: %v", err)
+	}
+	if m.Static().NumEdges() != 12 {
+		t.Errorf("mapped view has %d edges, want 12", m.Static().NumEdges())
+	}
+	m.Close()
+	// Round trip back to text through the materializing loader: the
+	// duplicate mentions collapse to the canonical edge list.
+	back := filepath.Join(dir, "back.txt")
+	capture(t, "convert", "-in", csr, "-out", back)
+	round, _ := os.ReadFile(back)
+	if string(round) != k5edges {
+		t.Fatalf("round trip mismatch:\n%s", round)
+	}
+	// Explicit snapshot layout still available.
+	snap := filepath.Join(dir, "snap.tkcg")
+	out = capture(t, "convert", "-in", in, "-out", snap, "-to", "binary")
+	if !strings.Contains(out, "(binary)") {
+		t.Fatalf("snapshot convert output:\n%s", out)
+	}
+	if _, err := trikcore.OpenMapped(snap); err == nil {
+		t.Fatal("snapshot layout opened as mapped CSR")
+	}
+}
+
+func TestCmdDecomposeExternal(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "g.txt", k5edges)
+	want := capture(t, "decompose", "-in", in, "-top", "3")
+
+	// Over the mmap'd CSR with a tiny budget, stdout must be identical
+	// to the in-memory run — this is the equivalence CI scripts diff.
+	csr := filepath.Join(dir, "g.tkcg")
+	capture(t, "convert", "-in", in, "-out", csr)
+	got := capture(t, "decompose", "-in", csr, "-external", "-mem-budget", "1024", "-top", "3")
+	if got != want {
+		t.Fatalf("external decompose output differs from in-memory:\n--- in-memory\n%s--- external\n%s", want, got)
+	}
+	// And over a plain edge list with the unbounded default budget.
+	got = capture(t, "decompose", "-in", in, "-external", "-top", "3")
+	if got != want {
+		t.Fatalf("resident external decompose output differs:\n%s", got)
+	}
+	if err := run([]string{"decompose", "-in", csr, "-external", "-k", "2"}); err == nil {
+		t.Fatal("-external with -k succeeded")
+	}
+}
+
+func TestCmdGen(t *testing.T) {
+	dir := t.TempDir()
+	list := capture(t, "gen", "-list")
+	if !strings.Contains(list, "Astro-Author") {
+		t.Fatalf("gen -list output:\n%s", list)
+	}
+	out := filepath.Join(dir, "astro.txt")
+	msg := capture(t, "gen", "-dataset", "Astro-Author", "-scale", "0.05", "-out", out)
+	if !strings.Contains(msg, "generated Astro-Author at scale 0.05") {
+		t.Fatalf("gen output:\n%s", msg)
+	}
+	g, err := trikcore.LoadEdgeListFile(out)
+	if err != nil || g.NumEdges() == 0 {
+		t.Fatalf("generated file unusable: %v", err)
+	}
+	if err := run([]string{"gen", "-dataset", "nope", "-out", out}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run([]string{"gen", "-dataset", "Astro-Author", "-scale", "2", "-out", out}); err == nil {
+		t.Fatal("out-of-range scale accepted")
+	}
+	if err := run([]string{"gen"}); err == nil {
+		t.Fatal("gen without flags accepted")
 	}
 }
 

@@ -17,7 +17,8 @@ import (
 //   - fmt.Print/Printf/Println — terminal printing is best-effort, and
 //     the no-stdout rule already restricts where it may happen;
 //   - writes whose sink cannot fail or has nowhere to report: a
-//     strings.Builder, bytes.Buffer, http.ResponseWriter, or os.Stderr /
+//     strings.Builder, bytes.Buffer, http.ResponseWriter, a hash.Hash
+//     (whose Write is documented to never fail), or os.Stderr /
 //     os.Stdout via the fmt.Fprint family.
 var DiscardedError = Rule{
 	Name:    "discarded-error",
@@ -122,6 +123,9 @@ func infallibleSink(t types.Type) bool {
 	s := strings.TrimPrefix(t.String(), "*")
 	switch s {
 	case "strings.Builder", "bytes.Buffer", "net/http.ResponseWriter":
+		return true
+	// hash.Hash documents that Write never returns an error.
+	case "hash.Hash", "hash.Hash32", "hash.Hash64":
 		return true
 	}
 	return false

@@ -22,6 +22,9 @@ var mapOrderPackages = map[string]bool{
 	// registry renders the change feed; map-ordered events would break
 	// the feed's byte-determinism guarantee.
 	"internal/registry": true,
+	// extcore's spill/activation schedule must be deterministic for its
+	// byte-identical-κ contract; map-ordered iteration would randomize it.
+	"internal/extcore": true,
 }
 
 // mapOrderWriterMethods are method/function names that emit bytes; a call

@@ -17,11 +17,6 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
-	"trikcore/internal/bucket"
 	"trikcore/internal/graph"
 	"trikcore/internal/obs"
 )
@@ -97,115 +92,28 @@ func DecomposeStatic(s *graph.Static, opts Options) *Decomposition {
 // (steps 7–18) given precomputed edge supports. Table III's "Re-compute"
 // column times exactly this phase, matching the paper's accounting.
 // The support slice is not mutated.
+//
+// Peeled edges are removed from the live adjacency, so the merge in
+// each step scans only unprocessed edges — triangles through an
+// already-processed edge (step 17) never surface, and rows shrink as
+// the peel progresses.
 func DecomposeWithSupport(s *graph.Static, support []int32) *Decomposition {
-	m := s.NumEdges()
-	d := &Decomposition{
-		S:       s,
-		Kappa:   make([]int32, m),
-		Order:   make([]int32, 0, m),
-		OrderOf: make([]int32, m),
-		Support: append([]int32(nil), support...),
+	r := Peel(s, graph.NewLiveAdj(s), support)
+	return &Decomposition{
+		S:        s,
+		Kappa:    r.Kappa,
+		Order:    r.Order,
+		OrderOf:  r.OrderOf,
+		Support:  append([]int32(nil), support...),
+		MaxKappa: r.MaxKappa,
 	}
-
-	// Steps 7–18: peel edges in increasing order of the κ̃ upper bound.
-	// Peeled edges are removed from the live adjacency, so the merge in
-	// each step scans only unprocessed edges — triangles through an
-	// already-processed edge (step 17) never surface, and rows shrink as
-	// the peel progresses.
-	la := graph.NewLiveAdj(s)
-	q := bucket.New(support)
-	for {
-		et, kt, ok := q.PopMin()
-		if !ok {
-			break
-		}
-		d.Kappa[et] = kt
-		d.OrderOf[et] = int32(len(d.Order))
-		d.Order = append(d.Order, et)
-		if kt > d.MaxKappa {
-			d.MaxKappa = kt
-		}
-		u, v := s.EdgeU[et], s.EdgeV[et]
-		la.RemoveEdge(et)
-		la.ForEachTriangleEdge(u, v, func(w, e1, e2 int32) bool {
-			// Step 13: only bounds strictly above κ(e_t) shrink; smaller
-			// or equal bounds already account for this triangle's loss.
-			if q.Val(e1) > kt {
-				q.Dec(e1)
-			}
-			if q.Val(e2) > kt {
-				q.Dec(e2)
-			}
-			return true
-		})
-	}
-	return d
 }
 
-// supportBlock is the edge-block granularity of the work-stealing support
-// computation. Blocks are handed out through an atomic counter rather than
-// pre-chunked ranges: on power-law graphs the support cost of an edge is
-// proportional to its endpoint degrees, so static chunking strands the
-// workers that drew low-degree ranges while a hub-heavy range runs alone.
-const supportBlock = 512
-
-// ComputeSupport returns the triangle support of every edge of s (the
-// κ̃ initialization of Algorithm 1, steps 1–5). It lists each triangle
-// exactly once through the degree-oriented kernel and credits all three
-// of its edges, rather than intersecting full adjacency rows per edge —
-// a 3× reduction in triangle visits plus oriented rows bounded by O(√M).
-// With parallelism above one, workers steal fixed-size edge blocks from a
-// shared atomic counter (static chunking strands workers on power-law
-// degree skew) and publish credits with atomic adds.
+// ComputeSupport returns the triangle support of every edge of s. It is
+// ComputeSupportView specialized to the concrete frozen view; see that
+// function for the kernel's shape.
 func ComputeSupport(s *graph.Static, parallelism int) []int32 {
-	m := s.NumEdges()
-	support := make([]int32, m)
-	workers := parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > (m+supportBlock-1)/supportBlock {
-		workers = (m + supportBlock - 1) / supportBlock
-	}
-	if workers <= 1 {
-		for i := int32(0); i < int32(m); i++ {
-			s.ForEachOrientedTriangle(i, func(e1, e2 int32) bool {
-				support[i]++
-				support[e1]++
-				support[e2]++
-				return true
-			})
-		}
-		return support
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int32(next.Add(supportBlock)) - supportBlock
-				if lo >= int32(m) {
-					return
-				}
-				hi := lo + supportBlock
-				if hi > int32(m) {
-					hi = int32(m)
-				}
-				for i := lo; i < hi; i++ {
-					s.ForEachOrientedTriangle(i, func(e1, e2 int32) bool {
-						atomic.AddInt32(&support[i], 1)
-						atomic.AddInt32(&support[e1], 1)
-						atomic.AddInt32(&support[e2], 1)
-						return true
-					})
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return support
+	return ComputeSupportView(s, parallelism)
 }
 
 // KappaOf returns κ(e) for a graph edge, and false if e is not an edge of

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"trikcore/internal/bucket"
+)
+
+// EdgeView is the read-only graph surface the decomposition kernels
+// consume: dense edge ids 0..NumEdges-1 with dense endpoint positions
+// and a once-per-triangle oriented listing. *graph.Static satisfies it
+// directly; the out-of-core decomposition drives the same kernels with
+// partition-restricted views, which is why the kernels take the
+// interface rather than the concrete view.
+type EdgeView interface {
+	// NumEdges returns the number of dense edge ids.
+	NumEdges() int
+	// Endpoints returns the dense endpoints (u < v) of edge i.
+	Endpoints(i int32) (int32, int32)
+	// ForEachOrientedTriangle calls fn once per triangle whose two
+	// lowest-ranked vertices are the endpoints of edge i, passing the
+	// dense ids of the triangle's other two edges. Across all edges the
+	// listing covers every triangle exactly once.
+	ForEachOrientedTriangle(i int32, fn func(e1, e2 int32) bool)
+}
+
+// LiveView is the shrinking adjacency structure the peel phase consumes:
+// triangles over only still-live edges, with removal as edges peel.
+// *graph.LiveAdj satisfies it.
+type LiveView interface {
+	// RemoveEdge removes edge i from the live structure.
+	RemoveEdge(i int32)
+	// ForEachTriangleEdge calls fn for each triangle {u, v, w} whose
+	// edges are all live, passing the third vertex and the dense ids of
+	// edges {u, w} and {v, w}.
+	ForEachTriangleEdge(u, v int32, fn func(w, e1, e2 int32) bool)
+}
+
+// PeelResult is the raw output of the peel kernel, indexed by dense
+// edge id like the view it ran on.
+type PeelResult struct {
+	// Kappa[i] is κ(edge i).
+	Kappa []int32
+	// Order lists edge ids in processing order; OrderOf is its inverse.
+	Order, OrderOf []int32
+	// MaxKappa is the largest κ value.
+	MaxKappa int32
+}
+
+// Peel runs steps 7–18 of Algorithm 1 against the views: bucket edges
+// by the κ̃ upper bound in support, repeatedly freeze the minimum
+// (its bound is exact, Claim 2) and decrement the bounds of the other
+// two edges of each still-live triangle through it, guarded by the
+// Theorem 1 comparison. The support slice is not mutated.
+func Peel(ev EdgeView, la LiveView, support []int32) PeelResult {
+	m := ev.NumEdges()
+	r := PeelResult{
+		Kappa:   make([]int32, m),
+		Order:   make([]int32, 0, m),
+		OrderOf: make([]int32, m),
+	}
+	q := bucket.New(support)
+	for {
+		et, kt, ok := q.PopMin()
+		if !ok {
+			break
+		}
+		r.Kappa[et] = kt
+		r.OrderOf[et] = int32(len(r.Order))
+		r.Order = append(r.Order, et)
+		if kt > r.MaxKappa {
+			r.MaxKappa = kt
+		}
+		u, v := ev.Endpoints(et)
+		la.RemoveEdge(et)
+		la.ForEachTriangleEdge(u, v, func(w, e1, e2 int32) bool {
+			// Step 13: only bounds strictly above κ(e_t) shrink; smaller
+			// or equal bounds already account for this triangle's loss.
+			if q.Val(e1) > kt {
+				q.Dec(e1)
+			}
+			if q.Val(e2) > kt {
+				q.Dec(e2)
+			}
+			return true
+		})
+	}
+	return r
+}
+
+// supportBlock is the edge-block granularity of the work-stealing support
+// computation. Blocks are handed out through an atomic counter rather than
+// pre-chunked ranges: on power-law graphs the support cost of an edge is
+// proportional to its endpoint degrees, so static chunking strands the
+// workers that drew low-degree ranges while a hub-heavy range runs alone.
+const supportBlock = 512
+
+// ComputeSupportView returns the triangle support of every edge of ev
+// (the κ̃ initialization of Algorithm 1, steps 1–5). It lists each
+// triangle exactly once through the oriented kernel and credits all
+// three of its edges, rather than intersecting full adjacency rows per
+// edge — a 3× reduction in triangle visits plus oriented rows bounded
+// by O(√M). With parallelism above one, workers steal fixed-size edge
+// blocks from a shared atomic counter (static chunking strands workers
+// on power-law degree skew) and publish credits with atomic adds.
+func ComputeSupportView(ev EdgeView, parallelism int) []int32 {
+	m := ev.NumEdges()
+	support := make([]int32, m)
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > (m+supportBlock-1)/supportBlock {
+		workers = (m + supportBlock - 1) / supportBlock
+	}
+	if workers <= 1 {
+		for i := int32(0); i < int32(m); i++ {
+			ev.ForEachOrientedTriangle(i, func(e1, e2 int32) bool {
+				support[i]++
+				support[e1]++
+				support[e2]++
+				return true
+			})
+		}
+		return support
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int32(next.Add(supportBlock)) - supportBlock
+				if lo >= int32(m) {
+					return
+				}
+				hi := lo + supportBlock
+				if hi > int32(m) {
+					hi = int32(m)
+				}
+				for i := lo; i < hi; i++ {
+					ev.ForEachOrientedTriangle(i, func(e1, e2 int32) bool {
+						atomic.AddInt32(&support[i], 1)
+						atomic.AddInt32(&support[e1], 1)
+						atomic.AddInt32(&support[e2], 1)
+						return true
+					})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return support
+}

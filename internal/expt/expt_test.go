@@ -174,7 +174,7 @@ func TestFigure12FullPPI(t *testing.T) {
 }
 
 func TestExtrasSmoke(t *testing.T) {
-	if len(Extras()) != 2 {
+	if len(Extras()) != 3 {
 		t.Fatalf("%d extras", len(Extras()))
 	}
 	for _, r := range Extras() {

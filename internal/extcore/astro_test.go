@@ -1,0 +1,57 @@
+package extcore
+
+import (
+	"slices"
+	"testing"
+
+	"trikcore/internal/core"
+	"trikcore/internal/dataset"
+	"trikcore/internal/graph"
+	"trikcore/internal/obs"
+)
+
+// TestAstroUnder256KiB is the acceptance check for the out-of-core
+// path: the Astro stand-in (≈38k edges, whose full support array alone
+// is ≈150 KiB and whose packed adjacency is ≈600 KiB) must decompose to
+// κ values identical to the in-memory algorithm under a 256 KiB peel
+// budget, with the measured peak resident state actually under budget.
+func TestAstroUnder256KiB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale fixture")
+	}
+	d, ok := dataset.ByName("Astro-Author")
+	if !ok {
+		t.Fatal("Astro-Author dataset missing")
+	}
+	g := d.GenerateAt(0.2)
+	s := graph.FreezeStatic(g)
+	want := core.DecomposeStatic(s, core.Options{})
+
+	const budget = 256 << 10
+	reg := obs.NewRegistry()
+	got, err := Decompose(s, Options{MemBudget: budget, TempDir: t.TempDir(), Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Stats.External || got.Stats.Partitions < 2 {
+		t.Fatalf("budget %d did not partition the Astro fixture: %+v", budget, got.Stats)
+	}
+	if !slices.Equal(got.Kappa, want.Kappa) {
+		t.Error("external κ differs from core.DecomposeStatic on the Astro fixture")
+	}
+	if got.MaxKappa != want.MaxKappa {
+		t.Errorf("MaxKappa = %d, want %d", got.MaxKappa, want.MaxKappa)
+	}
+	if got.Stats.PeakResidentBytes <= 0 || got.Stats.PeakResidentBytes > budget {
+		t.Errorf("PeakResidentBytes = %d, want within (0, %d]", got.Stats.PeakResidentBytes, budget)
+	}
+	peak := reg.Gauge("trikcore_extcore_resident_peak_bytes",
+		"Largest resident peel state of any single partition activation.", nil)
+	if peak.Value() != got.Stats.PeakResidentBytes {
+		t.Errorf("resident gauge %d disagrees with stats %d", peak.Value(), got.Stats.PeakResidentBytes)
+	}
+	if got.Stats.SpillRecords == 0 {
+		t.Error("no cross-partition spills on a partitioned Astro run")
+	}
+	t.Logf("stats: %+v", got.Stats)
+}

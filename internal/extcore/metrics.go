@@ -1,0 +1,37 @@
+package extcore
+
+import (
+	"trikcore/internal/obs"
+)
+
+// metrics is the extcore instrumentation bundle. All handles are
+// nil-safe: a nil registry yields no-op handles, so the decomposition
+// pays one predictable branch per event when unobserved.
+type metrics struct {
+	partitions   *obs.Gauge
+	activations  *obs.Counter
+	sweeps       *obs.Counter
+	spillRecords *obs.Counter
+	spillBytes   *obs.Counter
+	residentPeak *obs.Gauge
+	levelSeconds *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	return metrics{
+		partitions: r.Gauge("trikcore_extcore_partitions",
+			"Vertex-range partitions the memory budget produced.", nil),
+		activations: r.Counter("trikcore_extcore_activations_total",
+			"Partition loads (support slice read, live rows packed).", nil),
+		sweeps: r.Counter("trikcore_extcore_sweeps_total",
+			"Full partition rounds across all peel levels.", nil),
+		spillRecords: r.Counter("trikcore_extcore_spill_records_total",
+			"Cross-partition support-delta records written.", nil),
+		spillBytes: r.Counter("trikcore_extcore_spill_bytes_total",
+			"Bytes of cross-partition support-delta records written.", nil),
+		residentPeak: r.Gauge("trikcore_extcore_resident_peak_bytes",
+			"Largest resident peel state of any single partition activation.", nil),
+		levelSeconds: r.Histogram("trikcore_extcore_level_seconds",
+			"Wall time per κ level of the partitioned peel.", obs.DurationBuckets, nil),
+	}
+}

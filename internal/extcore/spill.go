@@ -1,0 +1,199 @@
+package extcore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// suppFile holds the full M-entry support array on disk; activations
+// read and write only their owned slice. Values are int32
+// little-endian at offset 4·edgeID.
+type suppFile struct {
+	f   *os.File
+	buf []byte // reusable I/O buffer
+}
+
+func newSuppFile(dir string, m int) (*suppFile, error) {
+	f, err := os.CreateTemp(dir, "trikcore-extcore-supp-*.bin")
+	if err != nil {
+		return nil, fmt.Errorf("extcore: support scratch: %w", err)
+	}
+	if err := f.Truncate(int64(m) * 4); err != nil {
+		name := f.Name()
+		return nil, errors.Join(fmt.Errorf("extcore: sizing support scratch: %w", err), f.Close(), os.Remove(name))
+	}
+	return &suppFile{f: f}, nil
+}
+
+func (sf *suppFile) bytesFor(n int) []byte {
+	if cap(sf.buf) < n*4 {
+		sf.buf = make([]byte, n*4)
+	}
+	return sf.buf[:n*4]
+}
+
+// read fills dst with the support values of edges [eLo, eLo+len(dst)).
+func (sf *suppFile) read(eLo int32, dst []int32) error {
+	b := sf.bytesFor(len(dst))
+	if _, err := sf.f.ReadAt(b, int64(eLo)*4); err != nil {
+		return fmt.Errorf("extcore: reading support scratch: %w", err)
+	}
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(b[i*4:])) //trikcheck:checked round-trips the int32 written below
+	}
+	return nil
+}
+
+// write stores src as the support values of edges [eLo, eLo+len(src)).
+func (sf *suppFile) write(eLo int32, src []int32) error {
+	b := sf.bytesFor(len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(v))
+	}
+	if _, err := sf.f.WriteAt(b, int64(eLo)*4); err != nil {
+		return fmt.Errorf("extcore: writing support scratch: %w", err)
+	}
+	return nil
+}
+
+func (sf *suppFile) close() error {
+	if sf == nil || sf.f == nil {
+		return nil
+	}
+	name := sf.f.Name()
+	return errors.Join(sf.f.Close(), os.Remove(name))
+}
+
+// spillRecordLen is the on-disk size of one (edge, value) record.
+const spillRecordLen = 8
+
+// spillBufCap bounds each partition's in-memory append buffer; a full
+// buffer flushes to the partition's spill file.
+const spillBufCap = 4096 // bytes; 512 records
+
+// spillSet is one append-only delta file per partition. During support
+// initialization the records are (edge, +1) credits; during the peel
+// they are (edge, level) decrements applied under the Theorem 1 guard.
+// Records always target a different partition than the one appending,
+// so a drain never races an append to the same file.
+type spillSet struct {
+	files   []*os.File
+	bufs    [][]byte
+	counts  []int64 // records pending per partition (buffer + file)
+	records int64   // lifetime records appended, for stats
+	bytes   int64   // lifetime bytes appended, for stats
+}
+
+func newSpillSet(dir string, parts int) (*spillSet, error) {
+	ss := &spillSet{
+		files:  make([]*os.File, parts),
+		bufs:   make([][]byte, parts),
+		counts: make([]int64, parts),
+	}
+	for i := range ss.files {
+		f, err := os.CreateTemp(dir, fmt.Sprintf("trikcore-extcore-spill-%d-*.bin", i))
+		if err != nil {
+			return nil, errors.Join(fmt.Errorf("extcore: spill file: %w", err), ss.close())
+		}
+		ss.files[i] = f
+		ss.bufs[i] = make([]byte, 0, spillBufCap)
+	}
+	return ss, nil
+}
+
+// append queues one record for partition pi.
+func (ss *spillSet) append(pi int, edge, val int32) error {
+	var rec [spillRecordLen]byte
+	binary.LittleEndian.PutUint32(rec[0:], uint32(edge))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(val))
+	ss.bufs[pi] = append(ss.bufs[pi], rec[:]...)
+	ss.counts[pi]++
+	ss.records++
+	ss.bytes += spillRecordLen
+	if len(ss.bufs[pi]) >= spillBufCap {
+		return ss.flush(pi)
+	}
+	return nil
+}
+
+func (ss *spillSet) flush(pi int) error {
+	if len(ss.bufs[pi]) == 0 {
+		return nil
+	}
+	if _, err := ss.files[pi].Write(ss.bufs[pi]); err != nil {
+		return fmt.Errorf("extcore: writing spill file: %w", err)
+	}
+	ss.bufs[pi] = ss.bufs[pi][:0]
+	return nil
+}
+
+// pending returns the number of records queued for partition pi.
+func (ss *spillSet) pending(pi int) int64 { return ss.counts[pi] }
+
+// drain flushes, replays every record queued for partition pi through
+// fn, and resets the partition's file to empty.
+func (ss *spillSet) drain(pi int, fn func(edge, val int32) error) error {
+	if err := ss.flush(pi); err != nil {
+		return err
+	}
+	f := ss.files[pi]
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("extcore: rewinding spill file: %w", err)
+	}
+	var rec [spillRecordLen]byte
+	for i := int64(0); i < ss.counts[pi]; i++ {
+		if _, err := io.ReadFull(f, rec[:]); err != nil {
+			return fmt.Errorf("extcore: reading spill file: %w", err)
+		}
+		edge := int32(binary.LittleEndian.Uint32(rec[0:])) //trikcheck:checked round-trips the int32 appended above
+		val := int32(binary.LittleEndian.Uint32(rec[4:]))  //trikcheck:checked round-trips the int32 appended above
+		if err := fn(edge, val); err != nil {
+			return err
+		}
+	}
+	if err := f.Truncate(0); err != nil {
+		return fmt.Errorf("extcore: resetting spill file: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("extcore: resetting spill file: %w", err)
+	}
+	ss.counts[pi] = 0
+	return nil
+}
+
+func (ss *spillSet) close() error {
+	var errs []error
+	for _, f := range ss.files {
+		if f == nil {
+			continue
+		}
+		name := f.Name()
+		errs = append(errs, f.Close(), os.Remove(name))
+	}
+	return errors.Join(errs...)
+}
+
+// bitset is a fixed-size bit array indexed by dense edge id; the global
+// live-edge index of the partitioned peel (M/8 bytes, the one per-edge
+// structure that stays resident).
+type bitset struct {
+	w []uint64
+}
+
+func newBitset(n int) *bitset {
+	return &bitset{w: make([]uint64, (n+63)/64)}
+}
+
+func (b *bitset) get(i int32) bool { return b.w[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b *bitset) clear(i int32)    { b.w[i>>6] &^= 1 << (uint(i) & 63) }
+
+// clampTail zeroes the bits at or above n after a fill, so popcount-style
+// scans never see ghost edges.
+func (b *bitset) clampTail(n int) {
+	if rem := n & 63; rem != 0 && len(b.w) > 0 {
+		b.w[len(b.w)-1] &= (1 << uint(rem)) - 1
+	}
+}

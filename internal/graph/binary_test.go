@@ -2,8 +2,11 @@ package graph
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -104,6 +107,83 @@ func TestBinaryRejectsInconsistency(t *testing.T) {
 	data = []byte{'T', 'K', 'C', 'G', 1, 2, 1, 0, 0}
 	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
 		t.Fatal("duplicate vertex accepted")
+	}
+}
+
+func TestBinaryReadsLegacyV1(t *testing.T) {
+	// Hand-encoded v1 snapshot: vertices {1, 2, 3}, edges 1-2, 2-3.
+	data := []byte{'T', 'K', 'C', 'G', 0x01,
+		3, 1, 1, 1, // |V|=3, gaps 1,1,1
+		2, 1, 1, 1, 1} // |E|=2, (uGap=1,vOff=1), (uGap=1,vOff=1)
+	g, err := ReadBinary(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	want := FromPairs(1, 2, 2, 3)
+	if !reflect.DeepEqual(g.Edges(), want.Edges()) {
+		t.Fatalf("v1 decode got %v, want %v", g.Edges(), want.Edges())
+	}
+}
+
+func TestBinaryV2Corruption(t *testing.T) {
+	g := randomGraph(40, 0.2, 11)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+
+	t.Run("flipped payload byte", func(t *testing.T) {
+		data := bytes.Clone(orig)
+		data[len(data)/2] ^= 0x01
+		if _, err := ReadBinary(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("flipped CRC byte", func(t *testing.T) {
+		data := bytes.Clone(orig)
+		data[len(data)-1] ^= 0x01
+		if _, err := ReadBinary(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := ReadBinary(bytes.NewReader(orig[:len(orig)-3])); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("intact", func(t *testing.T) {
+		g2, err := ReadBinary(bytes.NewReader(orig))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(g.Edges(), g2.Edges()) {
+			t.Error("intact v2 snapshot decoded to a different graph")
+		}
+	})
+}
+
+func TestLoadBinaryFileMaterializesMapped(t *testing.T) {
+	g := randomGraph(30, 0.2, 12)
+	path := filepath.Join(t.TempDir(), "g.tkcg")
+	if err := WriteMapped(path, FreezeStatic(g)); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadBinaryFile(path)
+	if err != nil {
+		t.Fatalf("LoadBinaryFile on mapped layout: %v", err)
+	}
+	if !reflect.DeepEqual(g.Edges(), g2.Edges()) || !reflect.DeepEqual(g.Vertices(), g2.Vertices()) {
+		t.Fatal("materialized mapped graph differs from the original")
+	}
+	// ReadBinary itself must refuse the mapped layout with a clear error.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := ReadBinary(f); err == nil || !strings.Contains(err.Error(), "OpenMapped") {
+		t.Errorf("ReadBinary on mapped layout: err = %v, want pointer to OpenMapped", err)
 	}
 }
 

@@ -10,12 +10,15 @@ import (
 	"strings"
 )
 
-// ReadEdgeList parses a whitespace-separated edge list from r. Each
-// non-empty line holds two integer vertex ids; lines starting with '#' or
-// '%' are comments. Duplicate edges and both orientations of the same edge
-// are tolerated; self-loops are rejected.
-func ReadEdgeList(r io.Reader) (*Graph, error) {
-	g := New()
+// ReadEdgeListFunc streams a whitespace-separated edge list from r,
+// calling fn once per edge line without accumulating anything: the
+// caller decides whether edges land in a Graph, a degree counter or an
+// on-disk builder, so inputs larger than RAM parse in constant memory.
+// Each non-empty line holds two integer vertex ids; lines starting with
+// '#' or '%' are comments. Duplicate edges and both orientations of the
+// same edge are passed through as-is; self-loops are rejected. If fn
+// returns an error the scan stops and that error is returned.
+func ReadEdgeListFunc(r io.Reader, fn func(u, v Vertex) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
@@ -27,25 +30,54 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %d", lineNo, len(fields))
+			return fmt.Errorf("graph: line %d: want at least 2 fields, got %d", lineNo, len(fields))
 		}
 		u, err := strconv.ParseInt(fields[0], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %w", lineNo, fields[0], err)
+			return fmt.Errorf("graph: line %d: bad vertex %q: %w", lineNo, fields[0], err)
 		}
 		v, err := strconv.ParseInt(fields[1], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %w", lineNo, fields[1], err)
+			return fmt.Errorf("graph: line %d: bad vertex %q: %w", lineNo, fields[1], err)
 		}
 		if u == v {
-			return nil, fmt.Errorf("graph: line %d: self-loop on vertex %d", lineNo, u)
+			return fmt.Errorf("graph: line %d: self-loop on vertex %d", lineNo, u)
 		}
-		g.AddEdge(Vertex(u), Vertex(v)) //trikcheck:checked ParseInt bitSize 32 bounds both
+		if err := fn(Vertex(u), Vertex(v)); err != nil { //trikcheck:checked ParseInt bitSize 32 bounds both
+			return err
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+		return fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return nil
+}
+
+// ReadEdgeList parses a whitespace-separated edge list from r into a
+// Graph. It is ReadEdgeListFunc with edges accumulated: duplicate edges
+// and both orientations of the same edge are tolerated; self-loops are
+// rejected.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	g := New()
+	if err := ReadEdgeListFunc(r, func(u, v Vertex) error {
+		g.AddEdge(u, v)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return g, nil
+}
+
+// ScanEdgeListFile opens the named file and streams it through
+// ReadEdgeListFunc. Multi-pass consumers (the on-disk CSR builder) call
+// it once per pass instead of holding the parsed edges.
+func ScanEdgeListFile(path string, fn func(u, v Vertex) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	return ReadEdgeListFunc(f, fn)
 }
 
 // WriteEdgeList writes g as a sorted edge list ("u v" per line) to w.

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -35,6 +36,55 @@ func TestReadEdgeListErrors(t *testing.T) {
 				t.Fatalf("ReadEdgeList(%q) succeeded, want error", tc.in)
 			}
 		})
+	}
+}
+
+func TestReadEdgeListFuncStreams(t *testing.T) {
+	in := "# c\n1 2\n2 3\n%x\n3 1\n"
+	var got []Edge
+	err := ReadEdgeListFunc(strings.NewReader(in), func(u, v Vertex) error {
+		got = append(got, NewEdge(u, v))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Edge{{1, 2}, {2, 3}, {1, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streamed %v, want %v", got, want)
+	}
+
+	// A callback error stops the scan and surfaces unchanged.
+	sentinel := errors.New("stop here")
+	calls := 0
+	err = ReadEdgeListFunc(strings.NewReader(in), func(u, v Vertex) error {
+		calls++
+		if calls == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || calls != 2 {
+		t.Fatalf("err = %v after %d calls, want sentinel after 2", err, calls)
+	}
+}
+
+func TestScanEdgeListFileMultiPass(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edges.txt")
+	if err := SaveEdgeListFile(path, FromPairs(1, 2, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		n := 0
+		if err := ScanEdgeListFile(path, func(u, v Vertex) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if n != 2 {
+			t.Fatalf("pass %d saw %d edges, want 2", pass, n)
+		}
+	}
+	if err := ScanEdgeListFile(filepath.Join(t.TempDir(), "nope.txt"), nil); err == nil {
+		t.Fatal("missing file accepted")
 	}
 }
 

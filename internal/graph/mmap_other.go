@@ -1,0 +1,50 @@
+//go:build !unix
+
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// fileMap is a byte view of a file region. On platforms without
+// syscall.Mmap it degrades to a heap buffer: reads load the file once,
+// and writable builds buffer in memory and write back on unmap. The
+// mapped format stays byte-identical across platforms; only the
+// residency guarantee is weaker.
+type fileMap struct {
+	data     []byte
+	f        *os.File
+	writable bool
+}
+
+func mapFile(f *os.File, size int64, writable bool) (*fileMap, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("graph: cannot map %d bytes of %s", size, f.Name())
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("graph: %s is too large to buffer on this platform (%d bytes)", f.Name(), size)
+	}
+	data := make([]byte, int(size))
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, fmt.Errorf("graph: reading %s: %w", f.Name(), err)
+	}
+	return &fileMap{data: data, f: f, writable: writable}, nil
+}
+
+// unmap writes a writable buffer back and closes the underlying file.
+func (fm *fileMap) unmap() error {
+	if fm.data == nil {
+		return nil
+	}
+	var err error
+	if fm.writable {
+		if _, werr := fm.f.WriteAt(fm.data, 0); werr != nil {
+			err = fmt.Errorf("graph: writing back %s: %w", fm.f.Name(), werr)
+		}
+	}
+	fm.data = nil
+	return errors.Join(err, fm.f.Close())
+}

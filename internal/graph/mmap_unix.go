@@ -1,0 +1,53 @@
+//go:build unix
+
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// fileMap is a byte view of a file region. On unix it is a real
+// MAP_SHARED mapping: reads fault pages in from the page cache and
+// writable builds land directly in the file, so neither path holds the
+// array contents on the Go heap.
+type fileMap struct {
+	data []byte
+	f    *os.File
+}
+
+// mapFile maps size bytes of f from offset 0. Read-only mappings are
+// PROT_READ, so any accidental store through an aliased slice faults
+// instead of silently corrupting a shared snapshot.
+func mapFile(f *os.File, size int64, writable bool) (*fileMap, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("graph: cannot map %d bytes of %s", size, f.Name())
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("graph: %s is too large to map on this platform (%d bytes)", f.Name(), size)
+	}
+	prot := syscall.PROT_READ
+	if writable {
+		prot |= syscall.PROT_WRITE
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), prot, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("graph: mmap %s: %w", f.Name(), err)
+	}
+	return &fileMap{data: data, f: f}, nil
+}
+
+// unmap releases the mapping and closes the underlying file.
+func (fm *fileMap) unmap() error {
+	if fm.data == nil {
+		return nil
+	}
+	err := syscall.Munmap(fm.data)
+	fm.data = nil
+	if err != nil {
+		err = fmt.Errorf("graph: munmap %s: %w", fm.f.Name(), err)
+	}
+	return errors.Join(err, fm.f.Close())
+}

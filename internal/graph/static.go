@@ -155,6 +155,18 @@ func (s *Static) buildOriented() {
 	n := s.NumVertices()
 	m := s.NumEdges()
 	s.OutPtr = make([]int32, n+1)
+	s.OutNbr = make([]int32, m)
+	s.OutEdgeID = make([]int32, m)
+	s.fillOriented(s.OutPtr, s.OutNbr, s.OutEdgeID)
+}
+
+// fillOriented computes the oriented half into caller-provided arrays
+// (len n+1, m, m) from the symmetric CSR arrays, which must already be
+// filled. The mapped-file builder aims it at mmap-backed storage;
+// buildOriented aims it at fresh heap slices. It writes only through
+// its parameters, never through s.
+func (s *Static) fillOriented(outPtr, outNbr, outEdgeID []int32) {
+	n := s.NumVertices()
 	parallelBlocks(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			u := int32(i) //trikcheck:checked i < n, guarded by the caller's freeze guard
@@ -164,23 +176,22 @@ func (s *Static) buildOriented() {
 					c++
 				}
 			}
-			s.OutPtr[i+1] = c
+			outPtr[i+1] = c
 		}
 	})
+	outPtr[0] = 0
 	for i := 0; i < n; i++ {
-		s.OutPtr[i+1] += s.OutPtr[i]
+		outPtr[i+1] += outPtr[i]
 	}
-	s.OutNbr = make([]int32, m)
-	s.OutEdgeID = make([]int32, m)
 	parallelBlocks(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			u := int32(i) //trikcheck:checked i < n, guarded by the caller's freeze guard
 			base := s.RowPtr[i]
-			p := s.OutPtr[i]
+			p := outPtr[i]
 			for k, w := range s.Neighbors(u) {
 				if s.rankLess(u, w) {
-					s.OutNbr[p] = w
-					s.OutEdgeID[p] = s.AdjEdgeID[base+int32(k)] //trikcheck:checked k < len(row) ≤ 2m, guarded by the caller's freeze guard
+					outNbr[p] = w
+					outEdgeID[p] = s.AdjEdgeID[base+int32(k)] //trikcheck:checked k < len(row) ≤ 2m, guarded by the caller's freeze guard
 					p++
 				}
 			}
@@ -275,6 +286,17 @@ func (s *Static) EdgeAt(i int32) Edge {
 
 // Degree returns the degree of the vertex at dense position u.
 func (s *Static) Degree(u int32) int { return int(s.RowPtr[u+1] - s.RowPtr[u]) }
+
+// Endpoints returns the dense endpoints (u < v) of edge i.
+func (s *Static) Endpoints(i int32) (int32, int32) { return s.EdgeU[i], s.EdgeV[i] }
+
+// Row returns the sorted dense neighbor row of dense position u together
+// with the parallel edge-id row. Both slices alias the view's storage
+// and must not be modified.
+func (s *Static) Row(u int32) (nbr, eid []int32) {
+	lo, hi := s.RowPtr[u], s.RowPtr[u+1]
+	return s.AdjNbr[lo:hi], s.AdjEdgeID[lo:hi]
+}
 
 // ForEachCommonNeighbor calls fn for each common neighbor (dense position)
 // of dense positions u and v, in ascending order, using a linear merge of
@@ -395,6 +417,20 @@ func (s *Static) countCommon(u, v int32) int {
 		}
 	}
 	return n
+}
+
+// Materialize builds a standalone mutable Graph holding the same
+// vertices and edges as the view. It shares nothing with the view, so
+// it outlives a mapped file's Close.
+func (s *Static) Materialize() *Graph {
+	g := NewWithCapacity(s.NumVertices())
+	for _, v := range s.OrigID {
+		g.AddVertex(v)
+	}
+	for i := range s.EdgeU {
+		g.AddEdge(s.OrigID[s.EdgeU[i]], s.OrigID[s.EdgeV[i]])
+	}
+	return g
 }
 
 // TriangleCount returns the total number of triangles in the graph using

@@ -38,9 +38,11 @@ import (
 	"trikcore/internal/clique"
 	"trikcore/internal/core"
 	"trikcore/internal/csvbaseline"
+	"trikcore/internal/dataset"
 	"trikcore/internal/dngraph"
 	"trikcore/internal/dynamic"
 	"trikcore/internal/events"
+	"trikcore/internal/extcore"
 	"trikcore/internal/graph"
 	"trikcore/internal/kcore"
 	"trikcore/internal/obs"
@@ -354,3 +356,79 @@ func BiTriDN(g *Graph) *DNGraphResult { return dngraph.BiTriDN(g, dngraph.Option
 // vanished — run DetectTemplate over the OLD graph with the snapshots
 // swapped in EvolvingNovelty: DetectTemplate(old, DissolvedPattern(EvolvingNovelty(new, old))).
 func DissolvedPattern(reversed Novelty) TemplateSpec { return template.Dissolved(reversed) }
+
+// Out-of-core decomposition over the mmap-friendly on-disk CSR (the
+// TKCG v2 mapped layout): convert an edge list to a .tkcg file with
+// ConvertEdgeListToCSR, open it as a zero-copy frozen view with
+// OpenMapped, and decompose it under a memory budget with
+// DecomposeExternal.
+type (
+	// StaticGraph is an immutable flat CSR view of a graph — what
+	// FreezeGraph returns and what a mapped .tkcg file serves.
+	StaticGraph = graph.Static
+	// MappedGraph is a read-only StaticGraph backed by an mmap'd TKCG
+	// v2 file: the flat arrays alias the page cache instead of the heap.
+	// Close unmaps them.
+	MappedGraph = graph.Mapped
+	// CSRBuildStats reports what ConvertEdgeListToCSR wrote.
+	CSRBuildStats = graph.MappedBuildStats
+	// ExternalOptions configure DecomposeExternal (memory budget, temp
+	// directory, metrics registry).
+	ExternalOptions = extcore.Options
+	// ExternalResult holds κ per dense edge id plus run statistics.
+	ExternalResult = extcore.Result
+	// ExternalStats reports how an out-of-core decomposition ran:
+	// partitions, sweeps, spill volume, peak resident bytes.
+	ExternalStats = extcore.Stats
+)
+
+// ErrCorruptGraphFile reports a TKCG file whose bytes fail an integrity
+// check (CRC mismatch, truncation, inconsistent section table). Test
+// with errors.Is on any load or open error.
+var ErrCorruptGraphFile = graph.ErrCorrupt
+
+// FreezeGraph builds the immutable flat CSR view of g that the bulk
+// algorithms and the mapped serializer consume.
+func FreezeGraph(g *Graph) *StaticGraph { return graph.FreezeStatic(g) }
+
+// ConvertEdgeListToCSR streams the edge-list file at inPath into a TKCG
+// v2 mapped CSR at outPath in two passes, without materializing the
+// edge set in memory — inputs larger than RAM convert in O(|V|)
+// resident space. The output is byte-identical to serializing
+// FreezeGraph of the parsed graph.
+func ConvertEdgeListToCSR(inPath, outPath string) (CSRBuildStats, error) {
+	return graph.BuildMappedFile(inPath, outPath)
+}
+
+// SaveCSRFile writes an in-memory frozen view to path in the TKCG v2
+// mapped layout.
+func SaveCSRFile(path string, s *StaticGraph) error { return graph.WriteMapped(path, s) }
+
+// OpenMapped maps a TKCG v2 CSR file as a read-only frozen view without
+// parsing: the adjacency arrays are served straight off the page cache.
+// The file is CRC-verified and structurally validated on open.
+func OpenMapped(path string) (*MappedGraph, error) { return graph.OpenMapped(path) }
+
+// DecomposeStatic runs Algorithm 1 on a frozen (or mapped) view.
+func DecomposeStatic(s *StaticGraph) *Decomposition {
+	return core.DecomposeStatic(s, core.Options{})
+}
+
+// DecomposeExternal computes κ(e) for every edge of s — typically a
+// mapped view — holding at most opts.MemBudget bytes of peel state
+// resident: the decomposition proceeds bottom-up over vertex-range
+// partitions, spilling cross-partition support updates to temp files.
+// The κ values are identical to Decompose's.
+func DecomposeExternal(s *StaticGraph, opts ExternalOptions) (*ExternalResult, error) {
+	return extcore.Decompose(s, opts)
+}
+
+// Dataset is one of the paper's Table I datasets, realized by a
+// deterministic generator at a configurable scale.
+type Dataset = dataset.Dataset
+
+// Datasets lists the paper's Table I stand-ins.
+func Datasets() []*Dataset { return dataset.All() }
+
+// DatasetByName looks a Table I stand-in up by its paper name.
+func DatasetByName(name string) (*Dataset, bool) { return dataset.ByName(name) }
