@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race debugrace bench fuzz fuzzchurn fuzzexternal ci
+.PHONY: all build test vet lint race debugrace bench loadbench fuzz fuzzchurn fuzzexternal ci
 
 all: ci
 
@@ -41,7 +41,7 @@ race:
 # (internal/watchdog), which panics with full stacks if a publisher or
 # registry critical section wedges instead of letting the run hang.
 debugrace:
-	GORACE=halt_on_error=1 $(GO) test -tags trikdebug -race ./internal/graph ./internal/dynamic ./internal/view ./internal/server ./internal/obs ./internal/registry
+	GORACE=halt_on_error=1 $(GO) test -tags trikdebug -race ./internal/graph ./internal/dynamic ./internal/view ./internal/server ./internal/obs ./internal/obs/trace ./internal/registry
 
 # Runs the headline benches (static decompose, engine churn through the
 # per-edge / batched / parallel paths, server mixed workload) and pipes
@@ -49,6 +49,30 @@ debugrace:
 # machine-readable BENCH_<stamp>.json with the host shape alongside.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFreezeStatic$$|BenchmarkDecomposeStatic$$|BenchmarkTriangleCountStatic$$|BenchmarkEngineChurn$$|BenchmarkServerMixedWorkload$$|BenchmarkDecomposeExternal$$' -benchmem -benchtime 3s . | $(GO) run ./cmd/benchjson
+
+# End-to-end load benchmark: boots `trikcore serve` with the flight
+# recorder armed, drives an open-loop Zipf mixed workload at it with
+# cmd/loadgen, then folds the loadgen report into BENCH_<stamp>.json via
+# `benchjson -load`. The artifact is written even when an SLO fails (the
+# failing verdicts are the interesting part), but the SLO exit status is
+# propagated. Override the workload with LOADBENCH_ARGS.
+LOADBENCH_ADDR ?= 127.0.0.1:8099
+LOADBENCH_ARGS ?= -rate 2000 -duration 10s -mix 95:5 -zipf 1.1 -slo-p99 25ms
+
+loadbench:
+	@mkdir -p /tmp/trikcore-loadbench
+	$(GO) build -o /tmp/trikcore-loadbench/trikcore ./cmd/trikcore
+	$(GO) build -o /tmp/trikcore-loadbench/loadgen ./cmd/loadgen
+	@/tmp/trikcore-loadbench/trikcore serve -addr $(LOADBENCH_ADDR) -quiet -workers 4 -trace-ring 64 -slow-ms 50ms & \
+	SRV=$$!; \
+	trap 'kill $$SRV 2>/dev/null' EXIT; \
+	/tmp/trikcore-loadbench/loadgen -addr http://$(LOADBENCH_ADDR) -wait 5s \
+		-report /tmp/trikcore-loadbench/load.json $(LOADBENCH_ARGS); \
+	RC=$$?; \
+	if [ -f /tmp/trikcore-loadbench/load.json ]; then \
+		$(GO) run ./cmd/benchjson -load /tmp/trikcore-loadbench/load.json </dev/null; \
+	fi; \
+	exit $$RC
 
 # Short out-of-core equivalence fuzz (CI-sized; κ under three budgets
 # must match the in-memory decomposition).

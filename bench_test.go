@@ -36,6 +36,7 @@ import (
 	"trikcore/internal/graph"
 	"trikcore/internal/kcore"
 	"trikcore/internal/obs"
+	"trikcore/internal/obs/trace"
 	"trikcore/internal/plot"
 	"trikcore/internal/server"
 	"trikcore/internal/template"
@@ -506,13 +507,21 @@ func BenchmarkDecomposeExternal(b *testing.B) {
 //
 // The Uninstrumented variant is the historical baseline (no registry, no
 // middleware); Instrumented runs the identical workload with full metrics
-// wiring, bounding observability overhead on the serving path.
+// wiring, bounding observability overhead on the serving path; Traced adds
+// the flight recorder on top, bounding per-request span capture as well —
+// the tracing budget is ≤5% over the instrumented number.
 func BenchmarkServerMixedWorkload(b *testing.B) {
 	b.Run("Uninstrumented", func(b *testing.B) {
 		benchServerMixed(b, server.Options{})
 	})
 	b.Run("Instrumented", func(b *testing.B) {
 		benchServerMixed(b, server.Options{Registry: obs.NewRegistry()})
+	})
+	b.Run("Traced", func(b *testing.B) {
+		benchServerMixed(b, server.Options{
+			Registry: obs.NewRegistry(),
+			Trace:    trace.New(trace.Options{Ring: trace.DefaultRing}),
+		})
 	})
 }
 

@@ -51,10 +51,40 @@ type Report struct {
 	NumCPU     int      `json:"num_cpu"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	Benchmarks []Result `json:"benchmarks"`
+	// LoadGen embeds loadgen report documents (-load), verbatim: arrival
+	// rate, mix, Zipf skew, client-side quantiles per endpoint class,
+	// server metric deltas and SLO verdicts ride alongside the ns/op
+	// entries in one consolidated artifact.
+	LoadGen []json.RawMessage `json:"loadgen,omitempty"`
+}
+
+// loadReports reads and validates the comma-separated loadgen report
+// files named by -load.
+func loadReports(spec string) ([]json.RawMessage, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []json.RawMessage
+	for _, path := range strings.Split(spec, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if !json.Valid(data) {
+			return nil, fmt.Errorf("%s: not valid JSON", path)
+		}
+		out = append(out, json.RawMessage(data))
+	}
+	return out, nil
 }
 
 func main() {
 	outDir := flag.String("out", ".", "directory to write BENCH_<stamp>.json into")
+	load := flag.String("load", "", "comma-separated loadgen report files to merge into the artifact")
 	flag.Parse()
 
 	rep := Report{
@@ -79,8 +109,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
 		os.Exit(1)
 	}
-	if len(rep.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines seen; not writing a report")
+	var err error
+	if rep.LoadGen, err = loadReports(*load); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 && len(rep.LoadGen) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines or -load reports seen; not writing a report")
 		os.Exit(1)
 	}
 
@@ -94,7 +129,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(rep.Benchmarks))
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks, %d loadgen reports)\n",
+		path, len(rep.Benchmarks), len(rep.LoadGen))
 }
 
 // parseLine parses one `go test -bench` result line, e.g.

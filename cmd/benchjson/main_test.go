@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkEngineChurn/Parallel4-4  \t 100\t  123456 ns/op\t  789 B/op\t 10 allocs/op")
@@ -57,5 +63,48 @@ func TestSplitProcs(t *testing.T) {
 		if name != tc.name || procs != tc.procs {
 			t.Errorf("splitProcs(%q) = %q,%d want %q,%d", tc.in, name, procs, tc.name, tc.procs)
 		}
+	}
+}
+
+func TestLoadReports(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	os.WriteFile(a, []byte(`{"schema":"trikcore-loadgen/v1","ops_sent":10}`), 0o644)
+	os.WriteFile(b, []byte(`{"schema":"trikcore-loadgen/v1","ops_sent":20}`), 0o644)
+
+	got, err := loadReports(a + "," + b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d reports", len(got))
+	}
+	var doc struct {
+		OpsSent int `json:"ops_sent"`
+	}
+	if err := json.Unmarshal(got[1], &doc); err != nil || doc.OpsSent != 20 {
+		t.Fatalf("report payload mangled: %v %+v", err, doc)
+	}
+
+	// Embedded verbatim in the Report envelope.
+	data, err := json.Marshal(Report{Stamp: "s", LoadGen: got})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"ops_sent":20`) {
+		t.Fatalf("merged report lost loadgen payload: %s", data)
+	}
+
+	if _, err := loadReports(""); err != nil {
+		t.Fatalf("empty spec errored: %v", err)
+	}
+	if _, err := loadReports(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if _, err := loadReports(bad); err == nil {
+		t.Fatal("invalid JSON accepted")
 	}
 }

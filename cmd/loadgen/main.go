@@ -1,0 +1,409 @@
+// Command loadgen is trikcore's open-loop workload driver: it fires a
+// Zipf-skewed read/write mix at a running `trikcore serve` instance on a
+// fixed arrival-rate schedule, measures client-side latency per endpoint
+// class from each operation's *scheduled* send time, scrapes the
+// server's /metrics for the matching server-side deltas, checks latency
+// SLOs, and writes a machine-readable report that `benchjson -load`
+// merges into BENCH_<stamp>.json.
+//
+// Open-loop means arrivals do not wait for responses: each worker draws
+// exponential inter-arrival gaps for its share of the target rate, and
+// when the server falls behind, the backlog time counts into the
+// reported latency (no coordinated omission). Given the same -seed the
+// generated operation sequence is identical across runs.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8080 -rate 2000 -mix 95:5 \
+//	        -zipf 1.1 -duration 10s -slo-p99 5ms -report load.json
+//
+// A ramped schedule replaces the flat rate: -rate 500:2s,1000:2s,2000:6s.
+// Exit status: 0 on success, 1 on SLO violation, 2 on usage or runtime
+// error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trikcore/internal/obs"
+)
+
+// config is the parsed command line.
+type config struct {
+	addr     string
+	graph    string
+	sched    schedule
+	rateSpec string
+	mix      string
+	readPct  int
+	zipfS    float64
+	vertices uint64
+	batch    int
+	workers  int
+	seed     int64
+	sloP99   time.Duration
+	sloP999  time.Duration
+	scrape   time.Duration
+	report   string
+	wait     time.Duration
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	rep, err := run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(rep.summarize())
+	if cfg.report != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: encode report: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(cfg.report, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", cfg.report)
+	}
+	if !rep.sloPass() {
+		os.Exit(1)
+	}
+}
+
+// parseFlags parses args into a validated config.
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:8080", "base URL of the trikcore server")
+		graphN   = fs.String("graph", "", "graph space to target (empty = the default graph's legacy routes)")
+		rateSpec = fs.String("rate", "500", "arrival rate in ops/s, or a ramp of rate:duration stages (500:2s,2000:3s)")
+		duration = fs.Duration("duration", 10*time.Second, "run length for a flat -rate (ramps carry their own)")
+		mix      = fs.String("mix", "95:5", "read:write operation mix")
+		zipfS    = fs.Float64("zipf", 1.1, "Zipf skew of edge endpoints (must be > 1)")
+		vertices = fs.Uint64("vertices", 10000, "vertex id universe size")
+		batch    = fs.Int("batch", 8, "edge operations per write request")
+		workers  = fs.Int("workers", 4, "concurrent open-loop workers")
+		seed     = fs.Int64("seed", 1, "PRNG seed; a fixed seed reproduces the op sequence")
+		sloP99   = fs.Duration("slo-p99", 0, "per-class p99 latency objective (0 = off); violation exits 1")
+		sloP999  = fs.Duration("slo-p999", 0, "per-class p999 latency objective (0 = off)")
+		scrape   = fs.Duration("scrape", time.Second, "server /metrics scrape interval (0 = off)")
+		report   = fs.String("report", "", "write the JSON report to this path")
+		wait     = fs.Duration("wait", 0, "wait up to this long for the server's /healthz before starting")
+	)
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	sched, err := parseSchedule(*rateSpec, *duration)
+	if err != nil {
+		return config{}, err
+	}
+	readPct, err := parseMix(*mix)
+	if err != nil {
+		return config{}, err
+	}
+	if *zipfS <= 1 {
+		return config{}, fmt.Errorf("-zipf %g: stdlib Zipf requires s > 1", *zipfS)
+	}
+	if *vertices < 2 {
+		return config{}, fmt.Errorf("-vertices %d: need at least 2", *vertices)
+	}
+	if *workers < 1 {
+		return config{}, fmt.Errorf("-workers %d: need at least 1", *workers)
+	}
+	if *batch < 1 {
+		return config{}, fmt.Errorf("-batch %d: need at least 1", *batch)
+	}
+	return config{
+		addr:     strings.TrimSuffix(*addr, "/"),
+		graph:    *graphN,
+		sched:    sched,
+		rateSpec: sched.describe(),
+		mix:      *mix,
+		readPct:  readPct,
+		zipfS:    *zipfS,
+		vertices: *vertices,
+		batch:    *batch,
+		workers:  *workers,
+		seed:     *seed,
+		sloP99:   *sloP99,
+		sloP999:  *sloP999,
+		scrape:   *scrape,
+		report:   *report,
+		wait:     *wait,
+	}, nil
+}
+
+// run executes the whole load run and builds the report.
+func run(ctx context.Context, cfg config) (*Report, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	if cfg.wait > 0 {
+		if err := awaitServer(ctx, client, cfg.addr, cfg.wait); err != nil {
+			return nil, err
+		}
+	}
+	prefix := ""
+	if cfg.graph != "" {
+		prefix = "/g/" + cfg.graph
+	}
+
+	recs := newRecorders()
+	var sent atomic.Uint64
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Metrics scraper: one snapshot up front, periodic refreshes, so the
+	// report's server-side delta spans the whole run even if the final
+	// scrape races shutdown.
+	sc := &scraper{client: client, url: cfg.addr + "/metrics"}
+	sc.scrape()
+	var scrapeWG sync.WaitGroup
+	if cfg.scrape > 0 {
+		scrapeWG.Add(1)
+		go sc.loop(runCtx, cfg.scrape, &scrapeWG)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go runWorker(runCtx, w, cfg, client, prefix, start, recs, &sent, &wg)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	cancel()
+	scrapeWG.Wait()
+	sc.scrape() // final post-run snapshot
+
+	rep := &Report{
+		Schema:          "trikcore-loadgen/v1",
+		Addr:            cfg.addr,
+		Graph:           cfg.graph,
+		Seed:            cfg.seed,
+		Workers:         cfg.workers,
+		Rate:            cfg.rateSpec,
+		Mix:             cfg.mix,
+		ZipfS:           cfg.zipfS,
+		Vertices:        cfg.vertices,
+		Batch:           cfg.batch,
+		DurationSeconds: elapsed.Seconds(),
+		OpsSent:         sent.Load(),
+		Classes:         make(map[string]ClassStats, len(classes)),
+		ServerDelta:     sc.delta(),
+	}
+	if elapsed > 0 {
+		rep.OpsPerSecond = float64(rep.OpsSent) / elapsed.Seconds()
+	}
+	for _, c := range classes {
+		rep.Classes[c] = recs[c].stats()
+	}
+	rep.SLO = evalSLOs(rep.Classes, cfg.sloP99, cfg.sloP999)
+	return rep, nil
+}
+
+// runWorker drives one open-loop worker: it walks its arrival schedule,
+// sleeping until each scheduled send time (or firing immediately when
+// behind), and measures every operation's latency from that scheduled
+// time.
+func runWorker(ctx context.Context, w int, cfg config, client *http.Client,
+	prefix string, start time.Time, recs map[string]*classRecorder,
+	sent *atomic.Uint64, wg *sync.WaitGroup) {
+	defer wg.Done()
+	gen := newGenerator(cfg.seed, w, cfg.zipfS, cfg.vertices, cfg.readPct, cfg.batch, prefix)
+	total := cfg.sched.total()
+	var off time.Duration
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		rate := cfg.sched.rateAt(off)
+		if rate <= 0 {
+			return
+		}
+		// This worker carries 1/workers of the stage rate; exponential
+		// gaps make arrivals Poisson at that rate.
+		perWorker := rate / float64(cfg.workers)
+		off += time.Duration(gen.rng.ExpFloat64() / perWorker * float64(time.Second))
+		if off > total {
+			return
+		}
+		scheduled := start.Add(off)
+		if d := time.Until(scheduled); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-ctx.Done():
+				return
+			case <-timer.C:
+			}
+		} else {
+			// Behind schedule: open-loop sends do not self-throttle, the
+			// accumulated delay lands in the latency measurement instead.
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+		o := gen.next()
+		sent.Add(1)
+		issue(client, cfg.addr, o, scheduled, recs[o.class])
+	}
+}
+
+// issue performs one operation and records its latency from the
+// scheduled arrival time. Transport errors and 5xx responses count as
+// errors; 4xx (e.g. kappa lookups of absent edges) are valid outcomes
+// of a random workload and only the latency is kept.
+func issue(client *http.Client, addr string, o op, scheduled time.Time, rec *classRecorder) {
+	var (
+		resp *http.Response
+		err  error
+	)
+	if o.body != "" {
+		resp, err = client.Post(addr+o.path, "application/json", strings.NewReader(o.body))
+	} else {
+		resp, err = client.Get(addr + o.path)
+	}
+	if err == nil {
+		err = drain(resp)
+	}
+	rec.hist.Observe(time.Since(scheduled).Seconds())
+	rec.count.Add(1)
+	if err != nil || resp.StatusCode >= 500 {
+		rec.errors.Add(1)
+	}
+}
+
+// drain consumes and closes a response body so the connection returns
+// to the client's pool; the first failure (read or close) is reported.
+func drain(resp *http.Response) error {
+	_, err := io.Copy(io.Discard, resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// awaitServer polls /healthz until the server answers 200 or the wait
+// budget runs out.
+func awaitServer(ctx context.Context, client *http.Client, addr string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			if drain(resp) == nil && resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy within %s", addr, wait)
+		}
+		timer.Reset(100 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// scraper snapshots the server's /metrics: the first successful parse
+// is the baseline, the latest is the endpoint of the reported delta.
+type scraper struct {
+	client *http.Client
+	url    string
+
+	mu    sync.Mutex
+	first map[string]float64 // trikcheck:guardedby mu
+	last  map[string]float64 // trikcheck:guardedby mu
+}
+
+// scrape fetches and parses /metrics once; failures (server not up yet,
+// mid-shutdown) are skipped silently — the delta just spans the scrapes
+// that worked.
+func (s *scraper) scrape() {
+	resp, err := s.client.Get(s.url)
+	if err != nil {
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return
+	}
+	vals, err := obs.ParseValues(body)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	if s.first == nil {
+		s.first = vals
+	}
+	s.last = vals
+	s.mu.Unlock()
+}
+
+// loop scrapes every interval until ctx is cancelled, then releases wg.
+func (s *scraper) loop(ctx context.Context, interval time.Duration, wg *sync.WaitGroup) {
+	defer wg.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			s.scrape()
+		}
+	}
+}
+
+// delta returns last-first for every series that moved (nil when fewer
+// than one scrape succeeded). Bucket series are skipped — the quantile
+// story lives client-side; the interesting server numbers are the
+// counters, sums and counts.
+func (s *scraper) delta() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.first == nil || s.last == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for k, v := range s.last {
+		if strings.Contains(k, `_bucket<`) {
+			continue
+		}
+		if d := v - s.first[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"trikcore/internal/graph"
+	"trikcore/internal/obs"
+	"trikcore/internal/obs/trace"
+	"trikcore/internal/server"
+)
+
+// TestGeneratorDeterministic pins the reproducibility contract: the same
+// seed and worker index produce the identical operation sequence.
+func TestGeneratorDeterministic(t *testing.T) {
+	mk := func() []op {
+		g := newGenerator(7, 3, 1.1, 1000, 90, 4, "/g/x")
+		ops := make([]op, 500)
+		for i := range ops {
+			ops[i] = g.next()
+		}
+		return ops
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different op sequences")
+	}
+	// A different worker index diverges (workers must not duplicate work).
+	g2 := newGenerator(7, 4, 1.1, 1000, 90, 4, "/g/x")
+	diverged := false
+	for i := 0; i < 500; i++ {
+		if g2.next() != a[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different workers produced identical op sequences")
+	}
+}
+
+// TestGeneratorMixAndShape checks the mix percentage is honored and ops
+// are well-formed.
+func TestGeneratorMixAndShape(t *testing.T) {
+	g := newGenerator(1, 0, 1.2, 100, 80, 4, "")
+	reads, writes := 0, 0
+	for i := 0; i < 10000; i++ {
+		o := g.next()
+		switch o.class {
+		case classWrite:
+			writes++
+			if o.path != "/edges" || o.body == "" {
+				t.Fatalf("malformed write op %+v", o)
+			}
+		case classStats, classKappa, classHist:
+			reads++
+			if o.body != "" {
+				t.Fatalf("read op with body %+v", o)
+			}
+		default:
+			t.Fatalf("unknown class %q", o.class)
+		}
+	}
+	frac := float64(reads) / float64(reads+writes)
+	if frac < 0.77 || frac > 0.83 {
+		t.Fatalf("read fraction %.3f, want ≈0.80", frac)
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	s, err := parseSchedule("1000", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.stages) != 1 || s.stages[0].rate != 1000 || s.total() != 5*time.Second {
+		t.Fatalf("flat schedule = %+v", s)
+	}
+
+	s, err = parseSchedule("500:2s,1000:1s,2000:3s", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.stages) != 3 || s.total() != 6*time.Second {
+		t.Fatalf("ramp = %+v total %s", s, s.total())
+	}
+	for off, want := range map[time.Duration]float64{
+		0: 500, 1900 * time.Millisecond: 500,
+		2 * time.Second: 1000, 2900 * time.Millisecond: 1000,
+		3 * time.Second: 2000, 5900 * time.Millisecond: 2000,
+		6 * time.Second: 0, time.Minute: 0,
+	} {
+		if got := s.rateAt(off); got != want {
+			t.Fatalf("rateAt(%s) = %g, want %g", off, got, want)
+		}
+	}
+
+	for _, bad := range []string{"", "0", "-5", "x", "500:2s,1000", "500:bogus", "500:-1s"} {
+		if _, err := parseSchedule(bad, time.Second); err == nil {
+			t.Fatalf("schedule %q parsed", bad)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	for spec, want := range map[string]int{"95:5": 95, "1:1": 50, "0:10": 0, "10:0": 100} {
+		got, err := parseMix(spec)
+		if err != nil || got != want {
+			t.Fatalf("parseMix(%q) = %d, %v; want %d", spec, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "95", "a:b", "-1:5", "0:0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("mix %q parsed", bad)
+		}
+	}
+}
+
+// TestEvalSLOs builds class stats with known quantiles and checks the
+// verdicts.
+func TestEvalSLOs(t *testing.T) {
+	stats := map[string]ClassStats{
+		classStats: {Count: 100, P99Seconds: 0.001, P999Seconds: 0.002},
+		classWrite: {Count: 100, P99Seconds: 0.050, P999Seconds: 0.200},
+		classKappa: {Count: 0}, // no traffic: no verdict
+	}
+	out := evalSLOs(stats, 5*time.Millisecond, 0)
+	if len(out) != 2 {
+		t.Fatalf("verdicts = %+v", out)
+	}
+	byClass := map[string]SLOVerdict{}
+	for _, v := range out {
+		if v.Quantile != "p99" {
+			t.Fatalf("unexpected quantile %q", v.Quantile)
+		}
+		byClass[v.Class] = v
+	}
+	if !byClass[classStats].Pass || byClass[classWrite].Pass {
+		t.Fatalf("verdicts = %+v", byClass)
+	}
+
+	// p999 objective alone.
+	out = evalSLOs(stats, 0, 10*time.Millisecond)
+	for _, v := range out {
+		if v.Quantile != "p999" {
+			t.Fatalf("unexpected quantile %q", v.Quantile)
+		}
+		wantPass := v.Class == classStats
+		if v.Pass != wantPass {
+			t.Fatalf("p999 %s pass=%v", v.Class, v.Pass)
+		}
+	}
+
+	// No objectives → no verdicts → sloPass trivially true.
+	if out := evalSLOs(stats, 0, 0); out != nil {
+		t.Fatalf("no-objective verdicts = %+v", out)
+	}
+}
+
+// TestRunEndToEnd drives a short low-rate run against an in-process
+// traced server and checks the report: per-class counts and quantiles,
+// server metric deltas, SLO verdicts, and zero transport errors.
+func TestRunEndToEnd(t *testing.T) {
+	g := graph.New()
+	for i := graph.Vertex(1); i <= 6; i++ {
+		for j := i + 1; j <= 6; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	srv := server.NewWith(g, server.Options{
+		Registry: obs.NewRegistry(),
+		Trace:    trace.New(trace.Options{Ring: 8}),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cfg, err := parseFlags([]string{
+		"-addr", ts.URL,
+		"-rate", "400",
+		"-duration", "500ms",
+		"-mix", "80:20",
+		"-vertices", "50",
+		"-workers", "2",
+		"-seed", "42",
+		"-scrape", "100ms",
+		"-slo-p99", "5s", // generous: the verdict machinery, not the server, is under test
+		"-wait", "2s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OpsSent < 50 {
+		t.Fatalf("sent only %d ops in 500ms at 400/s", rep.OpsSent)
+	}
+	var total uint64
+	for c, s := range rep.Classes {
+		total += s.Count
+		if s.Errors != 0 {
+			t.Fatalf("class %s saw %d errors", c, s.Errors)
+		}
+		if s.Count > 0 && s.P50Seconds <= 0 {
+			t.Fatalf("class %s has count %d but p50 %g", c, s.Count, s.P50Seconds)
+		}
+	}
+	if total != rep.OpsSent {
+		t.Fatalf("class counts %d != ops sent %d", total, rep.OpsSent)
+	}
+	if rep.Classes[classWrite].Count == 0 {
+		t.Fatal("20% write mix produced no writes")
+	}
+	if len(rep.SLO) == 0 || !rep.sloPass() {
+		t.Fatalf("SLO verdicts = %+v", rep.SLO)
+	}
+	if rep.ServerDelta == nil {
+		t.Fatal("no server metric delta captured")
+	}
+	// The server-side request counters must have moved by what we sent.
+	var reqDelta float64
+	for k, v := range rep.ServerDelta {
+		if len(k) > len("trikcore_http_requests_total") &&
+			k[:len("trikcore_http_requests_total")] == "trikcore_http_requests_total" {
+			reqDelta += v
+		}
+	}
+	if reqDelta < float64(rep.OpsSent) {
+		t.Fatalf("server saw %g requests, client sent %d", reqDelta, rep.OpsSent)
+	}
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Endpoint classes: every generated operation belongs to exactly one,
+// and client-side latency is captured per class. The read classes all
+// ride the lock-free snapshot path; the write class funnels through the
+// space's single writer.
+const (
+	classStats = "read.stats"     // GET /stats
+	classKappa = "read.kappa"     // GET /kappa?u=U&v=V
+	classHist  = "read.histogram" // GET /histogram
+	classWrite = "write.edges"    // POST /edges
+)
+
+// classes lists every endpoint class in report order.
+var classes = []string{classStats, classKappa, classHist, classWrite}
+
+// op is one generated operation: the endpoint class, the request path
+// (including the graph prefix and any query), and the JSON body for
+// writes ("" for reads).
+type op struct {
+	class string
+	path  string
+	body  string
+}
+
+// generator produces this worker's deterministic operation stream: all
+// randomness — class choice, Zipf-drawn endpoints, write batch
+// composition, inter-arrival jitter — flows from one PRNG seeded with
+// seed+worker, so a fixed -seed reproduces the exact op sequence across
+// runs regardless of timing.
+type generator struct {
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	readPct int // percentage of ops that are reads (the R of -mix R:W)
+	batch   int // edge ops per write body
+	prefix  string
+}
+
+// newGenerator builds worker w's generator. zipfS must be > 1 (the
+// stdlib Zipf constraint); vertices is the endpoint universe size.
+func newGenerator(seed int64, w int, zipfS float64, vertices uint64, readPct, batch int, prefix string) *generator {
+	rng := rand.New(rand.NewSource(seed + int64(w)))
+	return &generator{
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, zipfS, 1, vertices-1),
+		readPct: readPct,
+		batch:   batch,
+		prefix:  prefix,
+	}
+}
+
+// vertex draws one Zipf-distributed vertex id in [1, vertices]: hot
+// vertices are the low ids, with skew set by -zipf.
+func (g *generator) vertex() uint64 { return g.zipf.Uint64() + 1 }
+
+// edge draws a non-loop vertex pair.
+func (g *generator) edge() (uint64, uint64) {
+	u := g.vertex()
+	v := g.vertex()
+	for v == u {
+		v = g.vertex()
+	}
+	return u, v
+}
+
+// next produces the worker's next operation.
+func (g *generator) next() op {
+	if g.rng.Intn(100) < g.readPct {
+		// Reads split evenly across the three read classes.
+		switch g.rng.Intn(3) {
+		case 0:
+			return op{class: classStats, path: g.prefix + "/stats"}
+		case 1:
+			u, v := g.edge()
+			return op{class: classKappa,
+				path: fmt.Sprintf("%s/kappa?u=%d&v=%d", g.prefix, u, v)}
+		default:
+			return op{class: classHist, path: g.prefix + "/histogram"}
+		}
+	}
+	// Write: a batch of edge ops, ~1/4 removals, against the same
+	// Zipf-skewed vertex universe — the churn regime of the papers'
+	// evolving-network workloads.
+	var add, remove []string
+	for i := 0; i < g.batch; i++ {
+		u, v := g.edge()
+		pair := fmt.Sprintf("[%d,%d]", u, v)
+		if g.rng.Intn(4) == 0 {
+			remove = append(remove, pair)
+		} else {
+			add = append(add, pair)
+		}
+	}
+	return op{
+		class: classWrite,
+		path:  g.prefix + "/edges",
+		body:  `{"add":[` + strings.Join(add, ",") + `],"remove":[` + strings.Join(remove, ",") + `]}`,
+	}
+}
+
+// stage is one step of the arrival-rate schedule: rate ops/s held for
+// dur.
+type stage struct {
+	rate float64
+	dur  time.Duration
+}
+
+// schedule is a piecewise-constant arrival-rate plan.
+type schedule struct {
+	stages []stage
+}
+
+// parseSchedule parses -rate: either a plain number ("2000"), which
+// holds that rate for fallback, or a comma-separated ramp of
+// rate:duration stages ("500:2s,1000:2s,2000:6s").
+func parseSchedule(spec string, fallback time.Duration) (schedule, error) {
+	var s schedule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rateStr, durStr, ramped := strings.Cut(part, ":")
+		rate, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil || rate <= 0 {
+			return schedule{}, fmt.Errorf("bad rate %q in -rate %q", rateStr, spec)
+		}
+		dur := fallback
+		if ramped {
+			dur, err = time.ParseDuration(durStr)
+			if err != nil || dur <= 0 {
+				return schedule{}, fmt.Errorf("bad duration %q in -rate %q", durStr, spec)
+			}
+		} else if len(s.stages) > 0 || strings.Contains(spec, ",") {
+			return schedule{}, fmt.Errorf("-rate %q: plain rates cannot be combined in a ramp; use rate:duration stages", spec)
+		}
+		s.stages = append(s.stages, stage{rate: rate, dur: dur})
+	}
+	if len(s.stages) == 0 {
+		return schedule{}, fmt.Errorf("-rate %q: no stages", spec)
+	}
+	return s, nil
+}
+
+// total is the schedule's full duration.
+func (s schedule) total() time.Duration {
+	var d time.Duration
+	for _, st := range s.stages {
+		d += st.dur
+	}
+	return d
+}
+
+// rateAt returns the arrival rate in effect at offset off from the run
+// start, or 0 past the end of the schedule.
+func (s schedule) rateAt(off time.Duration) float64 {
+	for _, st := range s.stages {
+		if off < st.dur {
+			return st.rate
+		}
+		off -= st.dur
+	}
+	return 0
+}
+
+// describe renders the schedule back into -rate syntax for the report.
+func (s schedule) describe() string {
+	if len(s.stages) == 1 {
+		return strconv.FormatFloat(s.stages[0].rate, 'g', -1, 64)
+	}
+	parts := make([]string, len(s.stages))
+	for i, st := range s.stages {
+		parts[i] = fmt.Sprintf("%g:%s", st.rate, st.dur)
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseMix parses -mix "R:W" into the read percentage.
+func parseMix(spec string) (int, error) {
+	r, w, ok := strings.Cut(spec, ":")
+	if !ok {
+		return 0, fmt.Errorf("-mix %q: want R:W", spec)
+	}
+	ri, err1 := strconv.Atoi(strings.TrimSpace(r))
+	wi, err2 := strconv.Atoi(strings.TrimSpace(w))
+	if err1 != nil || err2 != nil || ri < 0 || wi < 0 || ri+wi == 0 {
+		return 0, fmt.Errorf("-mix %q: want nonnegative R:W with R+W > 0", spec)
+	}
+	return ri * 100 / (ri + wi), nil
+}

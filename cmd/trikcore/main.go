@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"trikcore"
+	"trikcore/internal/obs/trace"
 	"trikcore/internal/server"
 )
 
@@ -435,10 +436,12 @@ func cmdServe(args []string) error {
 	maxEdges := fs.Int("max-edges", 0, "per-graph edge quota (0 = unlimited)")
 	maxBody := fs.Int64("max-body-bytes", 0, "per-request write body cap in bytes (0 = default 16 MiB)")
 	drain := fs.Duration("shutdown-timeout", 5*time.Second, "graceful shutdown drain timeout")
+	traceRing := fs.Int("trace-ring", 0, "flight-recorder retention per ring (0 = tracing off); serves GET /debug/trace")
+	slowMS := fs.Duration("slow-ms", 0, "log traced requests at least this slow (0 = off; needs -trace-ring)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv, err := buildServer(*in, server.Options{
+	opts := server.Options{
 		Pprof:     *pprofOn,
 		Workers:   *workers,
 		MaxGraphs: *maxGraphs,
@@ -447,7 +450,15 @@ func cmdServe(args []string) error {
 			MaxEdges:     *maxEdges,
 			MaxBodyBytes: *maxBody,
 		},
-	}, *quiet)
+	}
+	if *traceRing > 0 {
+		topts := trace.Options{Ring: *traceRing, SlowThreshold: *slowMS}
+		if *slowMS > 0 {
+			topts.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		}
+		opts.Trace = trace.New(topts)
+	}
+	srv, err := buildServer(*in, opts, *quiet)
 	if err != nil {
 		return err
 	}

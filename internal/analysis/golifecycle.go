@@ -14,6 +14,12 @@ var goLifecyclePackages = map[string]bool{
 	"internal/server":   true,
 	"internal/registry": true,
 	"internal/view":     true,
+	// The flight recorder sits on the request path of all three tiers;
+	// any goroutine it ever grows must be stoppable for the same reason.
+	"internal/obs/trace": true,
+	// loadgen's workers and scraper run for a whole load session; a
+	// non-cancellable one would survive ^C and hold the report hostage.
+	"cmd/loadgen": true,
 }
 
 // goLifecycleBounded are named spawn helpers whose implementations bound

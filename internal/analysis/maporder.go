@@ -25,6 +25,11 @@ var mapOrderPackages = map[string]bool{
 	// extcore's spill/activation schedule must be deterministic for its
 	// byte-identical-κ contract; map-ordered iteration would randomize it.
 	"internal/extcore": true,
+	// trace renders /debug/trace bodies under a byte-determinism
+	// contract; loadgen renders reports and summaries that diffs and
+	// re-anchors compare across runs.
+	"internal/obs/trace": true,
+	"cmd/loadgen":        true,
 }
 
 // mapOrderWriterMethods are method/function names that emit bytes; a call

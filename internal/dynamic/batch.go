@@ -82,12 +82,18 @@ func (en *Engine) ApplyBatch(ops []EdgeOp) (added, removed int) {
 		stages = en.mt.stages
 		before = en.stats
 	}
+	// Flight-recorder spans mirror the stage timers one-for-one; en.tr is
+	// nil outside a traced publisher mutation, making every call a no-op.
+	tsp := en.tr.StartSpan("engine.apply_batch", "engine")
 	stage = stages.Start(StageCanonicalize)
+	ts := en.tr.StartSpan("engine."+StageCanonicalize, "engine")
 	buf := canonicalizeOps(ops, en.ser.sc.ops)
 	en.ser.sc.ops = buf
+	ts.End()
 	stage.End()
 
 	stage = stages.Start(StageDelete)
+	ts = en.tr.StartSpan("engine."+StageDelete, "engine")
 	for _, op := range buf {
 		if op.Del {
 			if en.deleteEdgeCanon(op.U, op.V, &en.ser.sc.tris) {
@@ -95,8 +101,10 @@ func (en *Engine) ApplyBatch(ops []EdgeOp) (added, removed int) {
 			}
 		}
 	}
+	ts.End()
 	stage.End()
 	stage = stages.Start(StageInsert)
+	ts = en.tr.StartSpan("engine."+StageInsert, "engine")
 	for _, op := range buf {
 		if !op.Del {
 			if en.insertEdgeCanon(op.U, op.V, &en.ser.sc.tris) {
@@ -104,7 +112,9 @@ func (en *Engine) ApplyBatch(ops []EdgeOp) (added, removed int) {
 			}
 		}
 	}
+	ts.End()
 	stage.End()
+	tsp.End()
 	// One version step per effective batch: a batch whose ops all cancel
 	// or no-op leaves the version (and thus published snapshots) alone.
 	if added+removed > 0 {

@@ -36,6 +36,7 @@ import (
 	"trikcore/internal/core"
 	"trikcore/internal/graph"
 	"trikcore/internal/obs"
+	"trikcore/internal/obs/trace"
 )
 
 // Engine owns a graph and keeps κ(e) correct for every edge across
@@ -91,7 +92,19 @@ type Engine struct {
 	// Stats deltas and structural gauges. Hooks live only at public-op
 	// boundaries so the uninstrumented mutation path is untouched.
 	mt *engineMetrics
+
+	// tr, when non-nil (see SetTrace), receives flight-recorder spans for
+	// the batch-apply stages — the trace equivalent of mt's phase timers.
+	// It rides one batch: the Publisher sets it before running a traced
+	// mutation and clears it after, both under its writer mutex.
+	tr *trace.Trace
 }
+
+// SetTrace attaches (or, with nil, detaches) a flight-recorder trace that
+// subsequent batch applies emit stage spans into. Like all engine methods
+// it must not race with mutations; the single-writer Publisher satisfies
+// that by bracketing each traced mutation under its own mutex.
+func (en *Engine) SetTrace(t *trace.Trace) { en.tr = t }
 
 // scratch is the engine-owned traversal workspace, reused across updates.
 // Arrays indexed by edge id are sized to the dense edge capacity; st and

@@ -59,11 +59,16 @@ func (en *Engine) ApplyBatchParallel(ops []EdgeOp, workers int) (added, removed 
 	}
 	p := &en.par
 
+	// Flight-recorder spans mirror the stage timers; all coordinator-side
+	// (workers never touch en.tr), and no-ops when no trace is attached.
+	tsp := en.tr.StartSpan("engine.apply_parallel", "engine")
+
 	// Resolve: canonicalize, drop no-ops, pre-insert and mask the
 	// insertions. After this the structure is G_max and frozen until
 	// cleanup; the pending marks keep the active graph at the pre-batch
 	// edge set, for which the maintained κ is a consistent assignment.
 	stage = stages.Start(StageResolve)
+	ts := en.tr.StartSpan("engine."+StageResolve, "engine")
 	buf := canonicalizeOps(ops, en.ser.sc.ops)
 	en.ser.sc.ops = buf
 	en.pendGen++
@@ -100,8 +105,10 @@ func (en *Engine) ApplyBatchParallel(ops []EdgeOp, workers int) (added, removed 
 			en.pendMark[r.eid] = en.pendGen
 		}
 	}
+	ts.End()
 	stage.End()
 	if len(resolved) == 0 {
+		tsp.End()
 		if en.mt != nil {
 			sp.End()
 			en.mt.opsDeduped.Add(uint64(len(ops) - len(buf)))
@@ -111,13 +118,16 @@ func (en *Engine) ApplyBatchParallel(ops []EdgeOp, workers int) (added, removed 
 	}
 
 	stage = stages.Start(StagePartition)
+	ts = en.tr.StartSpan("engine."+StagePartition, "engine")
 	nRegions := p.partition(en, resolved)
+	ts.End()
 	stage.End()
 
 	// Execute: nw workers drain the region list through a shared atomic
 	// cursor. Claiming order is scheduling-dependent; nothing else is —
 	// each region's result is a pure function of the frozen base.
 	stage = stages.Start(StageExecute)
+	ts = en.tr.StartSpan("engine."+StageExecute, "engine")
 	nw := workers
 	if nw > nRegions {
 		nw = nRegions
@@ -166,11 +176,13 @@ func (en *Engine) ApplyBatchParallel(ops []EdgeOp, workers int) (added, removed 
 	}
 	wg.Wait()
 	barrier.End()
+	ts.End()
 	stage.End()
 
 	// Merge at the barrier: validate ascending, land clean regions through
 	// the funnel, re-execute the conflict suffix against the merged state.
 	stage = stages.Start(StageMerge)
+	ts = en.tr.StartSpan("engine."+StageMerge, "engine")
 	p.wGen++
 	if p.wGen == 0 {
 		for i := range p.wMark {
@@ -219,6 +231,7 @@ func (en *Engine) ApplyBatchParallel(ops []EdgeOp, workers int) (added, removed 
 		en.mergeStaged(rg.writes, rg.vals)
 		en.stats.accumulate(rg.stats)
 	}
+	ts.End()
 	stage.End()
 
 	// Cleanup: deletions leave the substrate (their removal transitions
@@ -233,6 +246,7 @@ func (en *Engine) ApplyBatchParallel(ops []EdgeOp, workers int) (added, removed 
 	if added+removed > 0 {
 		en.bumpVersion()
 	}
+	tsp.End()
 	if en.mt != nil {
 		sp.End()
 		en.mt.insertsApplied.Add(uint64(added))

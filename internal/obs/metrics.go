@@ -83,6 +83,12 @@ func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: bounds, bins: make([]atomic.Uint64, len(bounds)+1)}
 }
 
+// NewHistogram builds a standalone histogram outside any registry —
+// for client-side measurement (loadgen) where the lock-free bins and
+// Quantile are wanted without Prometheus exposition. The bounds slice
+// is retained; callers must not mutate it.
+func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
+
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
@@ -122,6 +128,44 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution as the smallest bucket bound whose cumulative count
+// reaches q of the total — an upper bound on the true quantile that is
+// off by at most one bucket width, which log-scaled layouts keep to a
+// constant relative error. Observations beyond the last bound report
+// +Inf; an empty or nil histogram reports NaN.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	// Read the bins once; a racing Observe moves the estimate by at most
+	// its own weight, same as scraping.
+	counts := make([]uint64, len(h.bins))
+	var total uint64
+	for i := range h.bins {
+		counts[i] = h.bins[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
 // DurationBuckets is the default bucket layout for duration histograms,
 // in seconds: 10µs to 1s with a 1-2.5-5 progression — wide enough for
 // both per-op engine costs (microseconds) and endpoint tail latency
@@ -132,6 +176,23 @@ var DurationBuckets = []float64{
 	1e-3, 2.5e-3, 5e-3,
 	1e-2, 2.5e-2, 5e-2,
 	0.1, 0.25, 0.5, 1,
+}
+
+// LogDurationBuckets is the fine log-scaled bucket layout for request
+// latency, in seconds: 1µs to 2.5s with a 1-1.6-2.5-4-6.3 progression
+// (five buckets per decade, each bound ≈1.58× the previous). The
+// sub-millisecond decades get enough resolution to pin a p999 on the
+// lock-free read path — DurationBuckets' coarse 1-2.5-5 steps smear the
+// whole sub-100µs region into three bins — at a fixed cost of 33 bins
+// per series.
+var LogDurationBuckets = []float64{
+	1e-6, 1.6e-6, 2.5e-6, 4e-6, 6.3e-6,
+	1e-5, 1.6e-5, 2.5e-5, 4e-5, 6.3e-5,
+	1e-4, 1.6e-4, 2.5e-4, 4e-4, 6.3e-4,
+	1e-3, 1.6e-3, 2.5e-3, 4e-3, 6.3e-3,
+	1e-2, 1.6e-2, 2.5e-2, 4e-2, 6.3e-2,
+	0.1, 0.16, 0.25, 0.4, 0.63,
+	1, 1.6, 2.5,
 }
 
 // CountBuckets is the default bucket layout for small-cardinality count

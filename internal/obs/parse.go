@@ -145,6 +145,38 @@ func ValidateExposition(data []byte) (samples int, err error) {
 	return samples, nil
 }
 
+// ParseValues parses a Prometheus text-format document into a flat
+// map from "name{signature}" (the signature includes any le label,
+// rendered exactly as exposed) to sample value. It is the scrape-side
+// complement of Gather: loadgen uses it to diff server metrics across a
+// run. Malformed sample lines fail the whole parse; comment lines are
+// skipped without family-structure validation (use ValidateExposition
+// for that).
+func ParseValues(data []byte) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for ln, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, sig, value, le, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: value %q: %v", ln+1, value, err)
+		}
+		key := name + sig
+		if le != "" {
+			// parseSample strips le from the signature; fold it back so
+			// bucket series stay distinct.
+			key += `<le="` + le + `">`
+		}
+		out[key] = v
+	}
+	return out, nil
+}
+
 // parseSample splits one sample line into name, label signature (with
 // any le label removed), value, and the le label value if present, while
 // validating name and label syntax and ascending label-key order.

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quantileBucketError checks est against the true quantile value truth:
+// the estimate must be a bound at most one bucket above the bucket that
+// contains truth (the "within one bucket width" contract).
+func quantileBucketError(t *testing.T, bounds []float64, est, truth float64) {
+	t.Helper()
+	// Index of the bucket containing the truth, and of the estimate.
+	idx := func(v float64) int {
+		i := 0
+		for i < len(bounds) && v > bounds[i] {
+			i++
+		}
+		return i
+	}
+	ti, ei := idx(truth), idx(est)
+	if ei < ti || ei > ti+1 {
+		t.Fatalf("estimate %g (bucket %d) not within one bucket of truth %g (bucket %d)", est, ei, truth, ti)
+	}
+}
+
+// TestQuantileUniform drives the log-scaled histogram with a uniform
+// distribution whose exact quantiles are known and checks
+// p50/p95/p99/p999 land within one bucket width.
+func TestQuantileUniform(t *testing.T) {
+	h := newHistogram(LogDurationBuckets)
+	const n = 100000
+	// Uniform over (0, 10ms]: the exact q-quantile is q*10ms.
+	for i := 1; i <= n; i++ {
+		h.Observe(float64(i) / n * 0.010)
+	}
+	for _, q := range []float64{0.50, 0.95, 0.99, 0.999} {
+		est := h.Quantile(q)
+		truth := q * 0.010
+		quantileBucketError(t, LogDurationBuckets, est, truth)
+		if est < truth {
+			t.Fatalf("q%g: estimate %g below truth %g (must be an upper bound)", q, est, truth)
+		}
+	}
+}
+
+// TestQuantileExponential uses an exponential distribution (the shape of
+// real service latency tails) with analytically known quantiles.
+func TestQuantileExponential(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	h := newHistogram(LogDurationBuckets)
+	const n = 200000
+	const mean = 0.001 // 1ms
+	for i := 0; i < n; i++ {
+		h.Observe(r.ExpFloat64() * mean)
+	}
+	for _, q := range []float64{0.50, 0.95, 0.99, 0.999} {
+		est := h.Quantile(q)
+		truth := -math.Log(1-q) * mean // exact exponential quantile
+		quantileBucketError(t, LogDurationBuckets, est, truth)
+	}
+}
+
+// TestQuantilePointMass: all observations equal — every quantile is the
+// bound of that one bucket.
+func TestQuantilePointMass(t *testing.T) {
+	h := newHistogram(LogDurationBuckets)
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.0002) // 200µs, inside the (1.6e-4, 2.5e-4] bucket
+	}
+	for _, q := range []float64{0.01, 0.5, 0.999, 1} {
+		if got := h.Quantile(q); got != 2.5e-4 {
+			t.Fatalf("q%g = %g, want 2.5e-4", q, got)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("nil Quantile = %g, want NaN", got)
+	}
+	h := newHistogram(LogDurationBuckets)
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty Quantile = %g, want NaN", got)
+	}
+	h.Observe(100) // beyond the last bound → +Inf bucket
+	if got := h.Quantile(0.99); !math.IsInf(got, 1) {
+		t.Fatalf("overflow Quantile = %g, want +Inf", got)
+	}
+}
+
+// TestLogDurationBucketsShape pins the layout invariants the quantile
+// error bound depends on: strictly increasing, ≈1.58× steps (constant
+// relative bucket width), spanning 1µs to 2.5s.
+func TestLogDurationBucketsShape(t *testing.T) {
+	b := LogDurationBuckets
+	if b[0] != 1e-6 || b[len(b)-1] != 2.5 {
+		t.Fatalf("span = [%g, %g], want [1e-6, 2.5]", b[0], b[len(b)-1])
+	}
+	for i := 1; i < len(b); i++ {
+		ratio := b[i] / b[i-1]
+		if b[i] <= b[i-1] || ratio > 1.7 {
+			t.Fatalf("bounds[%d]=%g / bounds[%d]=%g: ratio %g out of shape", i, b[i], i-1, b[i-1], ratio)
+		}
+	}
+}
+
+func TestParseValuesRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total", "Demo.", Labels{"op": "x"}).Add(7)
+	reg.Gauge("demo_gauge", "Demo.", nil).Set(-3)
+	h := reg.Histogram("demo_seconds", "Demo.", []float64{0.1, 1}, nil)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	vals, err := ParseValues(reg.Gather())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vals[`demo_total{op="x"}`]; got != 7 {
+		t.Fatalf("counter = %g", got)
+	}
+	if got := vals["demo_gauge"]; got != -3 {
+		t.Fatalf("gauge = %g", got)
+	}
+	if got := vals[`demo_seconds_bucket<le="0.1">`]; got != 1 {
+		t.Fatalf("bucket 0.1 = %g", got)
+	}
+	if got := vals[`demo_seconds_bucket<le="+Inf">`]; got != 2 {
+		t.Fatalf("bucket +Inf = %g", got)
+	}
+	if got := vals["demo_seconds_count"]; got != 2 {
+		t.Fatalf("count = %g", got)
+	}
+}
+
+func TestParseValuesRejectsGarbage(t *testing.T) {
+	if _, err := ParseValues([]byte("not a metric line\n")); err == nil {
+		t.Fatal("garbage parsed")
+	}
+}

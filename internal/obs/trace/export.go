@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Chrome trace-event JSON (the chrome://tracing / Perfetto "JSON Array
+// with metadata" flavor): one complete event ("ph":"X") per trace and
+// per span, timestamps and durations in microseconds. Each trace gets
+// its own tid so the viewer lays traces out as parallel rows with span
+// nesting inferred from time containment.
+
+// event is one Chrome trace-event object. Field order is fixed by the
+// struct, so marshaling is byte-deterministic for deterministic inputs.
+type event struct {
+	Name string     `json:"name"`
+	Cat  string     `json:"cat"`
+	Ph   string     `json:"ph"`
+	Ts   float64    `json:"ts"` // microseconds since the recorder epoch
+	Dur  float64    `json:"dur"`
+	Pid  int        `json:"pid"`
+	Tid  uint64     `json:"tid"`
+	Args *eventArgs `json:"args,omitempty"`
+}
+
+// eventArgs annotates a trace's root event.
+type eventArgs struct {
+	Trace        uint64 `json:"trace"`
+	DroppedSpans int    `json:"dropped_spans,omitempty"`
+}
+
+// document is the top-level export object.
+type document struct {
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+	TraceEvents     []event `json:"traceEvents"`
+}
+
+// Export renders the retained traces (recent ∪ slowest, deduplicated by
+// id, ascending id order) as Chrome trace-event JSON. The output is a
+// pure function of the retained traces' recorded instants, so with a
+// deterministic clock a fixed request sequence exports byte-identically.
+// A nil recorder exports an empty document.
+func (r *Recorder) Export() []byte {
+	var traces []*Trace
+	if r != nil {
+		all := r.snapshot()
+		seen := make(map[uint64]bool, len(all))
+		for _, t := range all {
+			if !seen[t.id] {
+				seen[t.id] = true
+				traces = append(traces, t)
+			}
+		}
+		sort.Slice(traces, func(i, j int) bool { return traces[i].id < traces[j].id })
+	}
+
+	doc := document{DisplayTimeUnit: "ms", TraceEvents: []event{}}
+	for _, t := range traces {
+		t.mu.Lock()
+		base := t.start.Sub(r.epoch).Nanoseconds()
+		args := &eventArgs{Trace: t.id, DroppedSpans: t.dropped}
+		doc.TraceEvents = append(doc.TraceEvents, event{
+			Name: t.name,
+			Cat:  "request",
+			Ph:   "X",
+			Ts:   micros(base),
+			Dur:  micros(t.total.Nanoseconds()),
+			Pid:  1,
+			Tid:  t.id,
+			Args: args,
+		})
+		for _, sp := range t.spans {
+			dur := sp.dur
+			if dur < 0 {
+				dur = 0 // open span on a finished trace cannot happen; be safe
+			}
+			doc.TraceEvents = append(doc.TraceEvents, event{
+				Name: sp.name,
+				Cat:  sp.cat,
+				Ph:   "X",
+				Ts:   micros(base + sp.start),
+				Dur:  micros(dur),
+				Pid:  1,
+				Tid:  t.id,
+			})
+		}
+		t.mu.Unlock()
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		// A struct of strings and numbers cannot fail to encode.
+		panic("trace: export marshal: " + err.Error())
+	}
+	return append(data, '\n')
+}
+
+// micros converts nanoseconds to the format's microsecond unit. Equal
+// inputs yield bit-equal float64s and therefore equal rendered bytes,
+// which is all the determinism contract needs.
+func micros(ns int64) float64 { return float64(ns) / 1e3 }

@@ -1,0 +1,337 @@
+// Package trace is trikcore's per-request flight recorder: a
+// zero-dependency span tracer that follows one request (or one write
+// batch) through server → registry → view.Publisher → dynamic.Engine
+// and keeps a bounded record of where the time went.
+//
+// The model is deliberately smaller than a distributed tracer. A Trace
+// is one unit of served work — an HTTP request, a write batch — with a
+// process-unique id and a flat list of timed spans. Spans carry no
+// explicit parent pointer: within one trace they nest by time
+// containment (the Chrome trace viewer renders exactly that), which is
+// all a single-process request path needs and keeps recording to one
+// short critical section per span.
+//
+// A Recorder retains two bounded rings of finished traces: the N most
+// recent (the "what just happened" view) and the N slowest ever seen
+// (the "what hurts" view). Finished traces above a configurable latency
+// threshold additionally emit one structured slow-request log line.
+// Everything exports as Chrome trace-event JSON (see export.go), served
+// by the HTTP layer at GET /debug/trace.
+//
+// Like the obs metrics registry, absence is free: a nil *Recorder hands
+// out nil *Traces, and every method on a nil Trace or zero Span is a
+// no-op, so instrumented call sites run untouched when tracing is off.
+// The clock is injectable so tests (and the byte-determinism suite) can
+// drive the recorder with a deterministic time source.
+package trace
+
+import (
+	"context"
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultRing is the retention of each ring (recent and slowest) when
+// Options.Ring is zero.
+const DefaultRing = 64
+
+// maxSpansPerTrace bounds one trace's span list so a pathological
+// request (an SSE stream riding through thousands of publications)
+// cannot grow a single trace without limit; later spans are dropped and
+// counted.
+const maxSpansPerTrace = 4096
+
+// Options configure a Recorder. The zero value is usable: DefaultRing
+// retention, no slow-request log, the wall clock.
+type Options struct {
+	// Ring is the capacity of each of the two retention rings (most
+	// recent and slowest); 0 means DefaultRing, negative means 1.
+	Ring int
+	// SlowThreshold, when > 0 and Logger is set, emits one structured
+	// log line for every finished trace at least this slow.
+	SlowThreshold time.Duration
+	// Logger receives the slow-request lines.
+	Logger *slog.Logger
+	// Clock substitutes the time source (tests); nil means time.Now.
+	Clock func() time.Time
+}
+
+// Recorder allocates trace ids and retains finished traces. All methods
+// are safe for concurrent use; a nil *Recorder is the disabled tracer.
+type Recorder struct {
+	now   func() time.Time
+	epoch time.Time // export time base: the recorder's construction instant
+	slow  time.Duration
+	log   *slog.Logger
+	ring  int
+	ids   atomic.Uint64
+
+	mu      sync.Mutex
+	recent  []*Trace // circular, oldest at head when full; trikcheck:guardedby mu
+	head    int      // next write position in recent; trikcheck:guardedby mu
+	slowest []*Trace // sorted by Duration descending, ≤ ring entries; trikcheck:guardedby mu
+}
+
+// New builds a Recorder.
+func New(opts Options) *Recorder {
+	ring := opts.Ring
+	if ring == 0 {
+		ring = DefaultRing
+	}
+	if ring < 1 {
+		ring = 1
+	}
+	now := opts.Clock
+	if now == nil {
+		now = time.Now
+	}
+	return &Recorder{
+		now:   now,
+		epoch: now(),
+		slow:  opts.SlowThreshold,
+		log:   opts.Logger,
+		ring:  ring,
+	}
+}
+
+// Ring returns the configured per-ring capacity (0 on a nil recorder).
+func (r *Recorder) Ring() int {
+	if r == nil {
+		return 0
+	}
+	return r.ring
+}
+
+// Occupancy reports how many finished traces each ring currently holds
+// (both 0 on a nil recorder) — the /healthz "is the flight recorder
+// seeing traffic" signal.
+func (r *Recorder) Occupancy() (recent, slowest int) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recent), len(r.slowest)
+}
+
+// Start opens a new trace named name (the route pattern, a batch label).
+// A nil recorder returns a nil trace, on which every method no-ops.
+func (r *Recorder) Start(name string) *Trace {
+	if r == nil {
+		return nil
+	}
+	return &Trace{
+		rec:   r,
+		id:    r.ids.Add(1),
+		name:  name,
+		start: r.now(),
+	}
+}
+
+// record retires a finished trace into the rings and, when it qualifies,
+// the slow-request log.
+func (r *Recorder) record(t *Trace) {
+	r.mu.Lock()
+	if len(r.recent) < r.ring {
+		r.recent = append(r.recent, t)
+	} else {
+		r.recent[r.head] = t
+		r.head = (r.head + 1) % r.ring
+	}
+	r.insertSlowLocked(t)
+	r.mu.Unlock()
+
+	if r.log != nil && r.slow > 0 && t.total >= r.slow {
+		r.log.LogAttrs(context.Background(), slog.LevelWarn, "slow request",
+			slog.Uint64("trace", t.id),
+			slog.String("name", t.name),
+			slog.Duration("duration", t.total),
+			slog.Int("spans", t.spanCount()),
+			slog.String("slowest_span", t.slowestSpan()),
+		)
+	}
+}
+
+// insertSlowLocked files t into the slowest ring, kept sorted descending
+// by duration; ties break toward the earlier trace id so retention is
+// deterministic for a fixed sequence of finishes. The caller holds r.mu.
+//
+//trikcheck:locked
+func (r *Recorder) insertSlowLocked(t *Trace) {
+	if len(r.slowest) >= r.ring && t.total <= r.slowest[len(r.slowest)-1].total {
+		return
+	}
+	i := sort.Search(len(r.slowest), func(i int) bool {
+		if r.slowest[i].total != t.total {
+			return r.slowest[i].total < t.total
+		}
+		return r.slowest[i].id > t.id
+	})
+	r.slowest = append(r.slowest, nil)
+	copy(r.slowest[i+1:], r.slowest[i:])
+	r.slowest[i] = t
+	if len(r.slowest) > r.ring {
+		r.slowest = r.slowest[:r.ring]
+	}
+}
+
+// snapshot returns the retained traces — the recent ring in
+// finish order (oldest first) followed by the slowest ring — without
+// deduplication (export dedups by id).
+func (r *Recorder) snapshot() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, len(r.recent)+len(r.slowest))
+	if len(r.recent) < r.ring {
+		out = append(out, r.recent...)
+	} else {
+		out = append(out, r.recent[r.head:]...)
+		out = append(out, r.recent[:r.head]...)
+	}
+	out = append(out, r.slowest...)
+	return out
+}
+
+// span is one recorded timed section: offsets are nanoseconds relative
+// to the trace start; dur is -1 while the span is open.
+type span struct {
+	name  string
+	cat   string
+	start int64
+	dur   int64
+}
+
+// Trace is one in-flight or finished unit of work. Methods are safe for
+// concurrent use (parallel apply workers may record spans concurrently
+// with the coordinator); a nil *Trace is the disabled path.
+type Trace struct {
+	rec   *Recorder
+	id    uint64
+	name  string
+	start time.Time
+
+	mu      sync.Mutex
+	spans   []span // trikcheck:guardedby mu
+	dropped int    // spans past maxSpansPerTrace; trikcheck:guardedby mu
+	total   time.Duration
+}
+
+// ID returns the trace's process-unique id (0 on nil).
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// Name returns the trace's name ("" on nil).
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Span is one open timed section of a trace. The zero Span (from a nil
+// trace) is inert: End does nothing.
+type Span struct {
+	t   *Trace
+	idx int
+	t0  time.Time
+}
+
+// StartSpan opens a span over the named section. cat groups spans by
+// layer ("http", "registry", "view", "engine") in the exported trace.
+func (t *Trace) StartSpan(name, cat string) Span {
+	if t == nil {
+		return Span{}
+	}
+	t0 := t.rec.now()
+	t.mu.Lock()
+	if len(t.spans) >= maxSpansPerTrace {
+		t.dropped++
+		t.mu.Unlock()
+		return Span{}
+	}
+	idx := len(t.spans)
+	t.spans = append(t.spans, span{name: name, cat: cat, start: t0.Sub(t.start).Nanoseconds(), dur: -1})
+	t.mu.Unlock()
+	return Span{t: t, idx: idx, t0: t0}
+}
+
+// End closes the span. Ending a zero Span does nothing.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	d := s.t.rec.now().Sub(s.t0).Nanoseconds()
+	s.t.mu.Lock()
+	s.t.spans[s.idx].dur = d
+	s.t.mu.Unlock()
+}
+
+// Finish retires the trace: its total duration is fixed, any span left
+// open is clamped to the finish instant, and the trace enters the
+// recorder's rings (and the slow log when it qualifies). Finish must be
+// called exactly once; spans must not be started after it. It returns
+// the total duration (0 on nil).
+func (t *Trace) Finish() time.Duration {
+	if t == nil {
+		return 0
+	}
+	end := t.rec.now()
+	t.mu.Lock()
+	t.total = end.Sub(t.start)
+	for i := range t.spans {
+		if t.spans[i].dur < 0 {
+			d := t.total.Nanoseconds() - t.spans[i].start
+			if d < 0 {
+				d = 0
+			}
+			t.spans[i].dur = d
+		}
+	}
+	t.mu.Unlock()
+	t.rec.record(t)
+	return t.total
+}
+
+// spanCount reports the number of recorded spans. It reads t.spans
+// without t.mu: it runs only on finished traces, after Finish's final
+// unlock has published the slice and no writer can touch it again.
+//
+//trikcheck:locked
+func (t *Trace) spanCount() int { return len(t.spans) }
+
+// slowestSpan names the longest recorded span ("" when there is none) —
+// the one-token diagnosis attached to slow-request log lines. Like
+// spanCount it runs only on finished traces, so t.spans is immutable.
+//
+//trikcheck:locked
+func (t *Trace) slowestSpan() string {
+	best, bestDur := "", int64(-1)
+	for _, sp := range t.spans {
+		if sp.dur > bestDur {
+			best, bestDur = sp.cat+":"+sp.name, sp.dur
+		}
+	}
+	return best
+}
+
+// ctxKey is the context key tracing rides under.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil — which every
+// trace method tolerates, so call sites never need to check.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic time source: every reading advances the
+// clock by step, so any fixed sequence of recorder calls observes a
+// fixed sequence of instants.
+type fakeClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+func newFakeClock(step time.Duration) *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0), step: step}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func TestNilRecorderAndTraceAreNoOps(t *testing.T) {
+	var r *Recorder
+	if got := r.Ring(); got != 0 {
+		t.Fatalf("nil Ring() = %d", got)
+	}
+	if a, b := r.Occupancy(); a != 0 || b != 0 {
+		t.Fatalf("nil Occupancy() = %d,%d", a, b)
+	}
+	tr := r.Start("x")
+	if tr != nil {
+		t.Fatal("nil recorder handed out a trace")
+	}
+	sp := tr.StartSpan("a", "b")
+	sp.End()
+	if d := tr.Finish(); d != 0 {
+		t.Fatalf("nil Finish() = %v", d)
+	}
+	if tr.ID() != 0 || tr.Name() != "" {
+		t.Fatal("nil trace has identity")
+	}
+	if got := r.Export(); !bytes.Contains(got, []byte(`"traceEvents":[]`)) {
+		t.Fatalf("nil Export() = %q", got)
+	}
+	// FromContext on a bare context is nil and safe.
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext(empty) = %v", got)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	r := New(Options{})
+	tr := r.Start("req")
+	ctx := NewContext(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %v, want %v", got, tr)
+	}
+}
+
+func TestRingRetention(t *testing.T) {
+	c := newFakeClock(time.Millisecond)
+	r := New(Options{Ring: 4, Clock: c.Now})
+	// Finish 10 traces; ids 1..10, each one clock-step long.
+	for i := 0; i < 10; i++ {
+		tr := r.Start(fmt.Sprintf("t%d", i+1))
+		tr.Finish()
+	}
+	recent, slowest := r.Occupancy()
+	if recent != 4 || slowest != 4 {
+		t.Fatalf("occupancy = %d,%d, want 4,4", recent, slowest)
+	}
+	// The recent ring holds the last four in finish order.
+	traces := r.snapshot()[:4]
+	for i, want := range []string{"t7", "t8", "t9", "t10"} {
+		if traces[i].name != want {
+			t.Fatalf("recent[%d] = %s, want %s", i, traces[i].name, want)
+		}
+	}
+}
+
+func TestSlowestRingKeepsTheSlowest(t *testing.T) {
+	c := newFakeClock(time.Millisecond)
+	r := New(Options{Ring: 2, Clock: c.Now})
+	// Durations: each trace spans (1 + inner readings) clock steps; give
+	// trace i an extra i spans so later traces are slower.
+	for i := 0; i < 5; i++ {
+		tr := r.Start(fmt.Sprintf("t%d", i))
+		for j := 0; j < i; j++ {
+			sp := tr.StartSpan("work", "test")
+			sp.End()
+		}
+		tr.Finish()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.slowest) != 2 {
+		t.Fatalf("slowest holds %d", len(r.slowest))
+	}
+	if r.slowest[0].name != "t4" || r.slowest[1].name != "t3" {
+		t.Fatalf("slowest = %s,%s, want t4,t3", r.slowest[0].name, r.slowest[1].name)
+	}
+	if r.slowest[0].total <= r.slowest[1].total {
+		t.Fatalf("slowest not sorted: %v <= %v", r.slowest[0].total, r.slowest[1].total)
+	}
+}
+
+// TestRingBoundedUnderConcurrentWriters hammers one recorder from many
+// goroutines and checks both rings stay within capacity and the export
+// stays parseable — the boundedness contract of the flight recorder.
+func TestRingBoundedUnderConcurrentWriters(t *testing.T) {
+	const (
+		ring    = 8
+		writers = 16
+		each    = 200
+	)
+	r := New(Options{Ring: ring})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr := r.Start("concurrent")
+				sp := tr.StartSpan("inner", "test")
+				sp2 := tr.StartSpan("inner2", "test")
+				sp2.End()
+				sp.End()
+				tr.Finish()
+			}
+		}(w)
+	}
+	wg.Wait()
+	recent, slowest := r.Occupancy()
+	if recent != ring || slowest > ring {
+		t.Fatalf("occupancy = %d,%d, want %d,<=%d", recent, slowest, ring, ring)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(r.Export(), &doc); err != nil {
+		t.Fatalf("export not valid JSON: %v", err)
+	}
+	// recent ∪ slowest after dedup: between ring and 2*ring roots, each
+	// with two span events.
+	if n := len(doc.TraceEvents); n < ring*3 || n > 2*ring*3 {
+		t.Fatalf("exported %d events, want within [%d,%d]", n, ring*3, 2*ring*3)
+	}
+}
+
+func TestSpanCapBounds(t *testing.T) {
+	c := newFakeClock(time.Microsecond)
+	r := New(Options{Ring: 1, Clock: c.Now})
+	tr := r.Start("big")
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		tr.StartSpan("s", "test").End()
+	}
+	tr.Finish()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.spans) != maxSpansPerTrace {
+		t.Fatalf("spans = %d, want cap %d", len(tr.spans), maxSpansPerTrace)
+	}
+	if tr.dropped != 10 {
+		t.Fatalf("dropped = %d, want 10", tr.dropped)
+	}
+}
+
+// TestExportDeterministic replays the same span sequence on two
+// recorders with identical deterministic clocks: the exports must be
+// byte-identical.
+func TestExportDeterministic(t *testing.T) {
+	run := func() []byte {
+		c := newFakeClock(100 * time.Microsecond)
+		r := New(Options{Ring: 4, Clock: c.Now})
+		for i := 0; i < 6; i++ {
+			tr := r.Start(fmt.Sprintf("GET /stats#%d", i))
+			sp := tr.StartSpan("space.apply", "registry")
+			in := tr.StartSpan("engine.canonicalize", "engine")
+			in.End()
+			sp.End()
+			tr.Finish()
+		}
+		return r.Export()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("exports differ:\n%s\n%s", a, b)
+	}
+	// And the document is structurally what the viewer expects.
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  uint64  `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// All six traces are equally long, so recent keeps 3..6 and slowest
+	// keeps the tie-broken earliest 1..4: the union is all 6 traces,
+	// each 1 root + 2 spans.
+	if len(doc.TraceEvents) != 18 {
+		t.Fatalf("events = %d, want 18", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Dur < 0 || ev.Ts < 0 {
+			t.Fatalf("malformed event %+v", ev)
+		}
+	}
+}
+
+func TestSlowRequestLog(t *testing.T) {
+	c := newFakeClock(time.Millisecond)
+	var buf bytes.Buffer
+	log := slog.New(slog.NewTextHandler(&buf, nil))
+	r := New(Options{Ring: 2, SlowThreshold: 3 * time.Millisecond, Logger: log, Clock: c.Now})
+
+	fast := r.Start("fast")
+	fast.Finish() // 1ms: below threshold
+	slow := r.Start("slow")
+	sp := slow.StartSpan("engine.insert", "engine")
+	sp.End()
+	slow.Finish() // 3ms: start+2 span readings+finish
+
+	out := buf.String()
+	if strings.Contains(out, "fast") {
+		t.Fatalf("fast trace logged: %s", out)
+	}
+	if !strings.Contains(out, "slow request") || !strings.Contains(out, "name=slow") {
+		t.Fatalf("slow trace not logged: %s", out)
+	}
+	if !strings.Contains(out, "slowest_span=engine:engine.insert") {
+		t.Fatalf("slow log misses span diagnosis: %s", out)
+	}
+}
+
+func TestOpenSpanClampedAtFinish(t *testing.T) {
+	c := newFakeClock(time.Millisecond)
+	r := New(Options{Ring: 1, Clock: c.Now})
+	tr := r.Start("leaky")
+	tr.StartSpan("never_ended", "test")
+	tr.Finish()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if d := tr.spans[0].dur; d < 0 {
+		t.Fatalf("open span survived finish with dur %d", d)
+	}
+	if tr.spans[0].dur > tr.total.Nanoseconds() {
+		t.Fatalf("clamped span longer than trace: %d > %d", tr.spans[0].dur, tr.total.Nanoseconds())
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"trikcore/internal/dynamic"
 	"trikcore/internal/graph"
 	"trikcore/internal/obs"
+	"trikcore/internal/obs/trace"
 	"trikcore/internal/view"
 	"trikcore/internal/watchdog"
 )
@@ -411,11 +412,20 @@ func (sp *Space) MaxBodyBytes() int64 { return sp.quotas.MaxBodyBytes }
 // partial application, no snapshot, no version bump. On success the
 // effective change (if any) is published and handed to the feed.
 func (sp *Space) Apply(ops []dynamic.EdgeOp) (added, removed int, err error) {
+	return sp.ApplyTraced(ops, nil)
+}
+
+// ApplyTraced is Apply with a flight-recorder trace riding the batch: the
+// whole quota-check + mutate + feed-publish path is spanned, and the
+// trace flows into the publisher (and from there the engine's stage
+// spans). A nil tr is exactly Apply.
+func (sp *Space) ApplyTraced(ops []dynamic.EdgeOp, tr *trace.Trace) (added, removed int, err error) {
 	sp.wmu.Lock()
 	defer sp.wmu.Unlock()
 	defer watchdog.Start("registry.Space.Apply")()
+	tsp := tr.StartSpan("space.apply", "registry")
 	prev := sp.pub.Acquire()
-	cur := sp.pub.Mutate(func(en *dynamic.Engine) {
+	cur := sp.pub.MutateTraced(func(en *dynamic.Engine) {
 		if err = sp.quotas.check(en, ops); err != nil {
 			return
 		}
@@ -424,18 +434,22 @@ func (sp *Space) Apply(ops []dynamic.EdgeOp) (added, removed int, err error) {
 		} else {
 			added, removed = en.ApplyBatch(ops)
 		}
-	})
+	}, tr)
 	if err != nil {
 		sp.mt.quotaRejections.Inc()
+		tsp.End()
 		return 0, 0, err
 	}
 	if cur != prev {
 		sp.mt.publishes.Inc()
 		sp.syncSizeMetrics(cur)
+		fsp := tr.StartSpan("feed.publish", "registry")
 		if n := sp.feed.publish(prev, cur); n > 0 {
 			sp.mt.events.Add(uint64(n))
 		}
+		fsp.End()
 	}
+	tsp.End()
 	return added, removed, nil
 }
 

@@ -34,6 +34,17 @@ type HealthzReply struct {
 	Build         BuildReply `json:"build"`
 	// Graphs counts the hosted graph spaces.
 	Graphs int `json:"graphs"`
+	// Trace reports the flight recorder's ring occupancy; absent when
+	// tracing is off.
+	Trace *TraceHealth `json:"trace,omitempty"`
+}
+
+// TraceHealth is the flight-recorder section of /healthz: per-ring
+// capacity and how many finished traces each ring currently holds.
+type TraceHealth struct {
+	Ring    int `json:"ring"`
+	Recent  int `json:"recent"`
+	Slowest int `json:"slowest"`
 }
 
 // buildReply resolves the binary's build description once; ReadBuildInfo
@@ -70,11 +81,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !s.start.IsZero() {
 		uptime = time.Since(s.start).Seconds()
 	}
-	writeJSON(w, HealthzReply{
+	rep := HealthzReply{
 		Status:        "ok",
 		Version:       version,
 		UptimeSeconds: uptime,
 		Build:         buildReply(),
 		Graphs:        s.reg.Len(),
-	})
+	}
+	if s.tracer != nil {
+		recent, slowest := s.tracer.Occupancy()
+		rep.Trace = &TraceHealth{Ring: s.tracer.Ring(), Recent: recent, Slowest: slowest}
+	}
+	writeJSON(w, rep)
 }

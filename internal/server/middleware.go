@@ -12,6 +12,7 @@ import (
 	"trikcore/internal/dynamic"
 	"trikcore/internal/graph"
 	"trikcore/internal/obs"
+	"trikcore/internal/obs/trace"
 	"trikcore/internal/registry"
 	"trikcore/internal/view"
 )
@@ -49,6 +50,13 @@ type Options struct {
 	// obs.Overflow bucket so metric cardinality cannot grow without
 	// limit.
 	MaxGraphLabels int
+	// Trace, when non-nil, turns on the per-request flight recorder:
+	// every API request runs under a trace whose spans follow it through
+	// registry, publisher and engine, the retained rings are exported as
+	// Chrome trace-event JSON on GET /debug/trace, and responses carry
+	// the trace id in an X-Trikcore-Trace header. Off by default —
+	// untraced servers run the exact pre-trace request path.
+	Trace *trace.Recorder
 }
 
 // NewWith builds a server hosting g as its "default" graph space, with
@@ -87,6 +95,7 @@ func NewWith(g *graph.Graph, opts Options) *Server {
 		obsReg: opts.Registry,
 		log:    opts.Logger,
 		pprof:  opts.Pprof,
+		tracer: opts.Trace,
 		start:  time.Now(),
 	}
 	if s.obsReg != nil {
@@ -158,7 +167,7 @@ func (sw *statusWriter) Flush() {
 // behavior. The pattern's path segment (not the raw request URL) becomes
 // the path label and log field, keeping label cardinality fixed.
 func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
-	if s.obsReg == nil && s.log == nil {
+	if s.obsReg == nil && s.log == nil && s.tracer == nil {
 		mux.HandleFunc(pattern, h)
 		return
 	}
@@ -172,7 +181,7 @@ func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
 			method: method,
 			path:   path,
 			latency: s.obsReg.Histogram("trikcore_http_request_seconds",
-				"HTTP request latency by endpoint.", obs.DurationBuckets,
+				"HTTP request latency by endpoint.", obs.LogDurationBuckets,
 				obs.Labels{"method": method, "path": path}),
 		}
 	}
@@ -180,11 +189,21 @@ func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
 		t0 := time.Now()
 		s.inFlight.Add(1)
 		sw := &statusWriter{ResponseWriter: w}
+		// Each request runs under its own flight-recorder trace (nil
+		// recorder → nil trace → every span downstream no-ops). The id
+		// goes out as a response header before the handler writes, so a
+		// slow request in the logs can be matched to /debug/trace.
+		tr := s.tracer.Start(pattern)
+		if tr != nil {
+			sw.Header().Set("X-Trikcore-Trace", strconv.FormatUint(tr.ID(), 10))
+			r = r.WithContext(trace.NewContext(r.Context(), tr))
+		}
 		h(sw, r)
 		if sw.status == 0 {
 			// Handler wrote nothing: net/http sends 200 on return.
 			sw.status = http.StatusOK
 		}
+		tr.Finish()
 		d := time.Since(t0)
 		s.inFlight.Add(-1)
 		if em != nil {
@@ -201,6 +220,15 @@ func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
 			)
 		}
 	})
+}
+
+// handleDebugTrace serves the flight recorder's retained traces as Chrome
+// trace-event JSON (load into chrome://tracing or Perfetto). Registered
+// outside the middleware like /metrics: inspecting traces must not record
+// new ones.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.tracer.Export())
 }
 
 // handleMetrics serves the registry in Prometheus text format. It is

@@ -73,6 +73,7 @@ import (
 	"trikcore/internal/dynamic"
 	"trikcore/internal/graph"
 	"trikcore/internal/obs"
+	"trikcore/internal/obs/trace"
 	"trikcore/internal/registry"
 	"trikcore/internal/view"
 )
@@ -94,6 +95,7 @@ type Server struct {
 	obsReg   *obs.Registry
 	log      *slog.Logger
 	pprof    bool
+	tracer   *trace.Recorder
 	start    time.Time
 	inFlight *obs.Gauge
 }
@@ -145,6 +147,9 @@ func (s *Server) Handler() http.Handler {
 	s.registerSnapshotRoutes(mux)
 	if s.obsReg != nil {
 		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	if s.tracer != nil {
+		mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
 	}
 	if s.pprof {
 		registerPprof(mux)
@@ -480,7 +485,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	}
 	var rep EdgesReply
 	var err error
-	rep.Added, rep.Removed, err = sp.Apply(req.ops())
+	rep.Added, rep.Removed, err = sp.ApplyTraced(req.ops(), trace.FromContext(r.Context()))
 	if err != nil {
 		var qe *registry.QuotaError
 		if errors.As(err, &qe) {
@@ -515,7 +520,9 @@ func (s *Server) handleCore(w http.ResponseWriter, r *http.Request) {
 	if preamble(w, r, sn, nil) {
 		return
 	}
+	msp := trace.FromContext(r.Context()).StartSpan("memo.core", "view")
 	edges, k, ok := sn.CoreOf(e)
+	msp.End()
 	if !ok {
 		httpError(w, http.StatusNotFound, "edge %v not in graph", e)
 		return
@@ -554,7 +561,9 @@ func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request) {
 	if preamble(w, r, sn, nil) {
 		return
 	}
+	msp := trace.FromContext(r.Context()).StartSpan("memo.communities", "view")
 	comms := sn.CommunitiesAt(int32(k))
+	msp.End()
 	out := make([]CommunityReply, 0, len(comms))
 	for _, c := range comms {
 		out = append(out, CommunityReply{Edges: c.Edges, Vertices: c.Vertices})
@@ -571,8 +580,11 @@ func (s *Server) handlePlotSVG(w http.ResponseWriter, r *http.Request) {
 	if preamble(w, r, sn, nil) {
 		return
 	}
+	msp := trace.FromContext(r.Context()).StartSpan("memo.plot_svg", "view")
+	body := sn.PlotSVG()
+	msp.End()
 	w.Header().Set("Content-Type", "image/svg+xml")
-	w.Write(sn.PlotSVG())
+	w.Write(body)
 }
 
 func (s *Server) handlePlotText(w http.ResponseWriter, r *http.Request) {
@@ -584,6 +596,9 @@ func (s *Server) handlePlotText(w http.ResponseWriter, r *http.Request) {
 	if preamble(w, r, sn, nil) {
 		return
 	}
+	msp := trace.FromContext(r.Context()).StartSpan("memo.plot_txt", "view")
+	body := sn.PlotASCII()
+	msp.End()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Write(sn.PlotASCII())
+	w.Write(body)
 }

@@ -63,7 +63,7 @@ func (p *Publisher) Instrument(reg *obs.Registry) {
 	}
 	p.mu.Lock()
 	p.mt = mt
-	p.cur.Store(p.freeze())
+	p.cur.Store(p.freeze(nil))
 	p.mu.Unlock()
 }
 

@@ -7,6 +7,7 @@ import (
 	"trikcore/internal/dynamic"
 	"trikcore/internal/graph"
 	"trikcore/internal/obs"
+	"trikcore/internal/obs/trace"
 	"trikcore/internal/watchdog"
 )
 
@@ -33,7 +34,7 @@ type Publisher struct {
 // immediately.
 func NewPublisher(en *dynamic.Engine) *Publisher {
 	p := &Publisher{en: en}
-	p.cur.Store(p.freeze())
+	p.cur.Store(p.freeze(nil))
 	return p
 }
 
@@ -65,18 +66,31 @@ func (p *Publisher) SetWorkers(n int) {
 // blocked. Like ApplyBatch it panics on self-loop ops (validate first),
 // with the engine untouched.
 func (p *Publisher) Apply(ops []dynamic.EdgeOp) (added, removed int) {
+	return p.ApplyTraced(ops, nil)
+}
+
+// ApplyTraced is Apply with a flight-recorder trace riding the batch: the
+// engine emits its stage spans into tr, and the publish itself is spanned.
+// A nil tr is exactly Apply. The trace is attached to the engine only for
+// the duration of the call, under the writer mutex, so concurrent traced
+// writers never see each other's traces.
+func (p *Publisher) ApplyTraced(ops []dynamic.EdgeOp, tr *trace.Trace) (added, removed int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	defer watchdog.Start("view.Publisher.Apply")()
+	sp := tr.StartSpan("publisher.apply", "view")
+	p.en.SetTrace(tr)
 	before := p.en.Version()
 	if p.workers > 1 {
 		added, removed = p.en.ApplyBatchParallel(ops, p.workers)
 	} else {
 		added, removed = p.en.ApplyBatch(ops)
 	}
+	p.en.SetTrace(nil)
 	if p.en.Version() != before {
-		p.cur.Store(p.freeze())
+		p.cur.Store(p.freeze(tr))
 	}
+	sp.End()
 	return added, removed
 }
 
@@ -85,26 +99,38 @@ func (p *Publisher) Apply(ops []dynamic.EdgeOp) (added, removed int) {
 // snapshot current at exit. It is the escape hatch for vertex-level and
 // composite mutations; fn must not retain the engine.
 func (p *Publisher) Mutate(fn func(en *dynamic.Engine)) *Snapshot {
+	return p.MutateTraced(fn, nil)
+}
+
+// MutateTraced is Mutate with a flight-recorder trace riding the
+// mutation, under the same attach/detach discipline as ApplyTraced.
+func (p *Publisher) MutateTraced(fn func(en *dynamic.Engine), tr *trace.Trace) *Snapshot {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	defer watchdog.Start("view.Publisher.Mutate")()
+	sp := tr.StartSpan("publisher.mutate", "view")
+	p.en.SetTrace(tr)
 	before := p.en.Version()
 	fn(p.en)
+	p.en.SetTrace(nil)
 	if p.en.Version() != before {
-		p.cur.Store(p.freeze())
+		p.cur.Store(p.freeze(tr))
 	}
+	sp.End()
 	return p.cur.Load()
 }
 
 // freeze builds a Snapshot of the engine's current state. Callers hold
-// mu (or are the constructor, before the Publisher escapes).
+// mu (or are the constructor, before the Publisher escapes). tr, when
+// non-nil, receives a publish span alongside the publish-latency metric.
 //
 //trikcheck:locked
-func (p *Publisher) freeze() *Snapshot {
+func (p *Publisher) freeze(tr *trace.Trace) *Snapshot {
 	var sp obs.Span
 	if p.mt != nil {
 		sp = obs.StartSpan(p.mt.publishSeconds)
 	}
+	tsp := tr.StartSpan("publisher.publish", "view")
 	s, kappa := p.en.FreezeView()
 	maxK := p.en.MaxKappa()
 	hist := make([]int, maxK+1)
@@ -120,6 +146,7 @@ func (p *Publisher) freeze() *Snapshot {
 		Updates: p.en.Stats(),
 		mt:      p.mt,
 	}
+	tsp.End()
 	if p.mt != nil {
 		sp.End()
 		p.mt.publishesTotal.Inc()
